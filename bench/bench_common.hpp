@@ -1,0 +1,73 @@
+/// \file bench_common.hpp
+/// \brief Shared helpers for the figure/table reproduction harnesses.
+
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace adtp::bench {
+
+/// Times a callable once; returns seconds.
+template <typename F>
+double time_call(F&& f) {
+  Stopwatch watch;
+  std::forward<F>(f)();
+  return watch.seconds();
+}
+
+/// Times a callable, returning nullopt if it throws LimitError (deadline
+/// or node-limit exceeded) - the bench reports those as capped runs.
+template <typename F>
+std::optional<double> time_call_capped(F&& f) {
+  Stopwatch watch;
+  try {
+    std::forward<F>(f)();
+  } catch (const LimitError&) {
+    return std::nullopt;
+  }
+  return watch.seconds();
+}
+
+inline double median(std::vector<double> values) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+/// "--flag value" style argument lookup (tiny; benches have 1-3 options).
+inline std::optional<std::string> arg_value(int argc, char** argv,
+                                            const std::string& flag) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) return std::string(argv[i + 1]);
+  }
+  return std::nullopt;
+}
+
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+inline std::size_t arg_size_t(int argc, char** argv, const std::string& flag,
+                              std::size_t fallback) {
+  const auto v = arg_value(argc, argv, flag);
+  return v ? static_cast<std::size_t>(std::stoull(*v)) : fallback;
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n\n";
+}
+
+}  // namespace adtp::bench

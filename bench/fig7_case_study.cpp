@@ -1,0 +1,117 @@
+/// Reproduces Fig. 7: the money-theft case study (Section VI-A).
+///
+/// Prints the model, the per-node Bottom-Up fronts of the unfolded tree
+/// (the red annotations of Fig. 7), both final Pareto fronts, the optimal
+/// strategies behind each point, and the comparison with the single
+/// values 165 (tree semantics) / 140 (set semantics) reported by Kordy &
+/// Widel [5].
+
+#include <iostream>
+
+#include "adt/transform.hpp"
+#include "bench_common.hpp"
+#include "core/bdd_bu.hpp"
+#include "core/bottom_up.hpp"
+#include "core/budget.hpp"
+#include "core/naive.hpp"
+#include "gen/catalog.hpp"
+#include "util/table.hpp"
+
+using namespace adtp;
+
+namespace {
+
+void print_model(const AugmentedAdt& dag) {
+  bench::banner("Fig. 7 model (DAG: Phishing is shared)");
+  std::cout << dag.adt().to_text();
+  const AdtStats stats = dag.adt().stats();
+  std::cout << "\nnodes: " << stats.nodes << "  BAS: " << stats.attack_steps
+            << "  BDS: " << stats.defense_steps
+            << "  shared nodes: " << stats.shared_nodes << "\n";
+}
+
+void print_per_node_fronts(const AugmentedAdt& tree) {
+  bench::banner(
+      "per-node Bottom-Up fronts on the unfolded tree (Fig. 7's red "
+      "values)");
+  const auto fronts = bottom_up_all_fronts(tree);
+  TextTable table({"node", "front"});
+  for (NodeId v : tree.adt().topological_order()) {
+    table.add_row({tree.adt().name(v), fronts[v].to_string()});
+  }
+  std::cout << table.to_text();
+}
+
+void print_strategies(const AugmentedAdt& aadt, const WitnessFront& front,
+                      const char* label) {
+  std::cout << "\n" << label << " optimal strategies:\n";
+  const Adt& adt = aadt.adt();
+  for (const auto& p : front.points()) {
+    std::cout << "  (" << format_value(p.def) << ", " << format_value(p.att)
+              << "): defend {";
+    bool first = true;
+    for (std::size_t i : p.defense.set_bits()) {
+      std::cout << (first ? "" : ", ")
+                << adt.name(adt.defense_steps()[i]);
+      first = false;
+    }
+    if (aadt.attacker_domain().equivalent(p.att,
+                                          aadt.attacker_domain().zero())) {
+      std::cout << "} -> no successful attack exists\n";
+      continue;
+    }
+    std::cout << "} -> attacker plays {";
+    first = true;
+    for (std::size_t i : p.attack.set_bits()) {
+      std::cout << (first ? "" : ", ") << adt.name(adt.attack_steps()[i]);
+      first = false;
+    }
+    std::cout << "}\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const AugmentedAdt tree = unfold_to_tree(dag);
+
+  print_model(dag);
+  print_per_node_fronts(tree);
+
+  bench::banner("final Pareto fronts");
+  Front tree_front;
+  const double t_bu = bench::time_call(
+      [&] { tree_front = bottom_up_front(tree); });
+  const BddBuReport report = bdd_bu_analyze(dag);
+
+  TextTable table({"analysis", "front", "time", "paper"});
+  table.add_row({"Bottom-Up on unfolded tree", tree_front.to_string(),
+                 format_seconds(t_bu), "{(0,90),(30,150),(50,165)}"});
+  table.add_row({"BDDBU on the DAG", report.front.to_string(),
+                 format_seconds(report.build_seconds +
+                                report.propagate_seconds),
+                 "{(0,80),(20,90),(50,140)}"});
+  std::cout << table.to_text();
+  std::cout << "\nBDD size |W| = " << report.bdd_size
+            << ", max intermediate front p = " << report.max_front_size
+            << "\n";
+
+  print_strategies(tree, bottom_up_front_witness(tree), "tree-semantics");
+  print_strategies(dag, bdd_bu_front_witness(dag), "set-semantics (DAG)");
+
+  bench::banner("comparison with Kordy & Widel [5] (defender budget = inf)");
+  std::cout << "tree semantics: minimal unpreventable attack cost = "
+            << format_value(unlimited_defender_value(tree_front))
+            << " (paper & [5]: 165)\n";
+  std::cout << "set semantics:  minimal unpreventable attack cost = "
+            << format_value(unlimited_defender_value(report.front))
+            << " (paper & [5]: 140)\n";
+  std::cout << "Existing work reports only these single values; the Pareto "
+               "front above shows the full budget/security trade-off.\n";
+  std::cout << "Note: the BDS 'strong_pwd' appears in no Pareto-optimal "
+               "point - money spent on it is wasted.\n";
+
+  std::cout << "\n[fig7_case_study] done\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+/// Google-benchmark micro suite: the primitives that dominate the
+/// figure-level results (BDD construction, Pareto-front operations,
+/// structure-function evaluation) plus end-to-end runs of the three
+/// algorithms on the case study and on random models.
+
+#include <benchmark/benchmark.h>
+
+#include "adt/structure.hpp"
+#include "bdd/build.hpp"
+#include "core/analyzer.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "util/rng.hpp"
+
+using namespace adtp;
+
+namespace {
+
+AugmentedAdt random_tree(std::size_t nodes, std::uint64_t seed) {
+  RandomAdtOptions options;
+  options.target_nodes = nodes;
+  options.share_probability = 0.0;
+  return generate_random_aadt(options, seed, Semiring::min_cost(),
+                              Semiring::min_cost());
+}
+
+AugmentedAdt random_dag(std::size_t nodes, std::uint64_t seed) {
+  RandomAdtOptions options;
+  options.target_nodes = nodes;
+  options.share_probability = 0.2;
+  options.max_defenses = 14;
+  return generate_random_aadt(options, seed, Semiring::min_cost(),
+                              Semiring::min_cost());
+}
+
+void BM_StructureEval(benchmark::State& state) {
+  const AugmentedAdt aadt = random_dag(state.range(0), 7);
+  StructureEvaluator eval(aadt.adt());
+  Rng rng(3);
+  BitVec defense(aadt.adt().num_defenses());
+  BitVec attack(aadt.adt().num_attacks());
+  for (std::size_t i = 0; i < attack.size(); ++i) {
+    if (rng.chance(0.5)) attack.set(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.root_value(defense, attack));
+  }
+}
+BENCHMARK(BM_StructureEval)->Arg(50)->Arg(150)->Arg(325);
+
+void BM_BddBuild(benchmark::State& state) {
+  const AugmentedAdt aadt = random_dag(state.range(0), 11);
+  const auto order = bdd::VarOrder::defense_first(aadt.adt());
+  for (auto _ : state) {
+    bdd::Manager manager(order.num_vars());
+    benchmark::DoNotOptimize(
+        bdd::build_structure_function(manager, aadt.adt(), order));
+  }
+}
+BENCHMARK(BM_BddBuild)->Arg(50)->Arg(150)->Arg(325);
+
+void BM_ParetoMinimize(benchmark::State& state) {
+  const Semiring cost = Semiring::min_cost();
+  Rng rng(5);
+  std::vector<ValuePoint> points;
+  for (int i = 0; i < state.range(0); ++i) {
+    points.push_back(ValuePoint{double(rng.below(1000)),
+                                double(rng.below(1000))});
+  }
+  for (auto _ : state) {
+    auto copy = points;
+    benchmark::DoNotOptimize(
+        Front::minimized(std::move(copy), cost, cost));
+  }
+}
+BENCHMARK(BM_ParetoMinimize)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_CombineFronts(benchmark::State& state) {
+  const Semiring cost = Semiring::min_cost();
+  Rng rng(9);
+  std::vector<ValuePoint> pts;
+  for (int i = 0; i < state.range(0); ++i) {
+    // A staircase (both coordinates strictly increasing) so nothing is
+    // pruned: the worst case for combine.
+    pts.push_back(ValuePoint{double(i), double(i)});
+  }
+  const Front front = Front::minimized(pts, cost, cost);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        combine_fronts(front, front, AttackOp::Choose, cost, cost));
+  }
+}
+BENCHMARK(BM_CombineFronts)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_BottomUpMoneyTheft(benchmark::State& state) {
+  const AugmentedAdt tree = catalog::money_theft_tree();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottom_up_front(tree));
+  }
+}
+BENCHMARK(BM_BottomUpMoneyTheft);
+
+void BM_BddBuMoneyTheft(benchmark::State& state) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd_bu_front(dag));
+  }
+}
+BENCHMARK(BM_BddBuMoneyTheft);
+
+void BM_NaiveMoneyTheft(benchmark::State& state) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_front(dag));
+  }
+}
+BENCHMARK(BM_NaiveMoneyTheft);
+
+void BM_BottomUpRandomTree(benchmark::State& state) {
+  const AugmentedAdt tree = random_tree(state.range(0), 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottom_up_front(tree));
+  }
+}
+BENCHMARK(BM_BottomUpRandomTree)->Arg(50)->Arg(150)->Arg(325);
+
+void BM_BddBuRandomDag(benchmark::State& state) {
+  const AugmentedAdt dag = random_dag(state.range(0), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd_bu_front(dag));
+  }
+}
+BENCHMARK(BM_BddBuRandomDag)->Arg(50)->Arg(100)->Arg(150);
+
+void BM_GenerateRandomAdt(benchmark::State& state) {
+  RandomAdtOptions options;
+  options.target_nodes = state.range(0);
+  options.share_probability = 0.2;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_random_adt(options, seed++));
+  }
+}
+BENCHMARK(BM_GenerateRandomAdt)->Arg(50)->Arg(325);
+
+void BM_Fig4BottomUp(benchmark::State& state) {
+  const AugmentedAdt fig4 =
+      catalog::fig4_exponential(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottom_up_front(fig4));
+  }
+}
+BENCHMARK(BM_Fig4BottomUp)->Arg(4)->Arg(8)->Arg(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

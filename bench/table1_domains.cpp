@@ -1,0 +1,98 @@
+/// Reproduces Table I: the semiring attribute domains.
+///
+/// Prints the table (with the probability row corrected from the
+/// Definition 4 axioms, see DESIGN.md), machine-checks every axiom per
+/// domain via randomized probing, and micro-times the semiring operations
+/// that dominate the analysis inner loops.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/semiring.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace adtp;
+
+namespace {
+
+void print_table1() {
+  bench::banner("Table I: semiring attribute domains");
+  TextTable table({"Metric", "V", "oplus", "tensor", "1_oplus", "1_tensor",
+                   "order"});
+  table.add_row({"min cost", "[0,inf]", "min", "+", "inf", "0", "<="});
+  table.add_row(
+      {"min time (sequential)", "[0,inf]", "min", "+", "inf", "0", "<="});
+  table.add_row(
+      {"min time (parallel)", "[0,inf]", "min", "max", "inf", "0", "<="});
+  table.add_row({"min skill", "[0,inf]", "min", "max", "inf", "0", "<="});
+  table.add_row({"probability", "[0,1]", "max", "*", "0", "1", ">="});
+  std::cout << table.to_text();
+}
+
+void check_axioms() {
+  bench::banner("Definition 4 axiom check (randomized, 2000 samples each)");
+  TextTable table({"domain", "commut.", "assoc.", "monotone", "unit",
+                   "1t minimal", "1o maximal", "total order", "ALL"});
+  for (SemiringKind kind :
+       {SemiringKind::MinCost, SemiringKind::MinTimeSeq,
+        SemiringKind::MinTimePar, SemiringKind::MinSkill,
+        SemiringKind::Probability}) {
+    const Semiring s{kind};
+    const auto r = s.check_axioms(/*seed=*/2025, /*samples=*/2000);
+    auto yn = [](bool b) { return std::string(b ? "yes" : "NO"); };
+    table.add_row({s.name(), yn(r.commutative), yn(r.associative),
+                   yn(r.monotone), yn(r.one_is_unit), yn(r.one_minimal),
+                   yn(r.zero_maximal), yn(r.order_total), yn(r.all_hold())});
+  }
+  std::cout << table.to_text();
+}
+
+void time_operations() {
+  bench::banner("operation micro-timings (1e7 ops, ns/op)");
+  TextTable table({"domain", "combine", "choose", "prefer"});
+  Rng rng(7);
+  std::vector<double> xs(1024);
+  constexpr int kOps = 10'000'000;
+  for (SemiringKind kind :
+       {SemiringKind::MinCost, SemiringKind::MinTimePar,
+        SemiringKind::Probability}) {
+    const Semiring s{kind};
+    for (auto& x : xs) {
+      x = kind == SemiringKind::Probability ? rng.uniform()
+                                            : double(rng.below(1000));
+    }
+    volatile double sink = 0;
+    const double t_combine = bench::time_call([&] {
+      double acc = s.one();
+      for (int i = 0; i < kOps; ++i) acc = s.combine(acc, xs[i & 1023]);
+      sink = acc;
+    });
+    const double t_choose = bench::time_call([&] {
+      double acc = s.zero();
+      for (int i = 0; i < kOps; ++i) acc = s.choose(acc, xs[i & 1023]);
+      sink = acc;
+    });
+    const double t_prefer = bench::time_call([&] {
+      long count = 0;
+      for (int i = 0; i < kOps; ++i) {
+        count += s.prefer(xs[i & 1023], xs[(i + 1) & 1023]);
+      }
+      sink = double(count);
+    });
+    (void)sink;
+    auto ns = [&](double t) { return format_value(t / kOps * 1e9, 2); };
+    table.add_row({s.name(), ns(t_combine), ns(t_choose), ns(t_prefer)});
+  }
+  std::cout << table.to_text();
+}
+
+}  // namespace
+
+int main() {
+  print_table1();
+  check_axioms();
+  time_operations();
+  std::cout << "\n[table1_domains] done\n";
+  return 0;
+}

@@ -1,0 +1,247 @@
+/// adt_cli: a small command-line front end for the library's formats.
+///
+/// Usage:
+///   adt_cli analyze FILE [--algorithm auto|naive|bu|bdd|hybrid]
+///                        [--order dfs|bfs|index|random] [--witness]
+///                        [--json]
+///   adt_cli cutsets FILE        # minimal attack sets (undefended)
+///   adt_cli dot FILE            # Graphviz of the model, to stdout
+///   adt_cli bdd-dot FILE        # Graphviz of its ROBDD, to stdout
+///   adt_cli stats FILE          # node/shape statistics
+///   adt_cli sample              # print a sample .adt file (Fig. 5)
+///
+/// FILE may be the library's text format (src/adt/text_format.hpp) or an
+/// ADTool XML export (*.xml; values from its first parameter domain,
+/// min-cost semantics assumed).
+
+#include <iostream>
+#include <string>
+
+#include "adt/adtool_xml.hpp"
+#include "adt/dot.hpp"
+#include "adt/text_format.hpp"
+#include "bdd/build.hpp"
+#include "bdd/dot.hpp"
+#include "core/analyzer.hpp"
+#include "core/response.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace adtp;
+
+namespace {
+
+/// Loads either format by extension.
+ParsedModel load_model(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".xml") {
+    AdtoolImport import = load_adtool_file(path);
+    ParsedModel model;
+    model.adt = std::move(import.adt);
+    model.attribution = std::move(import.attribution);
+    return model;
+  }
+  return load_adt_file(path);
+}
+
+constexpr const char* kSample = R"(# Sample model: Fig. 5 of the paper.
+# <name> = attack <cost> | defense <cost> | AND/OR [A|D] (children) |
+#          INH (inhibited | trigger)
+domains mincost mincost
+a1 = attack 5
+d1 = defense 4
+i1 = INH (a1 | d1)
+a2 = attack 10
+d2 = defense 8
+i2 = INH (a2 | d2)
+top = OR A (i1, i2)
+root top
+)";
+
+int usage() {
+  std::cerr << "usage: adt_cli analyze FILE [--algorithm "
+               "auto|naive|bu|bdd|hybrid] [--order dfs|bfs|index|random] "
+               "[--witness] [--json]\n"
+               "       adt_cli cutsets FILE | dot FILE | bdd-dot FILE | "
+               "stats FILE | sample\n"
+               "FILE: .adt text format, or an ADTool .xml export\n";
+  return 2;
+}
+
+std::string option(int argc, char** argv, const std::string& name,
+                   const std::string& fallback) {
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (argv[i] == name) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  for (int i = 3; i < argc; ++i) {
+    if (argv[i] == name) return true;
+  }
+  return false;
+}
+
+int analyze_command(int argc, char** argv) {
+  const ParsedModel model = load_model(argv[2]);
+  const AugmentedAdt aadt = model.augmented();
+
+  AnalysisOptions options;
+  const std::string algorithm = option(argc, argv, "--algorithm", "auto");
+  if (algorithm == "auto") {
+    options.algorithm = Algorithm::Auto;
+  } else if (algorithm == "naive") {
+    options.algorithm = Algorithm::Naive;
+  } else if (algorithm == "bu") {
+    options.algorithm = Algorithm::BottomUp;
+  } else if (algorithm == "bdd") {
+    options.algorithm = Algorithm::BddBu;
+  } else if (algorithm == "hybrid") {
+    options.algorithm = Algorithm::Hybrid;
+  } else {
+    return usage();
+  }
+  const std::string order = option(argc, argv, "--order", "dfs");
+  if (order == "dfs") {
+    options.bdd.order_heuristic = bdd::OrderHeuristic::Dfs;
+  } else if (order == "bfs") {
+    options.bdd.order_heuristic = bdd::OrderHeuristic::Bfs;
+  } else if (order == "index") {
+    options.bdd.order_heuristic = bdd::OrderHeuristic::Index;
+  } else if (order == "random") {
+    options.bdd.order_heuristic = bdd::OrderHeuristic::Random;
+  } else {
+    return usage();
+  }
+
+  const AnalysisResult result = analyze(aadt, options);
+
+  if (has_flag(argc, argv, "--json")) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("file").value(std::string(argv[2]));
+    json.key("nodes").value(aadt.adt().size());
+    json.key("attacks").value(aadt.adt().num_attacks());
+    json.key("defenses").value(aadt.adt().num_defenses());
+    json.key("shape").value(aadt.adt().is_tree() ? "tree" : "dag");
+    json.key("defender_domain").value(aadt.defender_domain().name());
+    json.key("attacker_domain").value(aadt.attacker_domain().name());
+    json.key("algorithm").value(std::string(to_string(result.used)));
+    json.key("seconds").value(result.seconds);
+    json.key("front").begin_array();
+    for (const auto& p : result.front.points()) {
+      json.begin_array().value(p.def).value(p.att).end_array();
+    }
+    json.end_array();
+    json.end_object();
+    std::cout << json.str() << "\n";
+    return 0;
+  }
+
+  std::cout << "domains: defender = " << aadt.defender_domain().name()
+            << ", attacker = " << aadt.attacker_domain().name() << "\n";
+  std::cout << "algorithm: " << to_string(result.used) << " ("
+            << format_seconds(result.seconds) << ")\n";
+  std::cout << "pareto front: " << result.front.to_string() << "\n";
+
+  if (has_flag(argc, argv, "--witness")) {
+    const WitnessFront witnesses =
+        aadt.adt().is_tree() && result.used == Algorithm::BottomUp
+            ? bottom_up_front_witness(aadt)
+            : bdd_bu_front_witness(aadt, options.bdd);
+    std::cout << "strategies:\n";
+    const Adt& adt = aadt.adt();
+    for (const auto& p : witnesses.points()) {
+      std::cout << "  (" << format_value(p.def) << ", "
+                << format_value(p.att) << "): defenses {";
+      bool first = true;
+      for (std::size_t i : p.defense.set_bits()) {
+        std::cout << (first ? "" : ", ") << adt.name(adt.defense_steps()[i]);
+        first = false;
+      }
+      if (aadt.attacker_domain().equivalent(p.att,
+                                            aadt.attacker_domain().zero())) {
+        std::cout << "}, no successful attack exists\n";
+        continue;
+      }
+      std::cout << "}, attack {";
+      first = true;
+      for (std::size_t i : p.attack.set_bits()) {
+        std::cout << (first ? "" : ", ") << adt.name(adt.attack_steps()[i]);
+        first = false;
+      }
+      std::cout << "}\n";
+    }
+  }
+  return 0;
+}
+
+int cutsets_command(const char* path) {
+  const AugmentedAdt aadt = load_model(path).augmented();
+  const Adt& adt = aadt.adt();
+  const auto sets =
+      Responder(aadt).minimal_attacks(BitVec(adt.num_defenses()));
+  std::cout << sets.size()
+            << " minimal attack set(s) with no defenses deployed:\n";
+  for (const BitVec& s : sets) {
+    std::cout << "  value " << format_value(aadt.attack_vector_value(s))
+              << ": {";
+    bool first = true;
+    for (std::size_t i : s.set_bits()) {
+      std::cout << (first ? "" : ", ") << adt.name(adt.attack_steps()[i]);
+      first = false;
+    }
+    std::cout << "}\n";
+  }
+  return 0;
+}
+
+int stats_command(const char* path) {
+  const ParsedModel model = load_model(path);
+  const AdtStats stats = model.adt.stats();
+  TextTable table({"metric", "value"});
+  table.add_row({"nodes", std::to_string(stats.nodes)});
+  table.add_row({"basic attack steps", std::to_string(stats.attack_steps)});
+  table.add_row({"basic defense steps",
+                 std::to_string(stats.defense_steps)});
+  table.add_row({"AND gates", std::to_string(stats.and_gates)});
+  table.add_row({"OR gates", std::to_string(stats.or_gates)});
+  table.add_row({"INH gates", std::to_string(stats.inh_gates)});
+  table.add_row({"shared nodes", std::to_string(stats.shared_nodes)});
+  table.add_row({"shape", stats.tree_shaped ? "tree" : "dag"});
+  std::cout << table.to_text();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "sample") {
+    std::cout << kSample;
+    return 0;
+  }
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "analyze") return analyze_command(argc, argv);
+    if (command == "stats") return stats_command(argv[2]);
+    if (command == "cutsets") return cutsets_command(argv[2]);
+    if (command == "dot") {
+      std::cout << to_dot(load_model(argv[2]).augmented());
+      return 0;
+    }
+    if (command == "bdd-dot") {
+      const AugmentedAdt aadt = load_model(argv[2]).augmented();
+      const auto order = bdd::VarOrder::defense_first(aadt.adt());
+      bdd::Manager manager(order.num_vars());
+      const bdd::Ref root =
+          bdd::build_structure_function(manager, aadt.adt(), order);
+      std::cout << bdd::to_dot(manager, root, aadt.adt(), order);
+      return 0;
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,97 @@
+/// The paper's Section VI-A case study, end to end: the money-theft ADT
+/// of Kordy & Widel, analyzed under both tree semantics (Bottom-Up on the
+/// unfolded tree) and set semantics (BDDBU on the DAG), with optimal
+/// strategies and the defender-budget narrative. Optionally writes
+/// Graphviz DOT files for the model and its ROBDD.
+///
+/// Usage: money_theft [--dot-dir DIR]
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "adt/dot.hpp"
+#include "adt/transform.hpp"
+#include "bdd/build.hpp"
+#include "bdd/dot.hpp"
+#include "core/analyzer.hpp"
+#include "core/budget.hpp"
+#include "gen/catalog.hpp"
+#include "util/table.hpp"
+
+using namespace adtp;
+
+namespace {
+
+void describe_point(const AugmentedAdt& aadt, const WitnessPoint& p) {
+  const Adt& adt = aadt.adt();
+  std::cout << "  defender spends " << format_value(p.def) << " on {";
+  bool first = true;
+  for (std::size_t i : p.defense.set_bits()) {
+    std::cout << (first ? "" : ", ") << adt.name(adt.defense_steps()[i]);
+    first = false;
+  }
+  if (aadt.attacker_domain().equivalent(p.att,
+                                        aadt.attacker_domain().zero())) {
+    std::cout << "}; no successful attack exists\n";
+    return;
+  }
+  std::cout << (first ? "nothing" : "") << "}; best attack costs "
+            << format_value(p.att) << ": {";
+  first = true;
+  for (std::size_t i : p.attack.set_bits()) {
+    std::cout << (first ? "" : ", ") << adt.name(adt.attack_steps()[i]);
+    first = false;
+  }
+  std::cout << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const AugmentedAdt tree = unfold_to_tree(dag);
+
+  std::cout << "Money theft ADT (" << dag.adt().size()
+            << " nodes; Phishing is shared between user name and "
+               "password):\n\n"
+            << dag.adt().to_text() << "\n";
+
+  // --- set semantics: analyze the DAG directly with BDDBU --------------
+  std::cout << "=== set semantics (BDDBU on the DAG) ===\n";
+  const WitnessFront dag_front = bdd_bu_front_witness(dag);
+  for (const auto& p : dag_front.points()) describe_point(dag, p);
+
+  // --- tree semantics: the paper's manual unfolding ---------------------
+  std::cout << "\n=== tree semantics (Bottom-Up on the unfolded tree; "
+               "Phishing paid once per copy) ===\n";
+  const WitnessFront tree_front = bottom_up_front_witness(tree);
+  for (const auto& p : tree_front.points()) describe_point(tree, p);
+
+  // --- the paper's narrative -------------------------------------------
+  std::cout << "\nNarrative (tree semantics): with no budget the attacker "
+               "steals via the ATM (90). Cover keypad (30) pushes them to "
+               "online banking (150); adding SMS authentication (total 50) "
+               "sends them back to the ATM with a camera (165). Strong "
+               "password appears in no optimal point: that money is "
+               "wasted.\n";
+
+  std::cout << "\nKordy & Widel [5] report only the unlimited-budget "
+               "values: 165 (tree) / 140 (set); the fronts above show the "
+               "whole trade-off curve.\n";
+
+  // --- optional DOT export ----------------------------------------------
+  if (int i = 1; argc >= 3 && std::string(argv[i]) == "--dot-dir") {
+    const std::string dir = argv[i + 1];
+    std::ofstream(dir + "/money_theft.dot") << to_dot(dag);
+    const auto order = bdd::VarOrder::defense_first(dag.adt());
+    bdd::Manager manager(order.num_vars());
+    const bdd::Ref root =
+        bdd::build_structure_function(manager, dag.adt(), order);
+    std::ofstream(dir + "/money_theft_robdd.dot")
+        << bdd::to_dot(manager, root, dag.adt(), order);
+    std::cout << "\nwrote " << dir << "/money_theft.dot and "
+              << dir << "/money_theft_robdd.dot\n";
+  }
+  return 0;
+}

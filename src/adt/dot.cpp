@@ -1,0 +1,69 @@
+#include "adt/dot.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace adtp {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+std::string render(const Adt& adt, const AugmentedAdt* aadt) {
+  std::ostringstream out;
+  out << "digraph adt {\n";
+  out << "  rankdir=TB;\n";
+  out << "  node [fontname=\"Helvetica\"];\n";
+
+  for (NodeId v = 0; v < adt.size(); ++v) {
+    const Node& n = adt.node(v);
+    std::string label = escape(n.name);
+    if (n.type != GateType::BasicStep) {
+      label += std::string("\\n") + to_string(n.type);
+    } else if (aadt != nullptr) {
+      label += "\\n" + format_value(aadt->value_of(v));
+    }
+    const bool attacker = n.agent == Agent::Attacker;
+    out << "  n" << v << " [label=\"" << label << "\", shape="
+        << (n.type == GateType::BasicStep ? (attacker ? "box" : "ellipse")
+                                          : (attacker ? "box" : "ellipse"))
+        << ", style=filled, fillcolor=\""
+        << (attacker ? "#f4cccc" : "#d9ead3") << "\"];\n";
+  }
+
+  for (NodeId v = 0; v < adt.size(); ++v) {
+    const Node& n = adt.node(v);
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+      out << "  n" << v << " -> n" << n.children[i];
+      if (n.type == GateType::Inhibit && i == 1) {
+        // The paper marks the edge to the inhibitor with a small circle.
+        out << " [arrowhead=odot, style=dashed]";
+      }
+      out << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_dot(const Adt& adt) {
+  adt.require_frozen();
+  return render(adt, nullptr);
+}
+
+std::string to_dot(const AugmentedAdt& aadt) {
+  return render(aadt.adt(), &aadt);
+}
+
+}  // namespace adtp

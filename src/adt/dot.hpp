@@ -1,0 +1,25 @@
+/// \file dot.hpp
+/// \brief Graphviz DOT export of ADTs (the paper's figure style).
+///
+/// Attack nodes render as red boxes, defense nodes as green ellipses;
+/// INH trigger edges carry the small-circle marker (odot arrowhead) used
+/// in the paper's figures. Attribute values, when provided, are inscribed
+/// into the leaf labels.
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "adt/adt.hpp"
+#include "core/attribution.hpp"
+
+namespace adtp {
+
+/// Renders \p adt as a DOT digraph.
+[[nodiscard]] std::string to_dot(const Adt& adt);
+
+/// Renders an augmented ADT; leaf labels include their beta values.
+[[nodiscard]] std::string to_dot(const AugmentedAdt& aadt);
+
+}  // namespace adtp

@@ -1,0 +1,42 @@
+#include "adt/modules.hpp"
+
+namespace adtp {
+
+ModuleInfo compute_modules(const Adt& adt) {
+  adt.require_frozen();
+  const std::size_t n = adt.size();
+
+  ModuleInfo info;
+  info.descendants.assign(n, BitVec(n));
+  info.is_module.assign(n, 0);
+
+  // Descendant sets, children-first (ascending id is topological).
+  for (NodeId v : adt.topological_order()) {
+    BitVec& desc = info.descendants[v];
+    desc.set(v);
+    for (NodeId c : adt.children(v)) {
+      desc |= info.descendants[c];
+    }
+  }
+
+  // v is a module iff all parents of every strict descendant stay inside
+  // v's descendant set.
+  for (NodeId v = 0; v < n; ++v) {
+    const BitVec& desc = info.descendants[v];
+    bool is_module = true;
+    for (std::size_t w : desc.set_bits()) {
+      if (w == v) continue;
+      for (NodeId parent : adt.parents(static_cast<NodeId>(w))) {
+        if (!desc.test(parent)) {
+          is_module = false;
+          break;
+        }
+      }
+      if (!is_module) break;
+    }
+    info.is_module[v] = is_module ? 1 : 0;
+  }
+  return info;
+}
+
+}  // namespace adtp

@@ -1,0 +1,42 @@
+/// \file modules.hpp
+/// \brief Module (independent-subgraph) detection for ADT DAGs.
+///
+/// A node v is a *module root* when every path from the ADT root into the
+/// strict descendants of v passes through v - equivalently, every strict
+/// descendant's parents all lie inside v's descendant set. Modules behave
+/// like black boxes: their basic steps are disjoint from the rest of the
+/// model, so their Pareto front composes with siblings exactly like a
+/// tree child's (the paper's future-work item on modular decomposition;
+/// used by the hybrid analyzer in core/hybrid.hpp).
+
+#pragma once
+
+#include <vector>
+
+#include "adt/adt.hpp"
+#include "util/bitvec.hpp"
+
+namespace adtp {
+
+/// Per-node module information.
+struct ModuleInfo {
+  /// descendants[v] over NodeIds: v itself plus everything reachable.
+  std::vector<BitVec> descendants;
+
+  /// is_module[v]: v is a module root (the ADT root always is).
+  std::vector<char> is_module;
+
+  /// Number of module roots (for reporting).
+  [[nodiscard]] std::size_t module_count() const {
+    std::size_t n = 0;
+    for (char m : is_module) n += (m != 0);
+    return n;
+  }
+};
+
+/// Computes descendant sets and the module predicate for every node.
+/// O(N^2 / 64 + E) time and O(N^2 / 64) space; fine for the few-hundred-
+/// node ADTs of the paper's experiments.
+[[nodiscard]] ModuleInfo compute_modules(const Adt& adt);
+
+}  // namespace adtp

@@ -1,0 +1,66 @@
+/// \file node.hpp
+/// \brief Node-level vocabulary of the attack-defense tree model (Def. 1).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adtp {
+
+/// Identifier of a node inside one Adt; dense, 0-based.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/// Gate type gamma(v) of Definition 1.
+///
+/// - BasicStep: a leaf; a basic attack step (BAS) when owned by the
+///   attacker, a basic defense step (BDS) when owned by the defender.
+/// - And / Or: classical gates; all children share the gate's agent.
+/// - Inhibit: the INH gate; propagates its *inhibited* child unless its
+///   *trigger* child (owned by the opposite agent) is active:
+///   f(INH) = f(inhibited) AND NOT f(trigger).
+enum class GateType : std::uint8_t { BasicStep, And, Or, Inhibit };
+
+/// Agent tau(v) of Definition 1: who owns (and can activate) the node.
+enum class Agent : std::uint8_t { Attacker, Defender };
+
+/// The opposite agent.
+[[nodiscard]] constexpr Agent opponent(Agent a) noexcept {
+  return a == Agent::Attacker ? Agent::Defender : Agent::Attacker;
+}
+
+[[nodiscard]] constexpr const char* to_string(GateType g) noexcept {
+  switch (g) {
+    case GateType::BasicStep:
+      return "BS";
+    case GateType::And:
+      return "AND";
+    case GateType::Or:
+      return "OR";
+    case GateType::Inhibit:
+      return "INH";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(Agent a) noexcept {
+  return a == Agent::Attacker ? "A" : "D";
+}
+
+/// One node of an ADT.
+///
+/// For Inhibit gates the children are stored in a fixed order:
+/// children[0] is the inhibited child theta(v) (same agent as the gate) and
+/// children[1] is the trigger child theta-bar(v) (opposite agent).
+struct Node {
+  GateType type = GateType::BasicStep;
+  Agent agent = Agent::Attacker;
+  std::string name;
+  std::vector<NodeId> children;
+};
+
+}  // namespace adtp

@@ -1,0 +1,96 @@
+#include "adt/structure.hpp"
+
+namespace adtp {
+
+namespace {
+
+void check_vectors(const Adt& adt, const BitVec& defense,
+                   const BitVec& attack) {
+  if (defense.size() != adt.num_defenses()) {
+    throw ModelError("structure function: defense vector size " +
+                     std::to_string(defense.size()) + " != |D| = " +
+                     std::to_string(adt.num_defenses()));
+  }
+  if (attack.size() != adt.num_attacks()) {
+    throw ModelError("structure function: attack vector size " +
+                     std::to_string(attack.size()) + " != |A| = " +
+                     std::to_string(adt.num_attacks()));
+  }
+}
+
+void evaluate_into(const Adt& adt, const BitVec& defense, const BitVec& attack,
+                   std::vector<char>& values) {
+  values.assign(adt.size(), 0);
+  // Definition 3, computed in one pass; ascending id is topological.
+  for (NodeId v : adt.topological_order()) {
+    const Node& n = adt.node(v);
+    char value = 0;
+    switch (n.type) {
+      case GateType::BasicStep:
+        value = n.agent == Agent::Attacker
+                    ? attack.test(adt.attack_index(v))
+                    : defense.test(adt.defense_index(v));
+        break;
+      case GateType::And: {
+        value = 1;
+        for (NodeId c : n.children) value = static_cast<char>(value & values[c]);
+        break;
+      }
+      case GateType::Or: {
+        value = 0;
+        for (NodeId c : n.children) value = static_cast<char>(value | values[c]);
+        break;
+      }
+      case GateType::Inhibit:
+        value = static_cast<char>(values[n.children[0]] &&
+                                  !values[n.children[1]]);
+        break;
+    }
+    values[v] = value;
+  }
+}
+
+}  // namespace
+
+std::vector<char> evaluate_all(const Adt& adt, const BitVec& defense,
+                               const BitVec& attack) {
+  check_vectors(adt, defense, attack);
+  std::vector<char> values;
+  evaluate_into(adt, defense, attack, values);
+  return values;
+}
+
+bool evaluate(const Adt& adt, const BitVec& defense, const BitVec& attack,
+              NodeId v) {
+  return evaluate_all(adt, defense, attack).at(v) != 0;
+}
+
+bool evaluate_root(const Adt& adt, const BitVec& defense,
+                   const BitVec& attack) {
+  return evaluate(adt, defense, attack, adt.root());
+}
+
+bool attack_succeeds(const Adt& adt, const BitVec& defense,
+                     const BitVec& attack) {
+  const bool value = evaluate_root(adt, defense, attack);
+  return adt.agent(adt.root()) == Agent::Attacker ? value : !value;
+}
+
+StructureEvaluator::StructureEvaluator(const Adt& adt) : adt_(&adt) {
+  adt_->require_frozen();
+}
+
+bool StructureEvaluator::root_value(const BitVec& defense,
+                                    const BitVec& attack) {
+  check_vectors(*adt_, defense, attack);
+  evaluate_into(*adt_, defense, attack, values_);
+  return values_[adt_->root()] != 0;
+}
+
+bool StructureEvaluator::attack_succeeds(const BitVec& defense,
+                                         const BitVec& attack) {
+  const bool value = root_value(defense, attack);
+  return adt_->agent(adt_->root()) == Agent::Attacker ? value : !value;
+}
+
+}  // namespace adtp

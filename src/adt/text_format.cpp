@@ -1,0 +1,307 @@
+#include "adt/text_format.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace adtp {
+
+namespace {
+
+/// A minimal tokenizer for one statement line.
+class LineLexer {
+ public:
+  LineLexer(std::string_view line, std::size_t line_no)
+      : line_(line), line_no_(line_no) {}
+
+  /// Next token; punctuation characters are single-char tokens; returns
+  /// empty at end of line.
+  std::string next() {
+    skip_space();
+    if (pos_ >= line_.size()) return {};
+    const char ch = line_[pos_];
+    if (ch == '(' || ch == ')' || ch == ',' || ch == '|' || ch == '=') {
+      ++pos_;
+      return std::string(1, ch);
+    }
+    if (ch == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < line_.size() && line_[pos_] != '"') {
+        out += line_[pos_++];
+      }
+      if (pos_ >= line_.size()) {
+        throw ParseError(line_no_, "unterminated quoted name");
+      }
+      ++pos_;  // closing quote
+      if (out.empty()) throw ParseError(line_no_, "empty quoted name");
+      return out;
+    }
+    std::string out;
+    while (pos_ < line_.size() && is_word(line_[pos_])) {
+      out += line_[pos_++];
+    }
+    if (out.empty()) {
+      throw ParseError(line_no_, std::string("unexpected character '") + ch +
+                                     "'");
+    }
+    return out;
+  }
+
+  std::string expect(std::string_view what) {
+    std::string tok = next();
+    if (tok.empty()) {
+      throw ParseError(line_no_, "expected " + std::string(what) +
+                                     " but the line ended");
+    }
+    return tok;
+  }
+
+  void expect_literal(std::string_view lit) {
+    const std::string tok = expect("'" + std::string(lit) + "'");
+    if (tok != lit) {
+      throw ParseError(line_no_, "expected '" + std::string(lit) +
+                                     "', got '" + tok + "'");
+    }
+  }
+
+  void expect_end() {
+    const std::string tok = next();
+    if (!tok.empty()) {
+      throw ParseError(line_no_, "unexpected trailing token '" + tok + "'");
+    }
+  }
+
+  [[nodiscard]] std::size_t line_no() const noexcept { return line_no_; }
+
+ private:
+  static bool is_word(char ch) {
+    return std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_' ||
+           ch == '@' || ch == '.' || ch == '-' || ch == '+';
+  }
+  void skip_space() {
+    while (pos_ < line_.size() &&
+           std::isspace(static_cast<unsigned char>(line_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  std::string_view line_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+double parse_value(const std::string& token, std::size_t line_no) {
+  if (token == "inf") return std::numeric_limits<double>::infinity();
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(token, &used);
+    if (used != token.size()) throw std::invalid_argument(token);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError(line_no, "invalid numeric value '" + token + "'");
+  }
+}
+
+NodeId resolve(const Adt& adt, const std::string& name, std::size_t line_no) {
+  const auto id = adt.find(name);
+  if (!id) {
+    throw ParseError(line_no, "unknown node '" + name +
+                                  "' (nodes must be defined before use)");
+  }
+  return *id;
+}
+
+std::optional<Agent> parse_agent_token(const std::string& tok) {
+  if (tok == "A" || tok == "a") return Agent::Attacker;
+  if (tok == "D" || tok == "d") return Agent::Defender;
+  return std::nullopt;
+}
+
+/// Quotes a name for output when it contains non-word characters.
+std::string quote_name(const std::string& name) {
+  for (char ch : name) {
+    const bool word = std::isalnum(static_cast<unsigned char>(ch)) != 0 ||
+                      ch == '_' || ch == '@' || ch == '.' || ch == '-';
+    if (!word) return '"' + name + '"';
+  }
+  return name;
+}
+
+}  // namespace
+
+ParsedModel parse_adt_text(const std::string& text) {
+  ParsedModel model;
+  bool have_root = false;
+  std::string root_name;
+  std::size_t root_line = 0;
+
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw.erase(hash);
+    }
+    LineLexer lex(raw, line_no);
+    const std::string first = lex.next();
+    if (first.empty()) continue;
+
+    if (first == "domains") {
+      const std::string def = lex.expect("defender domain name");
+      const std::string att = lex.expect("attacker domain name");
+      lex.expect_end();
+      const auto def_kind = parse_semiring_kind(def);
+      const auto att_kind = parse_semiring_kind(att);
+      if (!def_kind) {
+        throw ParseError(line_no, "unknown defender domain '" + def + "'");
+      }
+      if (!att_kind) {
+        throw ParseError(line_no, "unknown attacker domain '" + att + "'");
+      }
+      model.defender_domain = Semiring(*def_kind);
+      model.attacker_domain = Semiring(*att_kind);
+      continue;
+    }
+
+    if (first == "root") {
+      root_name = lex.expect("root node name");
+      lex.expect_end();
+      have_root = true;
+      root_line = line_no;
+      continue;
+    }
+
+    // Node definition: NAME = KIND ...
+    const std::string& name = first;
+    lex.expect_literal("=");
+    const std::string kind = lex.expect("node kind");
+
+    if (kind == "attack" || kind == "defense") {
+      const double value = parse_value(lex.expect("value"), line_no);
+      lex.expect_end();
+      model.adt.add_basic(name, kind == "attack" ? Agent::Attacker
+                                                 : Agent::Defender);
+      model.attribution.set(name, value);
+      continue;
+    }
+
+    if (kind == "AND" || kind == "OR") {
+      std::string tok = lex.expect("agent or '('");
+      std::optional<Agent> agent;
+      if (tok != "(") {
+        agent = parse_agent_token(tok);
+        if (!agent) {
+          throw ParseError(line_no,
+                           "expected agent A/D or '(', got '" + tok + "'");
+        }
+        lex.expect_literal("(");
+      }
+      std::vector<NodeId> children;
+      while (true) {
+        const std::string child = lex.expect("child name or ')'");
+        if (child == ")") break;
+        if (child == ",") continue;
+        children.push_back(resolve(model.adt, child, line_no));
+      }
+      lex.expect_end();
+      if (children.empty()) {
+        throw ParseError(line_no, "gate '" + name + "' has no children");
+      }
+      if (!agent) agent = model.adt.agent(children[0]);
+      model.adt.add_gate(name, kind == "AND" ? GateType::And : GateType::Or,
+                         *agent, std::move(children));
+      continue;
+    }
+
+    if (kind == "INH") {
+      lex.expect_literal("(");
+      const std::string inhibited = lex.expect("inhibited child");
+      lex.expect_literal("|");
+      const std::string trigger = lex.expect("trigger child");
+      lex.expect_literal(")");
+      lex.expect_end();
+      model.adt.add_inhibit(name, resolve(model.adt, inhibited, line_no),
+                            resolve(model.adt, trigger, line_no));
+      continue;
+    }
+
+    throw ParseError(line_no, "unknown node kind '" + kind +
+                                  "' (expected attack, defense, AND, OR, "
+                                  "INH)");
+  }
+
+  if (model.adt.size() == 0) {
+    throw ParseError(line_no, "the model defines no nodes");
+  }
+  if (have_root) {
+    model.adt.set_root(resolve(model.adt, root_name, root_line));
+  }
+  model.adt.freeze();
+  model.attribution.validate(model.adt);
+  return model;
+}
+
+std::string to_text_format(const AugmentedAdt& aadt) {
+  const Adt& adt = aadt.adt();
+  std::ostringstream out;
+  out << "# adtpareto model: " << adt.size() << " nodes\n";
+  out << "domains " << semiring_kind_name(aadt.defender_domain().kind())
+      << ' ' << semiring_kind_name(aadt.attacker_domain().kind()) << '\n';
+
+  for (NodeId v : adt.topological_order()) {
+    const Node& n = adt.node(v);
+    out << quote_name(n.name) << " = ";
+    switch (n.type) {
+      case GateType::BasicStep:
+        out << (n.agent == Agent::Attacker ? "attack " : "defense ")
+            << format_value(aadt.value_of(v));
+        break;
+      case GateType::And:
+      case GateType::Or:
+        out << (n.type == GateType::And ? "AND " : "OR ")
+            << to_string(n.agent) << " (";
+        for (std::size_t i = 0; i < n.children.size(); ++i) {
+          if (i != 0) out << ", ";
+          out << quote_name(adt.name(n.children[i]));
+        }
+        out << ")";
+        break;
+      case GateType::Inhibit:
+        out << "INH (" << quote_name(adt.name(n.children[0])) << " | "
+            << quote_name(adt.name(n.children[1])) << ")";
+        break;
+    }
+    out << '\n';
+  }
+  out << "root " << quote_name(adt.name(adt.root())) << '\n';
+  return out.str();
+}
+
+ParsedModel load_adt_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_adt_text(buffer.str());
+}
+
+void save_adt_file(const AugmentedAdt& aadt, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+  out << to_text_format(aadt);
+  if (!out) {
+    throw Error("failed writing '" + path + "'");
+  }
+}
+
+}  // namespace adtp

@@ -1,0 +1,123 @@
+#include "adt/transform.hpp"
+
+#include <functional>
+
+namespace adtp {
+
+UnfoldResult unfold_to_tree(const Adt& adt) {
+  adt.require_frozen();
+
+  UnfoldResult result;
+  std::unordered_map<std::string, std::size_t> copies;
+
+  auto fresh_name = [&](const std::string& base) {
+    const std::size_t n = ++copies[base];
+    return n == 1 ? base : base + "@" + std::to_string(n);
+  };
+
+  // Every visit clones the node; revisits through other parents produce
+  // fresh copies, which is exactly the tree-semantics expansion.
+  std::function<NodeId(NodeId)> clone = [&](NodeId v) -> NodeId {
+    const Node& n = adt.node(v);
+    const std::string name = fresh_name(n.name);
+    if (name != n.name) {
+      result.leaf_origin.emplace(name, n.name);
+    }
+    switch (n.type) {
+      case GateType::BasicStep:
+        return result.tree.add_basic(name, n.agent);
+      case GateType::Inhibit: {
+        const NodeId inhibited = clone(n.children[0]);
+        const NodeId trigger = clone(n.children[1]);
+        return result.tree.add_inhibit(name, inhibited, trigger);
+      }
+      case GateType::And:
+      case GateType::Or: {
+        std::vector<NodeId> children;
+        children.reserve(n.children.size());
+        for (NodeId c : n.children) children.push_back(clone(c));
+        return result.tree.add_gate(name, n.type, n.agent,
+                                    std::move(children));
+      }
+    }
+    throw ModelError("unfold_to_tree: unknown gate type");
+  };
+
+  const NodeId root = clone(adt.root());
+  result.tree.set_root(root);
+  result.tree.freeze();
+
+  // First occurrences map to themselves for lookup convenience.
+  for (const Node& n : result.tree.nodes()) {
+    result.leaf_origin.try_emplace(n.name, n.name);
+  }
+  return result;
+}
+
+AugmentedAdt unfold_to_tree(const AugmentedAdt& aadt) {
+  UnfoldResult unfolded = unfold_to_tree(aadt.adt());
+  Attribution attribution;
+  for (const Node& n : unfolded.tree.nodes()) {
+    if (n.type != GateType::BasicStep) continue;
+    const std::string& origin = unfolded.leaf_origin.at(n.name);
+    attribution.set(n.name, aadt.attribution().get(origin));
+  }
+  return AugmentedAdt(std::move(unfolded.tree), std::move(attribution),
+                      aadt.defender_domain(), aadt.attacker_domain());
+}
+
+Adt extract_subgraph(const Adt& adt, NodeId v) {
+  adt.require_frozen();
+  if (v >= adt.size()) {
+    throw ModelError("extract_subgraph: node " + std::to_string(v) +
+                     " out of range");
+  }
+
+  Adt sub;
+  std::unordered_map<NodeId, NodeId> remap;
+
+  std::function<NodeId(NodeId)> visit = [&](NodeId u) -> NodeId {
+    if (auto it = remap.find(u); it != remap.end()) return it->second;
+    const Node& n = adt.node(u);
+    NodeId fresh = kNoNode;
+    switch (n.type) {
+      case GateType::BasicStep:
+        fresh = sub.add_basic(n.name, n.agent);
+        break;
+      case GateType::Inhibit: {
+        const NodeId inhibited = visit(n.children[0]);
+        const NodeId trigger = visit(n.children[1]);
+        fresh = sub.add_inhibit(n.name, inhibited, trigger);
+        break;
+      }
+      case GateType::And:
+      case GateType::Or: {
+        std::vector<NodeId> children;
+        children.reserve(n.children.size());
+        for (NodeId c : n.children) children.push_back(visit(c));
+        fresh = sub.add_gate(n.name, n.type, n.agent, std::move(children));
+        break;
+      }
+    }
+    remap.emplace(u, fresh);
+    return fresh;
+  };
+
+  const NodeId root = visit(v);
+  sub.set_root(root);
+  sub.freeze();
+  return sub;
+}
+
+AugmentedAdt extract_subgraph(const AugmentedAdt& aadt, NodeId v) {
+  Adt sub = extract_subgraph(aadt.adt(), v);
+  Attribution attribution;
+  for (const Node& n : sub.nodes()) {
+    if (n.type != GateType::BasicStep) continue;
+    attribution.set(n.name, aadt.attribution().get(n.name));
+  }
+  return AugmentedAdt(std::move(sub), std::move(attribution),
+                      aadt.defender_domain(), aadt.attacker_domain());
+}
+
+}  // namespace adtp

@@ -1,0 +1,48 @@
+/// \file transform.hpp
+/// \brief Structural transformations of ADTs.
+///
+/// - unfold_to_tree: duplicates shared subtrees so a DAG becomes a tree
+///   (the paper's Section VI-A manual transformation of the money-theft
+///   model: "we assume that Phishing needs to be performed twice"). Note
+///   this *changes the semantics*: duplicated basic steps must be paid
+///   once per copy, which is the "tree semantics" of Kordy & Widel [5],
+///   as opposed to the set semantics computed on the original DAG.
+/// - extract_subgraph: the sub-ADT spanned by one node, with names (and
+///   hence attributions) preserved; used by the modular hybrid analyzer.
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "adt/adt.hpp"
+#include "core/attribution.hpp"
+
+namespace adtp {
+
+/// Result of unfold_to_tree(): the tree plus the mapping from each cloned
+/// leaf name to the original leaf name (identity for first occurrences).
+struct UnfoldResult {
+  Adt tree;
+  std::unordered_map<std::string, std::string> leaf_origin;
+};
+
+/// Duplicates every shared subtree of \p adt, yielding a tree with
+/// identical tree semantics. Clones are named "<name>@2", "<name>@3", ...
+/// The result is frozen.
+[[nodiscard]] UnfoldResult unfold_to_tree(const Adt& adt);
+
+/// Unfolds an augmented ADT; cloned leaves inherit the original leaf's
+/// attribute value, and the domains carry over.
+[[nodiscard]] AugmentedAdt unfold_to_tree(const AugmentedAdt& aadt);
+
+/// The sub-ADT rooted at \p v: all descendants, same names, frozen, with
+/// \p v as root.
+[[nodiscard]] Adt extract_subgraph(const Adt& adt, NodeId v);
+
+/// The augmented sub-ADT rooted at \p v (attribution restricted to the
+/// leaves below \p v, domains carried over).
+[[nodiscard]] AugmentedAdt extract_subgraph(const AugmentedAdt& aadt,
+                                            NodeId v);
+
+}  // namespace adtp

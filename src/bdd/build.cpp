@@ -1,0 +1,52 @@
+#include "bdd/build.hpp"
+
+#include "util/error.hpp"
+
+namespace adtp::bdd {
+
+std::vector<Ref> build_all(Manager& manager, const Adt& adt,
+                           const VarOrder& order) {
+  if (manager.num_vars() != order.num_vars()) {
+    throw ModelError("bdd::build_all: manager has " +
+                     std::to_string(manager.num_vars()) +
+                     " variables but the order defines " +
+                     std::to_string(order.num_vars()));
+  }
+  std::vector<Ref> result(adt.size(), kFalse);
+  // Ascending NodeId is topological, so children are already translated.
+  for (NodeId v : adt.topological_order()) {
+    const Node& n = adt.node(v);
+    switch (n.type) {
+      case GateType::BasicStep:
+        result[v] = manager.make_var(order.var_of(v));
+        break;
+      case GateType::And: {
+        Ref acc = kTrue;
+        for (NodeId c : n.children) acc = manager.apply_and(acc, result[c]);
+        result[v] = acc;
+        break;
+      }
+      case GateType::Or: {
+        Ref acc = kFalse;
+        for (NodeId c : n.children) acc = manager.apply_or(acc, result[c]);
+        result[v] = acc;
+        break;
+      }
+      case GateType::Inhibit: {
+        // Definition 3: f(inhibited) AND NOT f(trigger).
+        const Ref inhibited = result[n.children[0]];
+        const Ref trigger = result[n.children[1]];
+        result[v] = manager.apply_and(inhibited, manager.apply_not(trigger));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Ref build_structure_function(Manager& manager, const Adt& adt,
+                             const VarOrder& order) {
+  return build_all(manager, adt, order)[adt.root()];
+}
+
+}  // namespace adtp::bdd

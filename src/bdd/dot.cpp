@@ -1,0 +1,31 @@
+#include "bdd/dot.hpp"
+
+#include <sstream>
+
+namespace adtp::bdd {
+
+std::string to_dot(const Manager& manager, Ref root, const Adt& adt,
+                   const VarOrder& order) {
+  std::ostringstream out;
+  out << "digraph robdd {\n";
+  out << "  node [fontname=\"Helvetica\"];\n";
+  for (Ref r : manager.reachable(root)) {
+    if (manager.is_terminal(r)) {
+      out << "  b" << r << " [label=\"" << (r == kTrue ? 1 : 0)
+          << "\", shape=square];\n";
+      continue;
+    }
+    const NodeId leaf = order.node_of(manager.var(r));
+    const bool defender = adt.agent(leaf) == Agent::Defender;
+    out << "  b" << r << " [label=\"" << adt.name(leaf)
+        << "\", shape=circle, style=filled, fillcolor=\""
+        << (defender ? "#d9ead3" : "#f4cccc") << "\"];\n";
+    out << "  b" << r << " -> b" << manager.low(r)
+        << " [style=dashed, label=\"0\"];\n";
+    out << "  b" << r << " -> b" << manager.high(r) << " [label=\"1\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace adtp::bdd

@@ -1,0 +1,20 @@
+/// \file dot.hpp (bdd)
+/// \brief Graphviz DOT export of ROBDDs (the paper's Fig. 6 style):
+///        dashed edges are labeled 0 (low), solid edges 1 (high).
+
+#pragma once
+
+#include <string>
+
+#include "adt/adt.hpp"
+#include "bdd/manager.hpp"
+#include "bdd/order.hpp"
+
+namespace adtp::bdd {
+
+/// Renders the BDD rooted at \p root; node labels are the ADT leaf names
+/// provided through \p order / \p adt.
+[[nodiscard]] std::string to_dot(const Manager& manager, Ref root,
+                                 const Adt& adt, const VarOrder& order);
+
+}  // namespace adtp::bdd

@@ -1,0 +1,285 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adtp::bdd {
+
+namespace {
+
+constexpr std::size_t kDefaultNodeLimit = std::size_t{16} * 1024 * 1024;
+
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::size_t Manager::UniqueKeyHash::operator()(
+    const UniqueKey& k) const noexcept {
+  std::uint64_t h = (static_cast<std::uint64_t>(k.var) << 32) ^ k.low;
+  return static_cast<std::size_t>(mix(h ^ (static_cast<std::uint64_t>(k.high)
+                                           << 17)));
+}
+
+std::size_t Manager::CacheKeyHash::operator()(
+    const CacheKey& k) const noexcept {
+  std::uint64_t h = (static_cast<std::uint64_t>(k.f) << 32) ^ k.g;
+  return static_cast<std::size_t>(mix(h + k.op));
+}
+
+Manager::Manager(std::uint32_t num_vars, std::size_t node_limit)
+    : num_vars_(num_vars),
+      node_limit_(node_limit == 0 ? kDefaultNodeLimit : node_limit) {
+  // Terminals occupy indices 0 (false) and 1 (true).
+  nodes_.push_back(BddNode{kTermVar, kFalse, kFalse});
+  nodes_.push_back(BddNode{kTermVar, kTrue, kTrue});
+}
+
+std::uint32_t Manager::var(Ref f) const {
+  if (is_terminal(f)) {
+    throw ModelError("bdd: terminal nodes carry no variable");
+  }
+  return nodes_[f].var;
+}
+
+Ref Manager::low(Ref f) const {
+  if (is_terminal(f)) throw ModelError("bdd: terminals have no children");
+  return nodes_[f].low;
+}
+
+Ref Manager::high(Ref f) const {
+  if (is_terminal(f)) throw ModelError("bdd: terminals have no children");
+  return nodes_[f].high;
+}
+
+void Manager::check_limit() {
+  if (nodes_.size() >= node_limit_) {
+    throw LimitError("bdd: node limit of " + std::to_string(node_limit_) +
+                     " exceeded (the variable order may be adversarial for "
+                     "this model)");
+  }
+}
+
+Ref Manager::mk(std::uint32_t v, Ref lo, Ref hi) {
+  if (v >= num_vars_) {
+    throw ModelError("bdd: variable " + std::to_string(v) +
+                     " out of range (num_vars = " + std::to_string(num_vars_) +
+                     ")");
+  }
+  if (lo >= nodes_.size() || hi >= nodes_.size()) {
+    throw ModelError("bdd: mk() child out of range");
+  }
+  // Ordering invariant: children must test strictly later variables.
+  if ((!is_terminal(lo) && nodes_[lo].var <= v) ||
+      (!is_terminal(hi) && nodes_[hi].var <= v)) {
+    throw ModelError("bdd: mk() would violate the variable order");
+  }
+  if (lo == hi) return lo;  // reduction rule 2
+  const UniqueKey key{v, lo, hi};
+  if (auto it = unique_.find(key); it != unique_.end()) {
+    ++stats_.unique_hits;
+    return it->second;  // reduction rule 1
+  }
+  check_limit();
+  const Ref ref = static_cast<Ref>(nodes_.size());
+  nodes_.push_back(BddNode{v, lo, hi});
+  unique_.emplace(key, ref);
+  stats_.num_nodes = nodes_.size();
+  return ref;
+}
+
+Ref Manager::make_var(std::uint32_t v) { return mk(v, kFalse, kTrue); }
+
+Ref Manager::make_nvar(std::uint32_t v) { return mk(v, kTrue, kFalse); }
+
+bool Manager::terminal_of(Op op, bool a, bool b) noexcept {
+  switch (op) {
+    case Op::And:
+      return a && b;
+    case Op::Or:
+      return a || b;
+    case Op::Xor:
+      return a != b;
+  }
+  return false;
+}
+
+Ref Manager::apply(Op op, Ref f, Ref g) {
+  // Terminal cases, including short circuits.
+  switch (op) {
+    case Op::And:
+      if (f == kFalse || g == kFalse) return kFalse;
+      if (f == kTrue) return g;
+      if (g == kTrue) return f;
+      if (f == g) return f;
+      break;
+    case Op::Or:
+      if (f == kTrue || g == kTrue) return kTrue;
+      if (f == kFalse) return g;
+      if (g == kFalse) return f;
+      if (f == g) return f;
+      break;
+    case Op::Xor:
+      if (f == kFalse) return g;
+      if (g == kFalse) return f;
+      if (f == g) return kFalse;
+      if (f == kTrue) return apply_not(g);
+      if (g == kTrue) return apply_not(f);
+      break;
+  }
+
+  // Normalize commutative operands for better cache hit rates.
+  if (f > g) std::swap(f, g);
+  const CacheKey key{static_cast<std::uint8_t>(op), f, g};
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+
+  const std::uint32_t fv = is_terminal(f) ? kTermVar : nodes_[f].var;
+  const std::uint32_t gv = is_terminal(g) ? kTermVar : nodes_[g].var;
+  const std::uint32_t v = std::min(fv, gv);
+
+  const Ref f0 = (fv == v) ? nodes_[f].low : f;
+  const Ref f1 = (fv == v) ? nodes_[f].high : f;
+  const Ref g0 = (gv == v) ? nodes_[g].low : g;
+  const Ref g1 = (gv == v) ? nodes_[g].high : g;
+
+  const Ref lo = apply(op, f0, g0);
+  const Ref hi = apply(op, f1, g1);
+  const Ref result = mk(v, lo, hi);
+  cache_.emplace(key, result);
+  return result;
+}
+
+Ref Manager::apply_and(Ref f, Ref g) { return apply(Op::And, f, g); }
+Ref Manager::apply_or(Ref f, Ref g) { return apply(Op::Or, f, g); }
+Ref Manager::apply_xor(Ref f, Ref g) { return apply(Op::Xor, f, g); }
+
+Ref Manager::apply_not(Ref f) {
+  if (f == kFalse) return kTrue;
+  if (f == kTrue) return kFalse;
+  const CacheKey key{0xFF, f, 0};
+  if (auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.cache_hits;
+    return it->second;
+  }
+  ++stats_.cache_misses;
+  const Ref result =
+      mk(nodes_[f].var, apply_not(nodes_[f].low), apply_not(nodes_[f].high));
+  cache_.emplace(key, result);
+  return result;
+}
+
+Ref Manager::ite(Ref f, Ref g, Ref h) {
+  // (f AND g) OR (NOT f AND h); adequate for this library's workloads.
+  return apply_or(apply_and(f, g), apply_and(apply_not(f), h));
+}
+
+Ref Manager::restrict_var(Ref f, std::uint32_t v, bool value) {
+  if (is_terminal(f)) return f;
+  const BddNode& n = nodes_[f];
+  if (n.var > v) return f;  // v does not occur below here
+  if (n.var == v) return value ? n.high : n.low;
+  const Ref lo = restrict_var(n.low, v, value);
+  const Ref hi = restrict_var(n.high, v, value);
+  return mk(n.var, lo, hi);
+}
+
+bool Manager::evaluate(Ref f, const std::vector<bool>& assignment) const {
+  if (assignment.size() != num_vars_) {
+    throw ModelError("bdd: evaluate() needs one value per variable");
+  }
+  while (!is_terminal(f)) {
+    const BddNode& n = nodes_[f];
+    f = assignment[n.var] ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+double Manager::sat_count(Ref f) const {
+  // Count over reachable nodes, then scale by skipped variables.
+  const auto order = reachable(f);
+  std::unordered_map<Ref, double> counts;
+  for (Ref r : order) {
+    if (r == kFalse) {
+      counts[r] = 0;
+    } else if (r == kTrue) {
+      counts[r] = 1;
+    } else {
+      const BddNode& n = nodes_[r];
+      auto weight = [&](Ref child) {
+        const std::uint32_t child_var =
+            is_terminal(child) ? num_vars_ : nodes_[child].var;
+        const double skipped = static_cast<double>(child_var - n.var - 1);
+        return counts.at(child) * std::pow(2.0, skipped);
+      };
+      counts[r] = weight(n.low) + weight(n.high);
+    }
+  }
+  const std::uint32_t root_var = is_terminal(f) ? num_vars_ : nodes_[f].var;
+  return counts.at(f) * std::pow(2.0, static_cast<double>(root_var));
+}
+
+std::size_t Manager::size(Ref f) const { return reachable(f).size(); }
+
+std::vector<std::vector<std::int8_t>> Manager::enumerate_paths(
+    Ref f, Ref target, std::size_t max_paths) const {
+  if (target != kFalse && target != kTrue) {
+    throw ModelError("bdd: enumerate_paths target must be a terminal");
+  }
+  std::vector<std::vector<std::int8_t>> paths;
+  std::vector<std::int8_t> current(num_vars_, kDontCare);
+
+  auto recurse = [&](auto&& self, Ref w) -> void {
+    if (is_terminal(w)) {
+      if (w == target) {
+        if (paths.size() >= max_paths) {
+          throw LimitError("bdd: more than " + std::to_string(max_paths) +
+                           " paths");
+        }
+        paths.push_back(current);
+      }
+      return;
+    }
+    const BddNode& n = nodes_[w];
+    current[n.var] = 0;
+    self(self, n.low);
+    current[n.var] = 1;
+    self(self, n.high);
+    current[n.var] = kDontCare;
+  };
+  recurse(recurse, f);
+  return paths;
+}
+
+std::vector<Ref> Manager::reachable(Ref f) const {
+  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<Ref> stack{f};
+  seen[f] = 1;
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (is_terminal(r)) continue;
+    for (Ref child : {nodes_[r].low, nodes_[r].high}) {
+      if (!seen[child]) {
+        seen[child] = 1;
+        stack.push_back(child);
+      }
+    }
+  }
+  std::vector<Ref> out;
+  for (Ref r = 0; r < nodes_.size(); ++r) {
+    if (seen[r]) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace adtp::bdd

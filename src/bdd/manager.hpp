@@ -1,0 +1,155 @@
+/// \file manager.hpp
+/// \brief A from-scratch ROBDD engine (Definition 10).
+///
+/// Classic index-based reduced ordered binary decision diagrams without
+/// complement edges:
+///  - nodes are (var, low, high) triples hash-consed in a unique table, so
+///    structurally equal functions share one node (reduction rule 1);
+///  - mk() collapses nodes with identical children (reduction rule 2);
+///  - binary operations go through a memoized apply(); negation has its own
+///    memoized recursion.
+///
+/// Variables are dense indices 0..num_vars-1 and the index *is* the order:
+/// smaller variables are tested closer to the root. Mapping ADT leaves to
+/// variable indices (including the paper's defense-first orders) is the job
+/// of bdd/order.hpp.
+///
+/// Nodes are never garbage collected: the analyses in this library build a
+/// bounded number of functions per manager, and node indices stay stable,
+/// which the Pareto propagation (core/bdd_bu.cpp) relies on. A configurable
+/// node limit guards against ordering-induced blow-up; exceeding it throws
+/// LimitError rather than exhausting memory.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace adtp::bdd {
+
+/// Index of a BDD node within its manager. 0 and 1 are the terminals.
+using Ref = std::uint32_t;
+
+inline constexpr Ref kFalse = 0;
+inline constexpr Ref kTrue = 1;
+
+/// One nonterminal BDD node. Terminals use var = kTermVar.
+struct BddNode {
+  std::uint32_t var;
+  Ref low;
+  Ref high;
+};
+
+/// Aggregate statistics of a manager (for benches and reports).
+struct ManagerStats {
+  std::size_t num_nodes = 0;     ///< total allocated, incl. both terminals
+  std::size_t unique_hits = 0;   ///< mk() calls answered from the table
+  std::size_t cache_hits = 0;    ///< apply/not calls answered from cache
+  std::size_t cache_misses = 0;
+};
+
+class Manager {
+ public:
+  /// A manager over \p num_vars variables; \p node_limit bounds the total
+  /// number of allocated nodes (0 means the default of 16M).
+  explicit Manager(std::uint32_t num_vars, std::size_t node_limit = 0);
+
+  [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] bool is_terminal(Ref f) const noexcept { return f <= kTrue; }
+
+  /// Variable index of a nonterminal node; throws for terminals.
+  [[nodiscard]] std::uint32_t var(Ref f) const;
+  [[nodiscard]] Ref low(Ref f) const;
+  [[nodiscard]] Ref high(Ref f) const;
+
+  /// The hash-consing constructor: returns the canonical node for
+  /// (var, low, high), applying both ROBDD reduction rules.
+  Ref mk(std::uint32_t var, Ref low, Ref high);
+
+  /// The function "variable v" and its negation.
+  Ref make_var(std::uint32_t v);
+  Ref make_nvar(std::uint32_t v);
+
+  Ref apply_and(Ref f, Ref g);
+  Ref apply_or(Ref f, Ref g);
+  Ref apply_xor(Ref f, Ref g);
+  Ref apply_not(Ref f);
+
+  /// if-then-else: f ? g : h.
+  Ref ite(Ref f, Ref g, Ref h);
+
+  /// Cofactor: f with variable \p v fixed to \p value.
+  Ref restrict_var(Ref f, std::uint32_t v, bool value);
+
+  /// Evaluates f under a full assignment (index = variable).
+  [[nodiscard]] bool evaluate(Ref f, const std::vector<bool>& assignment) const;
+
+  /// Number of satisfying assignments of f over all num_vars() variables.
+  [[nodiscard]] double sat_count(Ref f) const;
+
+  /// Number of nodes reachable from f (terminals included) - the |W| of
+  /// the paper's complexity bound.
+  [[nodiscard]] std::size_t size(Ref f) const;
+
+  /// Nodes reachable from \p f in ascending index order (children before
+  /// parents - mk() creates children first, so index order is topological).
+  [[nodiscard]] std::vector<Ref> reachable(Ref f) const;
+
+  /// A path assignment: one entry per variable; 0/1 for decisions taken
+  /// along the path, DontCare for variables the path skips (the paper's
+  /// Example 6 writes these as '*').
+  static constexpr std::int8_t kDontCare = -1;
+
+  /// Enumerates every root-to-\p target path of \p f as partial
+  /// assignments (the paper's "paths in the BDD correspond to evaluations
+  /// of the structure function"). Throws LimitError when more than
+  /// \p max_paths paths exist (path counts are worst-case exponential).
+  [[nodiscard]] std::vector<std::vector<std::int8_t>> enumerate_paths(
+      Ref f, Ref target, std::size_t max_paths = 1u << 20) const;
+
+ private:
+  enum class Op : std::uint8_t { And, Or, Xor };
+
+  struct UniqueKey {
+    std::uint32_t var;
+    Ref low;
+    Ref high;
+    bool operator==(const UniqueKey&) const = default;
+  };
+  struct UniqueKeyHash {
+    std::size_t operator()(const UniqueKey& k) const noexcept;
+  };
+  struct CacheKey {
+    std::uint8_t op;  // Op, or 0xFF for NOT
+    Ref f;
+    Ref g;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept;
+  };
+
+  Ref apply(Op op, Ref f, Ref g);
+  [[nodiscard]] static bool terminal_of(Op op, bool a, bool b) noexcept;
+  void check_limit();
+
+  std::uint32_t num_vars_;
+  std::size_t node_limit_;
+  std::vector<BddNode> nodes_;
+  std::unordered_map<UniqueKey, Ref, UniqueKeyHash> unique_;
+  std::unordered_map<CacheKey, Ref, CacheKeyHash> cache_;
+  ManagerStats stats_;
+
+  static constexpr std::uint32_t kTermVar = 0xFFFFFFFFu;
+};
+
+}  // namespace adtp::bdd

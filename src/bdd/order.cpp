@@ -1,0 +1,185 @@
+#include "bdd/order.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adtp::bdd {
+
+const char* to_string(OrderHeuristic h) noexcept {
+  switch (h) {
+    case OrderHeuristic::Dfs:
+      return "dfs";
+    case OrderHeuristic::Bfs:
+      return "bfs";
+    case OrderHeuristic::Index:
+      return "index";
+    case OrderHeuristic::Random:
+      return "random";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<NodeId> leaves_dfs(const Adt& adt) {
+  std::vector<NodeId> leaves;
+  std::vector<char> seen(adt.size(), 0);
+  // Explicit stack; children pushed in reverse so they pop left-to-right.
+  std::vector<NodeId> stack{adt.root()};
+  seen[adt.root()] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    const Node& n = adt.node(v);
+    if (n.type == GateType::BasicStep) {
+      leaves.push_back(v);
+      continue;
+    }
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it) {
+      if (!seen[*it]) {
+        seen[*it] = 1;
+        stack.push_back(*it);
+      }
+    }
+  }
+  return leaves;
+}
+
+std::vector<NodeId> leaves_bfs(const Adt& adt) {
+  std::vector<NodeId> leaves;
+  std::vector<char> seen(adt.size(), 0);
+  std::deque<NodeId> queue{adt.root()};
+  seen[adt.root()] = 1;
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    const Node& n = adt.node(v);
+    if (n.type == GateType::BasicStep) {
+      leaves.push_back(v);
+      continue;
+    }
+    for (NodeId c : n.children) {
+      if (!seen[c]) {
+        seen[c] = 1;
+        queue.push_back(c);
+      }
+    }
+  }
+  return leaves;
+}
+
+}  // namespace
+
+VarOrder VarOrder::defense_first(const Adt& adt, OrderHeuristic heuristic,
+                                 std::uint64_t seed) {
+  std::vector<NodeId> leaves;
+  switch (heuristic) {
+    case OrderHeuristic::Dfs:
+      leaves = leaves_dfs(adt);
+      break;
+    case OrderHeuristic::Bfs:
+      leaves = leaves_bfs(adt);
+      break;
+    case OrderHeuristic::Index:
+    case OrderHeuristic::Random: {
+      for (NodeId id : adt.defense_steps()) leaves.push_back(id);
+      for (NodeId id : adt.attack_steps()) leaves.push_back(id);
+      break;
+    }
+  }
+
+  // Partition into the defense block followed by the attack block,
+  // preserving the heuristic's relative order (stable).
+  std::vector<NodeId> sequence;
+  sequence.reserve(leaves.size());
+  for (NodeId id : leaves) {
+    if (adt.agent(id) == Agent::Defender) sequence.push_back(id);
+  }
+  const auto defenses = sequence.size();
+  for (NodeId id : leaves) {
+    if (adt.agent(id) == Agent::Attacker) sequence.push_back(id);
+  }
+
+  if (heuristic == OrderHeuristic::Random) {
+    Rng rng(seed);
+    // Fisher-Yates within each block; the blocks themselves stay fixed so
+    // the order remains defense-first.
+    for (std::size_t i = defenses; i > 1; --i) {
+      std::swap(sequence[i - 1], sequence[rng.below(i)]);
+    }
+    for (std::size_t i = sequence.size(); i > defenses + 1; --i) {
+      std::swap(sequence[i - 1],
+                sequence[defenses + rng.below(i - defenses)]);
+    }
+  }
+
+  return from_sequence(adt, std::move(sequence));
+}
+
+VarOrder VarOrder::from_sequence(const Adt& adt, std::vector<NodeId> leaves) {
+  const std::size_t expected = adt.num_attacks() + adt.num_defenses();
+  if (leaves.size() != expected) {
+    throw ModelError("VarOrder: sequence has " +
+                     std::to_string(leaves.size()) + " leaves, expected " +
+                     std::to_string(expected));
+  }
+  VarOrder order;
+  order.order_ = std::move(leaves);
+  order.var_of_.assign(adt.size(), kNoVar);
+
+  bool in_attack_block = false;
+  for (std::uint32_t v = 0; v < order.order_.size(); ++v) {
+    const NodeId id = order.order_[v];
+    if (id >= adt.size() || adt.type(id) != GateType::BasicStep) {
+      throw ModelError("VarOrder: sequence entry " + std::to_string(v) +
+                       " is not a basic step");
+    }
+    if (order.var_of_[id] != kNoVar) {
+      throw ModelError("VarOrder: leaf '" + adt.name(id) +
+                       "' appears twice in the sequence");
+    }
+    order.var_of_[id] = v;
+    if (adt.agent(id) == Agent::Attacker) {
+      in_attack_block = true;
+    } else {
+      if (in_attack_block) {
+        throw ModelError(
+            "VarOrder: defense '" + adt.name(id) +
+            "' ordered after an attack; Theorem 2 requires defense-first "
+            "orders");
+      }
+      ++order.num_defenses_;
+    }
+  }
+  return order;
+}
+
+NodeId VarOrder::node_of(std::uint32_t var) const {
+  if (var >= order_.size()) {
+    throw ModelError("VarOrder: variable " + std::to_string(var) +
+                     " out of range");
+  }
+  return order_[var];
+}
+
+std::uint32_t VarOrder::var_of(NodeId id) const {
+  if (id >= var_of_.size() || var_of_[id] == kNoVar) {
+    throw ModelError("VarOrder: node " + std::to_string(id) +
+                     " is not a leaf of this order");
+  }
+  return var_of_[id];
+}
+
+std::string VarOrder::to_string(const Adt& adt) const {
+  std::string out;
+  for (std::size_t v = 0; v < order_.size(); ++v) {
+    if (v != 0) out += " < ";
+    out += adt.name(order_[v]);
+  }
+  return out;
+}
+
+}  // namespace adtp::bdd

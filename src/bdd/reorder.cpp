@@ -1,0 +1,101 @@
+#include "bdd/reorder.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "bdd/build.hpp"
+#include "bdd/manager.hpp"
+#include "util/error.hpp"
+
+namespace adtp::bdd {
+
+namespace {
+
+constexpr std::size_t kRejected = std::numeric_limits<std::size_t>::max();
+
+/// Size of the structure-function BDD under a candidate leaf sequence,
+/// or kRejected if the rebuild hits the node limit.
+std::size_t try_candidate(const Adt& adt, const std::vector<NodeId>& leaves,
+                          std::size_t node_limit, std::size_t& rebuilds) {
+  ++rebuilds;
+  try {
+    const VarOrder order = VarOrder::from_sequence(adt, leaves);
+    Manager manager(order.num_vars(), node_limit);
+    const Ref root = build_structure_function(manager, adt, order);
+    return manager.size(root);
+  } catch (const LimitError&) {
+    return kRejected;
+  }
+}
+
+}  // namespace
+
+std::size_t bdd_size_under(const Adt& adt, const VarOrder& order,
+                           std::size_t node_limit) {
+  Manager manager(order.num_vars(), node_limit);
+  const Ref root = build_structure_function(manager, adt, order);
+  return manager.size(root);
+}
+
+ReorderResult minimize_order(const Adt& adt, const VarOrder& initial,
+                             const ReorderOptions& options) {
+  ReorderResult result;
+  std::vector<NodeId> best = initial.sequence();
+  const std::size_t defenses = initial.num_defenses();
+  const std::size_t total = best.size();
+
+  result.initial_size =
+      try_candidate(adt, best, options.node_limit, result.rebuilds);
+  std::size_t best_size = result.initial_size;
+
+  auto block_of = [&](std::size_t pos) { return pos < defenses ? 0 : 1; };
+
+  if (total <= options.full_sift_max_leaves) {
+    // Full sifting: move each leaf through every position of its block,
+    // keeping the best placement before sifting the next leaf.
+    for (std::size_t i = 0; i < total; ++i) {
+      const NodeId leaf = best[i];
+      const std::size_t lo = block_of(i) == 0 ? 0 : defenses;
+      const std::size_t hi = block_of(i) == 0 ? defenses : total;
+      for (std::size_t pos = lo; pos < hi; ++pos) {
+        std::vector<NodeId> candidate = best;
+        candidate.erase(std::find(candidate.begin(), candidate.end(), leaf));
+        candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(pos),
+                         leaf);
+        if (candidate == best) continue;
+        const std::size_t size =
+            try_candidate(adt, candidate, options.node_limit,
+                          result.rebuilds);
+        if (size < best_size) {
+          best_size = size;
+          best = std::move(candidate);
+        }
+      }
+    }
+  } else {
+    // Adjacent-swap hill climbing, bounded passes.
+    for (int pass = 0; pass < options.max_passes; ++pass) {
+      bool improved = false;
+      for (std::size_t i = 0; i + 1 < total; ++i) {
+        if (block_of(i) != block_of(i + 1)) continue;  // stay defense-first
+        std::vector<NodeId> candidate = best;
+        std::swap(candidate[i], candidate[i + 1]);
+        const std::size_t size =
+            try_candidate(adt, candidate, options.node_limit,
+                          result.rebuilds);
+        if (size < best_size) {
+          best_size = size;
+          best = std::move(candidate);
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+  }
+
+  result.best_size = best_size;
+  result.order = VarOrder::from_sequence(adt, std::move(best));
+  return result;
+}
+
+}  // namespace adtp::bdd

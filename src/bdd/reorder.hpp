@@ -1,0 +1,53 @@
+/// \file reorder.hpp
+/// \brief Static variable-order optimization under the defense-first
+///        constraint (the paper's future-work item: "optimizing BDDs by
+///        identifying orderings that minimize their size while retaining
+///        the defense-first property").
+///
+/// This library's manager is append-only (no in-place level swaps), so
+/// reordering is done at the *order* level: candidate orders are evaluated
+/// by rebuilding the BDD in a fresh manager and measuring the reachable
+/// node count. Two searches are provided:
+///  - adjacent-swap hill climbing (cheap, bounded passes), and
+///  - full sifting (each leaf tries every position in its block),
+/// both of which only permute leaves inside their defense/attack block, so
+/// every candidate remains defense-first and Theorem 2 keeps applying.
+
+#pragma once
+
+#include <cstdint>
+
+#include "adt/adt.hpp"
+#include "bdd/order.hpp"
+
+namespace adtp::bdd {
+
+struct ReorderOptions {
+  /// Maximum hill-climbing passes over all adjacent pairs.
+  int max_passes = 4;
+
+  /// Switch to full sifting when the leaf count is at most this.
+  std::size_t full_sift_max_leaves = 24;
+
+  /// Node limit for candidate rebuilds (0 = manager default); candidates
+  /// that blow past it are simply rejected.
+  std::size_t node_limit = 0;
+};
+
+struct ReorderResult {
+  VarOrder order;            ///< the best order found
+  std::size_t initial_size = 0;  ///< BDD size under the initial order
+  std::size_t best_size = 0;     ///< BDD size under the returned order
+  std::size_t rebuilds = 0;      ///< candidate evaluations performed
+};
+
+/// Measures the BDD size of \p adt's structure function under \p order.
+[[nodiscard]] std::size_t bdd_size_under(const Adt& adt, const VarOrder& order,
+                                         std::size_t node_limit = 0);
+
+/// Searches for a smaller defense-first order starting from \p initial.
+[[nodiscard]] ReorderResult minimize_order(const Adt& adt,
+                                           const VarOrder& initial,
+                                           const ReorderOptions& options = {});
+
+}  // namespace adtp::bdd

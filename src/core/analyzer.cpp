@@ -1,0 +1,55 @@
+#include "core/analyzer.hpp"
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace adtp {
+
+const char* to_string(Algorithm a) noexcept {
+  switch (a) {
+    case Algorithm::Auto:
+      return "auto";
+    case Algorithm::Naive:
+      return "naive";
+    case Algorithm::BottomUp:
+      return "bottom-up";
+    case Algorithm::BddBu:
+      return "bdd-bu";
+    case Algorithm::Hybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+AnalysisResult analyze(const AugmentedAdt& aadt,
+                       const AnalysisOptions& options) {
+  Algorithm algorithm = options.algorithm;
+  if (algorithm == Algorithm::Auto) {
+    algorithm =
+        aadt.adt().is_tree() ? Algorithm::BottomUp : Algorithm::BddBu;
+  }
+
+  AnalysisResult result;
+  result.used = algorithm;
+  Stopwatch watch;
+  switch (algorithm) {
+    case Algorithm::Naive:
+      result.front = naive_front(aadt, options.naive);
+      break;
+    case Algorithm::BottomUp:
+      result.front = bottom_up_front(aadt);
+      break;
+    case Algorithm::BddBu:
+      result.front = bdd_bu_front(aadt, options.bdd);
+      break;
+    case Algorithm::Hybrid:
+      result.front = hybrid_front(aadt, options.hybrid);
+      break;
+    case Algorithm::Auto:
+      throw Error("analyze: unresolved Auto algorithm");
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace adtp

@@ -1,0 +1,47 @@
+/// \file analyzer.hpp
+/// \brief One-call façade over the three Pareto-front algorithms.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/attribution.hpp"
+#include "core/bdd_bu.hpp"
+#include "core/bottom_up.hpp"
+#include "core/hybrid.hpp"
+#include "core/naive.hpp"
+#include "core/pareto.hpp"
+
+namespace adtp {
+
+/// Which algorithm analyze() should run.
+enum class Algorithm : std::uint8_t {
+  Auto,     ///< BottomUp for trees, BddBu for DAGs
+  Naive,    ///< Algorithm 2 (exponential; oracle/baseline)
+  BottomUp, ///< Algorithm 1 (trees only)
+  BddBu,    ///< Algorithm 3
+  Hybrid,   ///< modular decomposition extension
+};
+
+[[nodiscard]] const char* to_string(Algorithm a) noexcept;
+
+struct AnalysisOptions {
+  Algorithm algorithm = Algorithm::Auto;
+  NaiveOptions naive;
+  BddBuOptions bdd;
+  HybridOptions hybrid;
+};
+
+struct AnalysisResult {
+  Front front;
+  Algorithm used = Algorithm::Auto;  ///< the algorithm actually executed
+  double seconds = 0;                ///< wall-clock analysis time
+};
+
+/// Computes PF(T) with the requested (or automatically selected)
+/// algorithm.
+[[nodiscard]] AnalysisResult analyze(const AugmentedAdt& aadt,
+                                     const AnalysisOptions& options = {});
+
+}  // namespace adtp

@@ -1,0 +1,114 @@
+#include "core/attribution.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+void Attribution::set(std::string name, double value) {
+  values_[std::move(name)] = value;
+}
+
+double Attribution::get(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw AttributionError("Attribution: no value assigned to '" + name +
+                           "'");
+  }
+  return it->second;
+}
+
+void Attribution::validate(const Adt& adt) const {
+  for (const auto& [name, value] : values_) {
+    const auto id = adt.find(name);
+    if (!id) {
+      throw AttributionError("Attribution: value assigned to unknown node '" +
+                             name + "'");
+    }
+    if (adt.type(*id) != GateType::BasicStep) {
+      throw AttributionError("Attribution: '" + name +
+                             "' is a gate; only basic steps carry values");
+    }
+    if (std::isnan(value)) {
+      throw AttributionError("Attribution: value of '" + name + "' is NaN");
+    }
+  }
+  for (NodeId id : adt.attack_steps()) {
+    if (!values_.contains(adt.name(id))) {
+      throw AttributionError("Attribution: basic attack step '" +
+                             adt.name(id) + "' has no value");
+    }
+  }
+  for (NodeId id : adt.defense_steps()) {
+    if (!values_.contains(adt.name(id))) {
+      throw AttributionError("Attribution: basic defense step '" +
+                             adt.name(id) + "' has no value");
+    }
+  }
+}
+
+AugmentedAdt::AugmentedAdt(Adt adt, Attribution attribution,
+                           Semiring defender_domain, Semiring attacker_domain)
+    : adt_(std::move(adt)),
+      attribution_(std::move(attribution)),
+      defender_domain_(std::move(defender_domain)),
+      attacker_domain_(std::move(attacker_domain)) {
+  adt_.freeze();
+  attribution_.validate(adt_);
+  attack_values_.reserve(adt_.num_attacks());
+  for (NodeId id : adt_.attack_steps()) {
+    const double value = attribution_.get(adt_.name(id));
+    if (!attacker_domain_.contains(value)) {
+      throw AttributionError("AugmentedAdt: value " + std::to_string(value) +
+                             " of attack step '" + adt_.name(id) +
+                             "' is outside the " + attacker_domain_.name() +
+                             " domain");
+    }
+    attack_values_.push_back(value);
+  }
+  defense_values_.reserve(adt_.num_defenses());
+  for (NodeId id : adt_.defense_steps()) {
+    const double value = attribution_.get(adt_.name(id));
+    if (!defender_domain_.contains(value)) {
+      throw AttributionError("AugmentedAdt: value " + std::to_string(value) +
+                             " of defense step '" + adt_.name(id) +
+                             "' is outside the " + defender_domain_.name() +
+                             " domain");
+    }
+    defense_values_.push_back(value);
+  }
+}
+
+double AugmentedAdt::value_of(NodeId id) const {
+  const Node& n = adt_.node(id);
+  if (n.type != GateType::BasicStep) {
+    throw AttributionError("AugmentedAdt::value_of: '" + n.name +
+                           "' is not a basic step");
+  }
+  return n.agent == Agent::Attacker
+             ? attack_values_[adt_.attack_index(id)]
+             : defense_values_[adt_.defense_index(id)];
+}
+
+double AugmentedAdt::defense_vector_value(const BitVec& defense) const {
+  double value = defender_domain_.one();
+  for (std::size_t i = 0; i < defense.size(); ++i) {
+    if (defense.test(i)) {
+      value = defender_domain_.combine(value, defense_values_[i]);
+    }
+  }
+  return value;
+}
+
+double AugmentedAdt::attack_vector_value(const BitVec& attack) const {
+  double value = attacker_domain_.one();
+  for (std::size_t i = 0; i < attack.size(); ++i) {
+    if (attack.test(i)) {
+      value = attacker_domain_.combine(value, attack_values_[i]);
+    }
+  }
+  return value;
+}
+
+}  // namespace adtp

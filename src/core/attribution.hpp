@@ -1,0 +1,97 @@
+/// \file attribution.hpp
+/// \brief Basic assignments beta_A / beta_D and augmented ADTs (Def. 5-6).
+
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "adt/adt.hpp"
+#include "core/semiring.hpp"
+#include "util/bitvec.hpp"
+
+namespace adtp {
+
+/// The basic assignment functions: beta_A maps each BAS to a value of the
+/// attacker domain, beta_D each BDS to a value of the defender domain.
+class Attribution {
+ public:
+  Attribution() = default;
+
+  /// Assigns a value to the basic step named \p name (agent inferred from
+  /// the node when validated). Values may be set before or after the Adt
+  /// is built; validation happens in validate()/AugmentedAdt.
+  void set(std::string name, double value);
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return values_.contains(name);
+  }
+  [[nodiscard]] double get(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] const std::unordered_map<std::string, double>& values()
+      const noexcept {
+    return values_;
+  }
+
+  /// Checks that every BAS and BDS of \p adt has a finite, non-NaN value
+  /// and that no value refers to a missing or non-leaf node.
+  /// Throws AttributionError otherwise.
+  void validate(const Adt& adt) const;
+
+ private:
+  std::unordered_map<std::string, double> values_;
+};
+
+/// An augmented attack-defense tree (Definition 5): the structure T plus
+/// the two attribute domains and the basic assignment.
+///
+/// The attribution is eagerly baked into dense per-index arrays so the
+/// analysis algorithms can do O(1) lookups by BAS/BDS index.
+class AugmentedAdt {
+ public:
+  /// \p adt must already be frozen (or freezable); throws on invalid
+  /// attribution.
+  AugmentedAdt(Adt adt, Attribution attribution, Semiring defender_domain,
+               Semiring attacker_domain);
+
+  [[nodiscard]] const Adt& adt() const noexcept { return adt_; }
+  [[nodiscard]] const Semiring& defender_domain() const noexcept {
+    return defender_domain_;
+  }
+  [[nodiscard]] const Semiring& attacker_domain() const noexcept {
+    return attacker_domain_;
+  }
+  [[nodiscard]] const Attribution& attribution() const noexcept {
+    return attribution_;
+  }
+
+  /// beta_A by dense attack index (position in adt().attack_steps()).
+  [[nodiscard]] double attack_value(std::size_t attack_index) const {
+    return attack_values_.at(attack_index);
+  }
+  /// beta_D by dense defense index.
+  [[nodiscard]] double defense_value(std::size_t defense_index) const {
+    return defense_values_.at(defense_index);
+  }
+
+  /// beta of a leaf node (either agent) by NodeId.
+  [[nodiscard]] double value_of(NodeId id) const;
+
+  /// Metric value of a defense vector (Definition 6): tensor_D over the
+  /// activated BDS; the empty vector yields 1_tensor_D.
+  [[nodiscard]] double defense_vector_value(const BitVec& defense) const;
+
+  /// Metric value of an attack vector (Definition 6).
+  [[nodiscard]] double attack_vector_value(const BitVec& attack) const;
+
+ private:
+  Adt adt_;
+  Attribution attribution_;
+  Semiring defender_domain_;
+  Semiring attacker_domain_;
+  std::vector<double> attack_values_;
+  std::vector<double> defense_values_;
+};
+
+}  // namespace adtp

@@ -1,0 +1,167 @@
+#include "core/bdd_bu.hpp"
+
+#include <type_traits>
+#include <unordered_map>
+
+#include "bdd/build.hpp"
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace adtp {
+
+namespace {
+
+/// Shared implementation of Algorithm 3 over a built BDD, generic in the
+/// point payload. \p max_front_size reports the largest intermediate front.
+template <typename P>
+BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
+                        bdd::Ref root, const bdd::VarOrder& order,
+                        std::size_t* max_front_size,
+                        std::size_t max_front_points = 0) {
+  const Adt& adt = aadt.adt();
+  const Semiring& dd = aadt.defender_domain();
+  const Semiring& da = aadt.attacker_domain();
+  const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
+  const std::size_t num_d = adt.num_defenses();
+  const std::size_t num_a = adt.num_attacks();
+
+  auto make_point = [&](double def, double att) {
+    P p;
+    p.def = def;
+    p.att = att;
+    if constexpr (std::is_same_v<P, WitnessPoint>) {
+      p.defense = BitVec(num_d);
+      p.attack = BitVec(num_a);
+    }
+    return p;
+  };
+
+  // Alg. 3 lines 2-5: terminal fronts depend on the root agent - the
+  // attacker's target leaf is 1 when tau(R_T) = A and 0 otherwise.
+  const bdd::Ref attacker_target = root_is_attack ? bdd::kTrue : bdd::kFalse;
+
+  std::unordered_map<bdd::Ref, BasicFront<P>> fronts;
+  fronts.reserve(manager.size(root));
+
+  std::size_t max_p = 0;
+
+  // reachable() yields ascending node indices, which is a topological
+  // order (children are created before parents), so one sweep suffices;
+  // shared nodes are computed exactly once (the memoization that gives
+  // O(|W| p^2)).
+  for (bdd::Ref w : manager.reachable(root)) {
+    if (manager.is_terminal(w)) {
+      const double att = (w == attacker_target) ? da.one() : da.zero();
+      fronts.emplace(w, BasicFront<P>::singleton(make_point(dd.one(), att)));
+      continue;
+    }
+    const std::uint32_t v = manager.var(w);
+    const NodeId leaf = order.node_of(v);
+    const auto& low = fronts.at(manager.low(w));
+    const auto& high = fronts.at(manager.high(w));
+
+    if (!order.is_defense_var(v)) {
+      // Alg. 3 lines 6-9: attack variable. Both child fronts are
+      // singletons with defender coordinate 1_tensor_D (no defense
+      // variable occurs below, by the defense-first order).
+      if (low.size() != 1 || high.size() != 1) {
+        throw Error(
+            "bdd_bu: internal invariant violated - non-singleton front "
+            "below an attack variable (is the order defense-first?)");
+      }
+      const P& p0 = low.front_point();
+      const P& p1 = high.front_point();
+      const double beta = aadt.attack_value(adt.attack_index(leaf));
+      const double via_high = da.combine(beta, p1.att);
+      P p = make_point(dd.one(), da.choose(p0.att, via_high));
+      if constexpr (std::is_same_v<P, WitnessPoint>) {
+        // The attacker takes the preferred branch; record its decisions.
+        if (da.strictly_prefer(via_high, p0.att)) {
+          p.attack = p1.attack;
+          p.attack.set(adt.attack_index(leaf));
+        } else {
+          p.attack = p0.attack;
+        }
+      }
+      fronts.emplace(w, BasicFront<P>::singleton(std::move(p)));
+    } else {
+      // Alg. 3 lines 10-14: defense variable. Either skip the defense
+      // (low front) or buy it (high front shifted by beta_D).
+      const double beta = aadt.defense_value(adt.defense_index(leaf));
+      std::vector<P> merged = low.points();
+      merged.reserve(low.size() + high.size());
+      for (const P& q : high.points()) {
+        P shifted = q;
+        shifted.def = dd.combine(beta, q.def);
+        if constexpr (std::is_same_v<P, WitnessPoint>) {
+          shifted.defense.set(adt.defense_index(leaf));
+        }
+        merged.push_back(std::move(shifted));
+      }
+      auto front = BasicFront<P>::minimized(std::move(merged), dd, da);
+      if (max_front_points != 0 && front.size() > max_front_points) {
+        throw LimitError("bdd_bu: intermediate front exceeds " +
+                         std::to_string(max_front_points) + " points");
+      }
+      max_p = std::max(max_p, front.size());
+      fronts.emplace(w, std::move(front));
+    }
+  }
+
+  if (max_front_size != nullptr) {
+    max_p = std::max(max_p, fronts.at(root).size());
+    *max_front_size = max_p;
+  }
+  return std::move(fronts.at(root));
+}
+
+bdd::VarOrder resolve_order(const AugmentedAdt& aadt,
+                            const BddBuOptions& options) {
+  if (options.order.has_value()) return *options.order;
+  return bdd::VarOrder::defense_first(aadt.adt(), options.order_heuristic,
+                                      options.order_seed);
+}
+
+}  // namespace
+
+Front bdd_bu_front(const AugmentedAdt& aadt, const BddBuOptions& options) {
+  return bdd_bu_analyze(aadt, options).front;
+}
+
+WitnessFront bdd_bu_front_witness(const AugmentedAdt& aadt,
+                                  const BddBuOptions& options) {
+  const bdd::VarOrder order = resolve_order(aadt, options);
+  bdd::Manager manager(order.num_vars(), options.node_limit);
+  const bdd::Ref root =
+      bdd::build_structure_function(manager, aadt.adt(), order);
+  return propagate<WitnessPoint>(aadt, manager, root, order, nullptr,
+                                 options.max_front_points);
+}
+
+BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
+                           const BddBuOptions& options) {
+  const bdd::VarOrder order = resolve_order(aadt, options);
+  bdd::Manager manager(order.num_vars(), options.node_limit);
+
+  BddBuReport report;
+  Stopwatch build_watch;
+  const bdd::Ref root =
+      bdd::build_structure_function(manager, aadt.adt(), order);
+  report.build_seconds = build_watch.seconds();
+  report.bdd_size = manager.size(root);
+  report.manager_nodes = manager.num_nodes();
+
+  Stopwatch prop_watch;
+  report.front = propagate<ValuePoint>(aadt, manager, root, order,
+                                       &report.max_front_size,
+                                       options.max_front_points);
+  report.propagate_seconds = prop_watch.seconds();
+  return report;
+}
+
+Front bdd_bu_on_bdd(const AugmentedAdt& aadt, bdd::Manager& manager,
+                    bdd::Ref root, const bdd::VarOrder& order) {
+  return propagate<ValuePoint>(aadt, manager, root, order, nullptr);
+}
+
+}  // namespace adtp

@@ -1,0 +1,72 @@
+/// \file bdd_bu.hpp
+/// \brief The BDD-based Pareto-front algorithm for DAG-shaped ADTs
+///        (Algorithm 3; correct by Theorem 2).
+///
+/// The ADT's structure function is translated to an ROBDD under a
+/// defense-first variable order; a Pareto front is then propagated
+/// bottom-up over the (shared) BDD nodes, memoized per node, giving the
+/// paper's O(|W| p^2) complexity. At attack-labeled nodes the front is a
+/// singleton (no defense variable occurs below them - this is exactly why
+/// Theorem 2 needs defense-first orders); at defense-labeled nodes the low
+/// front is merged with the cost-shifted high front and pruned.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bdd/manager.hpp"
+#include "bdd/order.hpp"
+#include "core/attribution.hpp"
+#include "core/pareto.hpp"
+
+namespace adtp {
+
+struct BddBuOptions {
+  /// Heuristic for the defense-first variable order.
+  bdd::OrderHeuristic order_heuristic = bdd::OrderHeuristic::Dfs;
+
+  /// Seed for OrderHeuristic::Random.
+  std::uint64_t order_seed = 1;
+
+  /// Node allocation guard for the manager (0 = manager default).
+  std::size_t node_limit = 0;
+
+  /// Aborts with LimitError when any intermediate front exceeds this many
+  /// points (fronts are worst-case exponential, Fig. 4). 0 = unlimited.
+  std::size_t max_front_points = 0;
+
+  /// Explicit variable order; overrides order_heuristic when set.
+  std::optional<bdd::VarOrder> order;
+};
+
+/// Detailed outcome of a BDDBU run, for benches and reports.
+struct BddBuReport {
+  Front front;
+  std::size_t bdd_size = 0;       ///< |W|: nodes reachable from the root
+  std::size_t manager_nodes = 0;  ///< total nodes allocated while building
+  std::size_t max_front_size = 0; ///< the p of the O(|W| p^2) bound
+  double build_seconds = 0;       ///< ADT -> ROBDD translation time
+  double propagate_seconds = 0;   ///< front propagation time
+};
+
+/// Algorithm 3 at the root of the ROBDD. Works for arbitrary (tree- or
+/// DAG-shaped) ADTs.
+[[nodiscard]] Front bdd_bu_front(const AugmentedAdt& aadt,
+                                 const BddBuOptions& options = {});
+
+/// As bdd_bu_front(), with witness events attached to every point.
+[[nodiscard]] WitnessFront bdd_bu_front_witness(
+    const AugmentedAdt& aadt, const BddBuOptions& options = {});
+
+/// As bdd_bu_front(), returning size/time diagnostics alongside the front.
+[[nodiscard]] BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
+                                         const BddBuOptions& options = {});
+
+/// Runs Algorithm 3 on an already-built BDD; exposed for callers that
+/// manage their own Manager (e.g. the ordering-ablation bench).
+[[nodiscard]] Front bdd_bu_on_bdd(const AugmentedAdt& aadt,
+                                  bdd::Manager& manager, bdd::Ref root,
+                                  const bdd::VarOrder& order);
+
+}  // namespace adtp

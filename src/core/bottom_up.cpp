@@ -1,0 +1,122 @@
+#include "core/bottom_up.hpp"
+
+#include <type_traits>
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+AttackOp attack_op(GateType gate, Agent agent) {
+  switch (gate) {
+    case GateType::And:
+      return agent == Agent::Attacker ? AttackOp::Combine : AttackOp::Choose;
+    case GateType::Or:
+      return agent == Agent::Attacker ? AttackOp::Choose : AttackOp::Combine;
+    case GateType::Inhibit:
+      return agent == Agent::Attacker ? AttackOp::Combine : AttackOp::Choose;
+    case GateType::BasicStep:
+      break;
+  }
+  throw ModelError("attack_op: basic steps have no combination operator");
+}
+
+namespace {
+
+template <typename P>
+P attack_leaf_point(const AugmentedAdt& aadt, NodeId id) {
+  const std::size_t index = aadt.adt().attack_index(id);
+  P p;
+  p.def = aadt.defender_domain().one();
+  p.att = aadt.attack_value(index);
+  if constexpr (std::is_same_v<P, WitnessPoint>) {
+    p.defense = BitVec(aadt.adt().num_defenses());
+    p.attack = BitVec(aadt.adt().num_attacks());
+    p.attack.set(index);
+  }
+  return p;
+}
+
+template <typename P>
+std::vector<P> defense_leaf_points(const AugmentedAdt& aadt, NodeId id) {
+  const std::size_t index = aadt.adt().defense_index(id);
+  // Inactive: costs nothing, and "defeating" it is free for the attacker.
+  P off;
+  off.def = aadt.defender_domain().one();
+  off.att = aadt.attacker_domain().one();
+  // Active: costs beta_D, and a bare BDS cannot be defeated.
+  P on;
+  on.def = aadt.defense_value(index);
+  on.att = aadt.attacker_domain().zero();
+  if constexpr (std::is_same_v<P, WitnessPoint>) {
+    off.defense = BitVec(aadt.adt().num_defenses());
+    off.attack = BitVec(aadt.adt().num_attacks());
+    on.defense = off.defense;
+    on.attack = off.attack;
+    on.defense.set(index);
+  }
+  return {std::move(off), std::move(on)};
+}
+
+template <typename P>
+std::vector<BasicFront<P>> bottom_up_all(const AugmentedAdt& aadt,
+                                         const BottomUpOptions& options) {
+  const Adt& adt = aadt.adt();
+  if (!adt.is_tree()) {
+    throw ModelError(
+        "bottom_up: the ADT is DAG-shaped (a node has multiple parents); "
+        "the Bottom-Up algorithm is only sound for trees - use "
+        "bdd_bu_front() or transform the model with unfold_to_tree()");
+  }
+  const Semiring& dd = aadt.defender_domain();
+  const Semiring& da = aadt.attacker_domain();
+
+  std::vector<BasicFront<P>> fronts(adt.size());
+  for (NodeId v : adt.topological_order()) {
+    const Node& n = adt.node(v);
+    if (n.type == GateType::BasicStep) {
+      if (n.agent == Agent::Attacker) {
+        fronts[v] = BasicFront<P>::singleton(attack_leaf_point<P>(aadt, v));
+      } else {
+        fronts[v] = BasicFront<P>::minimized(defense_leaf_points<P>(aadt, v),
+                                             dd, da);
+      }
+      continue;
+    }
+    // Fold the children's fronts pairwise (Alg. 1 lines 7-9); pruning
+    // after every combination is lossless by Lemma 2.
+    const AttackOp op = attack_op(n.type, n.agent);
+    BasicFront<P> acc = fronts[n.children[0]];
+    for (std::size_t i = 1; i < n.children.size(); ++i) {
+      acc = combine_fronts(acc, fronts[n.children[i]], op, dd, da);
+      if (options.max_front_points != 0 &&
+          acc.size() > options.max_front_points) {
+        throw LimitError("bottom_up: intermediate front exceeds " +
+                         std::to_string(options.max_front_points) +
+                         " points at node '" + n.name + "'");
+      }
+    }
+    fronts[v] = std::move(acc);
+  }
+  return fronts;
+}
+
+}  // namespace
+
+Front bottom_up_front(const AugmentedAdt& aadt,
+                      const BottomUpOptions& options) {
+  auto fronts = bottom_up_all<ValuePoint>(aadt, options);
+  return std::move(fronts[aadt.adt().root()]);
+}
+
+WitnessFront bottom_up_front_witness(const AugmentedAdt& aadt,
+                                     const BottomUpOptions& options) {
+  auto fronts = bottom_up_all<WitnessPoint>(aadt, options);
+  return std::move(fronts[aadt.adt().root()]);
+}
+
+std::vector<Front> bottom_up_all_fronts(const AugmentedAdt& aadt,
+                                        const BottomUpOptions& options) {
+  return bottom_up_all<ValuePoint>(aadt, options);
+}
+
+}  // namespace adtp

@@ -1,0 +1,50 @@
+#include "core/budget.hpp"
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+double guaranteed_attacker_value(const Front& front, double budget,
+                                 const Semiring& defender,
+                                 const Semiring& attacker) {
+  if (front.empty()) {
+    throw Error("budget query on an empty Pareto front");
+  }
+  // Points are sorted with the defender value worsening and the attacker
+  // value growing more adverse; take the last affordable point.
+  double best = attacker.one();
+  bool found = false;
+  for (const ValuePoint& p : front.points()) {
+    if (defender.prefer(p.def, budget)) {
+      best = p.att;
+      found = true;
+    }
+  }
+  if (!found) {
+    // Budget below even the free point; can only happen with exotic custom
+    // domains - report the free point's value.
+    return front.front_point().att;
+  }
+  return best;
+}
+
+std::optional<double> cheapest_defense_for(const Front& front, double target,
+                                           const Semiring& defender,
+                                           const Semiring& attacker) {
+  (void)defender;
+  for (const ValuePoint& p : front.points()) {
+    // Adverse enough: the target is at least as good (for the attacker)
+    // as the response value, i.e. response >= target in adversity.
+    if (attacker.prefer(target, p.att)) return p.def;
+  }
+  return std::nullopt;
+}
+
+double unlimited_defender_value(const Front& front) {
+  if (front.empty()) {
+    throw Error("budget query on an empty Pareto front");
+  }
+  return front.points().back().att;
+}
+
+}  // namespace adtp

@@ -1,0 +1,42 @@
+/// \file budget.hpp
+/// \brief Budget queries on computed Pareto fronts.
+///
+/// The paper motivates the Pareto front as "the set of maximal achievable
+/// attacker costs for each possible defender budget". These helpers answer
+/// the two planning questions directly:
+///  - guaranteed_attacker_value: with defender budget b, how badly off can
+///    the defender make an optimally-playing attacker?
+///  - cheapest_defense_for: what is the least defender spend that pushes
+///    the attacker's optimal response to at least a target value?
+
+#pragma once
+
+#include <optional>
+
+#include "core/pareto.hpp"
+
+namespace adtp {
+
+/// The best (most attacker-adverse) response value achievable with
+/// defender budget \p budget: the point with the largest defender value
+/// still within budget. Fronts always contain a point with defender value
+/// 1_tensor_D, so this is well-defined for every budget that is at least
+/// as bad as 1_tensor_D (i.e. any valid budget).
+[[nodiscard]] double guaranteed_attacker_value(const Front& front,
+                                               double budget,
+                                               const Semiring& defender,
+                                               const Semiring& attacker);
+
+/// The cheapest defender value whose optimal attacker response is at
+/// least as adverse as \p target (w.r.t. the attacker order); nullopt if
+/// no point on the front reaches the target.
+[[nodiscard]] std::optional<double> cheapest_defense_for(
+    const Front& front, double target, const Semiring& defender,
+    const Semiring& attacker);
+
+/// The single value reported by attacker-only analyses (e.g. the ADTool
+/// -style "minimal cost of an unpreventable attack"): the attacker value
+/// when the defender has unlimited budget - the last point of the front.
+[[nodiscard]] double unlimited_defender_value(const Front& front);
+
+}  // namespace adtp

@@ -1,0 +1,95 @@
+#include "core/hybrid.hpp"
+
+#include <functional>
+
+#include "adt/modules.hpp"
+#include "adt/transform.hpp"
+#include "core/bottom_up.hpp"
+
+namespace adtp {
+
+namespace {
+
+struct HybridState {
+  const AugmentedAdt& aadt;
+  const HybridOptions& options;
+  ModuleInfo modules;
+  HybridReport report;
+
+  /// True iff gate \p v can be combined tree-style: every child is a
+  /// single-parent module and the children's descendant sets are pairwise
+  /// disjoint (so their basic steps - and thus their strategy choices -
+  /// are independent).
+  bool children_are_independent(NodeId v) {
+    const Adt& adt = aadt.adt();
+    const auto& children = adt.children(v);
+    for (NodeId c : children) {
+      if (adt.parents(c).size() != 1) return false;
+      if (!modules.is_module[c]) return false;
+    }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      for (std::size_t j = i + 1; j < children.size(); ++j) {
+        if (modules.descendants[children[i]].intersects(
+                modules.descendants[children[j]])) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  Front leaf_front(NodeId v) {
+    const Adt& adt = aadt.adt();
+    const Semiring& dd = aadt.defender_domain();
+    const Semiring& da = aadt.attacker_domain();
+    if (adt.agent(v) == Agent::Attacker) {
+      return Front::singleton(
+          ValuePoint{dd.one(), aadt.attack_value(adt.attack_index(v))});
+    }
+    return Front::minimized(
+        {ValuePoint{dd.one(), da.one()},
+         ValuePoint{aadt.defense_value(adt.defense_index(v)), da.zero()}},
+        dd, da);
+  }
+
+  Front blob_front(NodeId v) {
+    // Sharing reaches into this subtree: analyze the whole sub-DAG with
+    // BDDBU (Theorem 2 applies to the sub-AADT as its own model).
+    const AugmentedAdt sub = extract_subgraph(aadt, v);
+    ++report.blob_count;
+    report.largest_blob = std::max(report.largest_blob, sub.adt().size());
+    return bdd_bu_front(sub, options.bdd);
+  }
+
+  Front front(NodeId v) {
+    const Adt& adt = aadt.adt();
+    if (adt.type(v) == GateType::BasicStep) return leaf_front(v);
+    if (!children_are_independent(v)) return blob_front(v);
+
+    const Semiring& dd = aadt.defender_domain();
+    const Semiring& da = aadt.attacker_domain();
+    const AttackOp op = attack_op(adt.type(v), adt.agent(v));
+    const auto& children = adt.children(v);
+    Front acc = front(children[0]);
+    for (std::size_t i = 1; i < children.size(); ++i) {
+      acc = combine_fronts(acc, front(children[i]), op, dd, da);
+    }
+    ++report.tree_combines;
+    return acc;
+  }
+};
+
+}  // namespace
+
+Front hybrid_front(const AugmentedAdt& aadt, const HybridOptions& options) {
+  return hybrid_analyze(aadt, options).front;
+}
+
+HybridReport hybrid_analyze(const AugmentedAdt& aadt,
+                            const HybridOptions& options) {
+  HybridState state{aadt, options, compute_modules(aadt.adt()), {}};
+  state.report.front = state.front(aadt.adt().root());
+  return std::move(state.report);
+}
+
+}  // namespace adtp

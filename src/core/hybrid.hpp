@@ -1,0 +1,42 @@
+/// \file hybrid.hpp
+/// \brief Modular hybrid analyzer (the paper's future-work extension).
+///
+/// Combines the strengths of the two exact algorithms: wherever the ADT is
+/// locally tree-shaped the cheap Bottom-Up combination of child fronts is
+/// used (sound because each child is an independent module, so Lemma 1's
+/// disjointness argument applies); wherever sharing is confined inside a
+/// sub-DAG, that whole "blob" is analyzed with BDDBU and its front is
+/// treated as a leaf front. On a tree this degenerates to Algorithm 1, on
+/// a fully entangled DAG to Algorithm 3; in between it analyzes each shared
+/// region with a *smaller* BDD than the global one.
+
+#pragma once
+
+#include "core/attribution.hpp"
+#include "core/bdd_bu.hpp"
+#include "core/pareto.hpp"
+
+namespace adtp {
+
+struct HybridOptions {
+  /// Options forwarded to the per-blob BDDBU runs.
+  BddBuOptions bdd;
+};
+
+/// Diagnostics of a hybrid run.
+struct HybridReport {
+  Front front;
+  std::size_t blob_count = 0;      ///< sub-DAGs handed to BDDBU
+  std::size_t largest_blob = 0;    ///< node count of the largest such blob
+  std::size_t tree_combines = 0;   ///< gates combined tree-style
+};
+
+/// Computes the Pareto front of an arbitrary ADT by modular decomposition.
+[[nodiscard]] Front hybrid_front(const AugmentedAdt& aadt,
+                                 const HybridOptions& options = {});
+
+/// As hybrid_front(), with diagnostics.
+[[nodiscard]] HybridReport hybrid_analyze(const AugmentedAdt& aadt,
+                                          const HybridOptions& options = {});
+
+}  // namespace adtp

@@ -1,0 +1,197 @@
+#include "core/naive.hpp"
+
+#include <bit>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+namespace {
+
+/// Fast structure-function evaluation over uint64 masks. Bit i of the
+/// attack (defense) mask is BAS (BDS) index i. Only valid when
+/// |A|, |D| <= 64, which the max_bits guard already implies.
+class MaskEvaluator {
+ public:
+  explicit MaskEvaluator(const Adt& adt) : adt_(&adt), values_(adt.size()) {
+    // Precompute leaf positions: for each node, which mask bit drives it.
+    leaf_bit_.assign(adt.size(), 0);
+    leaf_kind_.assign(adt.size(), 0);
+    for (NodeId id : adt.attack_steps()) {
+      leaf_kind_[id] = 1;
+      leaf_bit_[id] = adt.attack_index(id);
+    }
+    for (NodeId id : adt.defense_steps()) {
+      leaf_kind_[id] = 2;
+      leaf_bit_[id] = adt.defense_index(id);
+    }
+  }
+
+  [[nodiscard]] bool root_value(std::uint64_t defense, std::uint64_t attack) {
+    const Adt& adt = *adt_;
+    for (NodeId v : adt.topological_order()) {
+      const Node& n = adt.node(v);
+      char value = 0;
+      switch (n.type) {
+        case GateType::BasicStep:
+          value = leaf_kind_[v] == 1
+                      ? static_cast<char>((attack >> leaf_bit_[v]) & 1)
+                      : static_cast<char>((defense >> leaf_bit_[v]) & 1);
+          break;
+        case GateType::And:
+          value = 1;
+          for (NodeId c : n.children) {
+            value = static_cast<char>(value & values_[c]);
+          }
+          break;
+        case GateType::Or:
+          value = 0;
+          for (NodeId c : n.children) {
+            value = static_cast<char>(value | values_[c]);
+          }
+          break;
+        case GateType::Inhibit:
+          value = static_cast<char>(values_[n.children[0]] &&
+                                    !values_[n.children[1]]);
+          break;
+      }
+      values_[v] = value;
+    }
+    return values_[adt.root()] != 0;
+  }
+
+ private:
+  const Adt* adt_;
+  std::vector<char> values_;
+  std::vector<std::size_t> leaf_bit_;
+  std::vector<char> leaf_kind_;
+};
+
+BitVec mask_to_bitvec(std::uint64_t mask, std::size_t size) {
+  BitVec v(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if ((mask >> i) & 1ULL) v.set(i);
+  }
+  return v;
+}
+
+void check_limits(const AugmentedAdt& aadt, const NaiveOptions& options) {
+  const std::size_t bits = aadt.adt().num_attacks() + aadt.adt().num_defenses();
+  if (bits > options.max_bits) {
+    throw LimitError("naive: |D| + |A| = " + std::to_string(bits) +
+                     " exceeds the enumeration guard of " +
+                     std::to_string(options.max_bits) + " bits");
+  }
+}
+
+}  // namespace
+
+std::vector<FeasibleEvent> enumerate_feasible_events(
+    const AugmentedAdt& aadt, const NaiveOptions& options) {
+  check_limits(aadt, options);
+  const Adt& adt = aadt.adt();
+  const Semiring& da = aadt.attacker_domain();
+  const std::size_t num_d = adt.num_defenses();
+  const std::size_t num_a = adt.num_attacks();
+  const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
+
+  MaskEvaluator eval(adt);
+
+  // beta-hat_A for every attack mask, by subset dynamic programming; keeps
+  // the hot loop free of per-mask recombination. Tabulated only while the
+  // table stays small (2^22 doubles = 32 MiB); above that, computed per
+  // mask.
+  const bool tabulate = num_a <= 22;
+  std::vector<double> attack_value;
+  if (tabulate) {
+    attack_value.resize(std::size_t{1} << num_a);
+    attack_value[0] = da.one();
+    for (std::uint64_t alpha = 1; alpha < attack_value.size(); ++alpha) {
+      const std::uint64_t low = alpha & (~alpha + 1);  // lowest set bit
+      const auto low_index = static_cast<std::size_t>(std::countr_zero(low));
+      attack_value[alpha] =
+          da.combine(attack_value[alpha ^ low], aadt.attack_value(low_index));
+    }
+  }
+  auto value_of_alpha = [&](std::uint64_t alpha) {
+    if (tabulate) return attack_value[alpha];
+    double v = da.one();
+    std::uint64_t rest = alpha;
+    while (rest != 0) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(rest));
+      v = da.combine(v, aadt.attack_value(i));
+      rest &= rest - 1;
+    }
+    return v;
+  };
+
+  std::vector<FeasibleEvent> events;
+  events.reserve(std::size_t{1} << num_d);
+
+  for (std::uint64_t delta = 0; delta < (std::uint64_t{1} << num_d);
+       ++delta) {
+    if (options.deadline != nullptr && options.deadline->expired()) {
+      throw LimitError("naive: deadline expired");
+    }
+    // Algorithm 2 lines 4-11: the attacker's optimal response.
+    bool found = false;
+    double best = da.zero();
+    std::uint64_t best_alpha = 0;
+    for (std::uint64_t alpha = 0; alpha < (std::uint64_t{1} << num_a);
+         ++alpha) {
+      const bool value = eval.root_value(delta, alpha);
+      const bool success = root_is_attack ? value : !value;
+      if (!success) continue;
+      const double candidate = value_of_alpha(alpha);
+      if (!found || da.strictly_prefer(candidate, best)) {
+        found = true;
+        best = candidate;
+        best_alpha = alpha;
+      }
+    }
+
+    FeasibleEvent ev;
+    ev.defense = mask_to_bitvec(delta, num_d);
+    ev.defense_value = aadt.defense_vector_value(ev.defense);
+    if (found) {
+      ev.response = mask_to_bitvec(best_alpha, num_a);
+      ev.attack_value = best;
+    } else {
+      ev.attack_value = da.zero();  // 1_oplus_A: no successful attack
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+Front naive_front(const AugmentedAdt& aadt, const NaiveOptions& options) {
+  const auto events = enumerate_feasible_events(aadt, options);
+  std::vector<ValuePoint> points;
+  points.reserve(events.size());
+  for (const auto& ev : events) {
+    points.push_back(ValuePoint{ev.defense_value, ev.attack_value});
+  }
+  return Front::minimized(std::move(points), aadt.defender_domain(),
+                          aadt.attacker_domain());
+}
+
+WitnessFront naive_front_witness(const AugmentedAdt& aadt,
+                                 const NaiveOptions& options) {
+  const auto events = enumerate_feasible_events(aadt, options);
+  const std::size_t num_a = aadt.adt().num_attacks();
+  std::vector<WitnessPoint> points;
+  points.reserve(events.size());
+  for (const auto& ev : events) {
+    WitnessPoint p;
+    p.def = ev.defense_value;
+    p.att = ev.attack_value;
+    p.defense = ev.defense;
+    p.attack = ev.response ? *ev.response : BitVec(num_a);
+    points.push_back(std::move(p));
+  }
+  return WitnessFront::minimized(std::move(points), aadt.defender_domain(),
+                                 aadt.attacker_domain());
+}
+
+}  // namespace adtp

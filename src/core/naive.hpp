@@ -1,0 +1,55 @@
+/// \file naive.hpp
+/// \brief The Naive Pareto-front algorithm (Algorithm 2).
+///
+/// Enumerates every defense vector delta, computes the attacker's optimal
+/// response rho(delta) by enumerating every attack vector (Definition 7),
+/// and minimizes the resulting value pairs under Definition 9 dominance.
+/// Exact for arbitrary DAG-shaped ADTs but exponential in |D| + |A|; it is
+/// the correctness oracle for the other algorithms and the baseline of the
+/// paper's experiments.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/attribution.hpp"
+#include "core/pareto.hpp"
+#include "util/timer.hpp"
+
+namespace adtp {
+
+struct NaiveOptions {
+  /// Refuses instances with |D| + |A| above this (the enumeration would
+  /// run forever); throws LimitError.
+  std::size_t max_bits = 30;
+
+  /// Optional wall-clock guard: when set and expired mid-run, throws
+  /// LimitError (the paper similarly caps runs at 10^4 seconds).
+  const Deadline* deadline = nullptr;
+};
+
+/// One row of the feasible-event set S (Definition 8): a defense vector
+/// and the attacker's optimal response (nullopt when no successful attack
+/// exists, the paper's "rho(delta) = circumflex" case).
+struct FeasibleEvent {
+  BitVec defense;
+  std::optional<BitVec> response;
+  double defense_value = 0;  ///< beta-hat_D(delta)
+  double attack_value = 0;   ///< beta-hat_A(rho(delta)), or 1_oplus_A
+};
+
+/// Computes the full feasible-event set S, one entry per defense vector,
+/// in ascending binary order of delta.
+[[nodiscard]] std::vector<FeasibleEvent> enumerate_feasible_events(
+    const AugmentedAdt& aadt, const NaiveOptions& options = {});
+
+/// Algorithm 2: the Pareto front min_dominance(beta-hat(S)).
+[[nodiscard]] Front naive_front(const AugmentedAdt& aadt,
+                                const NaiveOptions& options = {});
+
+/// As naive_front(), with witness events attached to every point.
+[[nodiscard]] WitnessFront naive_front_witness(
+    const AugmentedAdt& aadt, const NaiveOptions& options = {});
+
+}  // namespace adtp

@@ -1,0 +1,23 @@
+#include "core/pareto.hpp"
+
+namespace adtp {
+
+// Explicit instantiations for the two supported payloads; keeps the
+// template code out of every including translation unit.
+template class BasicFront<ValuePoint>;
+template class BasicFront<WitnessPoint>;
+
+template BasicFront<ValuePoint> combine_fronts(const BasicFront<ValuePoint>&,
+                                               const BasicFront<ValuePoint>&,
+                                               AttackOp, const Semiring&,
+                                               const Semiring&);
+template BasicFront<WitnessPoint> combine_fronts(
+    const BasicFront<WitnessPoint>&, const BasicFront<WitnessPoint>&, AttackOp,
+    const Semiring&, const Semiring&);
+
+template std::vector<ValuePoint> pareto_min_bruteforce(
+    const std::vector<ValuePoint>&, const Semiring&, const Semiring&);
+template std::vector<WitnessPoint> pareto_min_bruteforce(
+    const std::vector<WitnessPoint>&, const Semiring&, const Semiring&);
+
+}  // namespace adtp

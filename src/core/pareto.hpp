@@ -1,0 +1,276 @@
+/// \file pareto.hpp
+/// \brief Pareto points, dominance, and Pareto fronts (Definitions 8-9).
+///
+/// A point pairs a defender metric value with the attacker's optimal
+/// response value. Dominance follows Definition 9:
+///   (s1, t1)  dominates  (s2, t2)   iff   s1 <=_D s2  and  t1 >=_A t2,
+/// i.e. the defender spends no more and the attacker is at least as badly
+/// off. A front stores the Pareto-minimal *value pairs* (duplicates
+/// collapse), sorted with strictly improving defender values and strictly
+/// "worsening for the attacker" response values - a staircase.
+///
+/// Fronts are generic over the point payload: ValuePoint carries only the
+/// two metric values, WitnessPoint additionally carries a witness event
+/// (which defense/attack sets realize the point), supporting strategy
+/// extraction.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/semiring.hpp"
+#include "util/bitvec.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace adtp {
+
+/// A value-only Pareto point: defender metric, attacker response metric.
+struct ValuePoint {
+  double def = 0;
+  double att = 0;
+};
+
+/// A Pareto point carrying a witness event.
+struct WitnessPoint {
+  double def = 0;
+  double att = 0;
+  BitVec defense;  ///< witness defense vector (full |D| indexing)
+  BitVec attack;   ///< witness attack vector (full |A| indexing)
+};
+
+/// True iff \p p dominates \p q per Definition 9 (non-strict).
+template <typename P>
+[[nodiscard]] bool dominates(const P& p, const P& q, const Semiring& dd,
+                             const Semiring& da) {
+  return dd.prefer(p.def, q.def) && da.prefer(q.att, p.att);
+}
+
+/// How the attacker coordinate is merged when combining two fronts
+/// (Table II): Combine applies tensor_A, Choose applies oplus_A.
+enum class AttackOp : std::uint8_t { Combine, Choose };
+
+[[nodiscard]] constexpr const char* to_string(AttackOp op) noexcept {
+  return op == AttackOp::Combine ? "tensor_A" : "oplus_A";
+}
+
+/// A Pareto front over payload type \p P (ValuePoint or WitnessPoint).
+template <typename P>
+class BasicFront {
+ public:
+  BasicFront() = default;
+
+  /// Builds the Pareto-minimal front of arbitrary \p points.
+  static BasicFront minimized(std::vector<P> points, const Semiring& dd,
+                              const Semiring& da);
+
+  /// A front with a single point.
+  static BasicFront singleton(P point);
+
+  [[nodiscard]] const std::vector<P>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const P& front_point() const { return points_.at(0); }
+
+  /// The union of two fronts, re-minimized.
+  [[nodiscard]] BasicFront merged_with(const BasicFront& other,
+                                       const Semiring& dd,
+                                       const Semiring& da) const;
+
+  /// True iff both fronts contain equivalent value pairs in order
+  /// (witnesses are ignored).
+  [[nodiscard]] bool same_values(const BasicFront& other, const Semiring& dd,
+                                 const Semiring& da) const;
+
+  /// As same_values(), but tolerating relative floating-point error up to
+  /// \p rel_tol; needed when algorithms combine the same values in
+  /// different orders (double arithmetic is only associative up to ULPs).
+  [[nodiscard]] bool approx_same_values(const BasicFront& other,
+                                        double rel_tol = 1e-9) const;
+
+  /// Renders as "{(d1, a1), (d2, a2), ...}".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<P> points_;
+};
+
+using Front = BasicFront<ValuePoint>;
+using WitnessFront = BasicFront<WitnessPoint>;
+
+/// Combines two child fronts per the Bottom-Up step (Alg. 1 lines 7-8):
+/// the defender coordinate always uses tensor_D; the attacker coordinate
+/// uses tensor_A or oplus_A per \p op (Table II); the result is
+/// re-minimized (sound by Lemma 2). Witness payloads are maintained:
+/// defense witnesses union; attack witnesses union under Combine and adopt
+/// the chosen side under Choose.
+template <typename P>
+[[nodiscard]] BasicFront<P> combine_fronts(const BasicFront<P>& lhs,
+                                           const BasicFront<P>& rhs,
+                                           AttackOp op, const Semiring& dd,
+                                           const Semiring& da);
+
+/// Reference O(n^2) Pareto minimization used by tests to validate the
+/// staircase implementation.
+template <typename P>
+[[nodiscard]] std::vector<P> pareto_min_bruteforce(const std::vector<P>& pts,
+                                                   const Semiring& dd,
+                                                   const Semiring& da);
+
+// ---- implementation ------------------------------------------------------
+
+namespace detail {
+
+// Payload hooks: value-only points have no extra state.
+inline void merge_defense_witness(ValuePoint&, const ValuePoint&) {}
+inline void merge_attack_witness(ValuePoint&, const ValuePoint&) {}
+inline void adopt_attack_witness(ValuePoint&, const ValuePoint&) {}
+
+inline void merge_defense_witness(WitnessPoint& into,
+                                  const WitnessPoint& from) {
+  into.defense |= from.defense;
+}
+inline void merge_attack_witness(WitnessPoint& into,
+                                 const WitnessPoint& from) {
+  into.attack |= from.attack;
+}
+inline void adopt_attack_witness(WitnessPoint& into,
+                                 const WitnessPoint& from) {
+  into.attack = from.attack;
+}
+
+}  // namespace detail
+
+template <typename P>
+BasicFront<P> BasicFront<P>::minimized(std::vector<P> points,
+                                       const Semiring& dd,
+                                       const Semiring& da) {
+  // Staircase sweep: sort by defender value (best first; ties put the most
+  // attacker-adverse response first), then keep a point iff its response
+  // is strictly more adverse than everything already kept.
+  std::sort(points.begin(), points.end(), [&](const P& a, const P& b) {
+    if (!dd.equivalent(a.def, b.def)) return dd.strictly_prefer(a.def, b.def);
+    if (!da.equivalent(a.att, b.att)) return da.strictly_prefer(b.att, a.att);
+    return false;
+  });
+  BasicFront out;
+  bool have = false;
+  double most_adverse = 0;
+  for (P& p : points) {
+    if (!have || da.strictly_prefer(most_adverse, p.att)) {
+      most_adverse = p.att;
+      have = true;
+      out.points_.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+template <typename P>
+BasicFront<P> BasicFront<P>::singleton(P point) {
+  BasicFront out;
+  out.points_.push_back(std::move(point));
+  return out;
+}
+
+template <typename P>
+BasicFront<P> BasicFront<P>::merged_with(const BasicFront& other,
+                                         const Semiring& dd,
+                                         const Semiring& da) const {
+  std::vector<P> all = points_;
+  all.insert(all.end(), other.points_.begin(), other.points_.end());
+  return minimized(std::move(all), dd, da);
+}
+
+template <typename P>
+bool BasicFront<P>::same_values(const BasicFront& other, const Semiring& dd,
+                                const Semiring& da) const {
+  if (points_.size() != other.points_.size()) return false;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!dd.equivalent(points_[i].def, other.points_[i].def)) return false;
+    if (!da.equivalent(points_[i].att, other.points_[i].att)) return false;
+  }
+  return true;
+}
+
+template <typename P>
+bool BasicFront<P>::approx_same_values(const BasicFront& other,
+                                       double rel_tol) const {
+  if (points_.size() != other.points_.size()) return false;
+  auto close = [rel_tol](double x, double y) {
+    if (x == y) return true;  // covers equal infinities
+    const double scale = std::max({1.0, std::abs(x), std::abs(y)});
+    return std::abs(x - y) <= rel_tol * scale;
+  };
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (!close(points_[i].def, other.points_[i].def)) return false;
+    if (!close(points_[i].att, other.points_[i].att)) return false;
+  }
+  return true;
+}
+
+template <typename P>
+std::string BasicFront<P>::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "(" + format_value(points_[i].def) + ", " +
+           format_value(points_[i].att) + ")";
+  }
+  out += "}";
+  return out;
+}
+
+template <typename P>
+BasicFront<P> combine_fronts(const BasicFront<P>& lhs, const BasicFront<P>& rhs,
+                             AttackOp op, const Semiring& dd,
+                             const Semiring& da) {
+  std::vector<P> out;
+  out.reserve(lhs.size() * rhs.size());
+  for (const P& p : lhs.points()) {
+    for (const P& q : rhs.points()) {
+      P r = p;
+      r.def = dd.combine(p.def, q.def);
+      detail::merge_defense_witness(r, q);
+      if (op == AttackOp::Combine) {
+        r.att = da.combine(p.att, q.att);
+        detail::merge_attack_witness(r, q);
+      } else if (da.strictly_prefer(q.att, p.att)) {
+        r.att = q.att;
+        detail::adopt_attack_witness(r, q);
+      }
+      out.push_back(std::move(r));
+    }
+  }
+  return BasicFront<P>::minimized(std::move(out), dd, da);
+}
+
+template <typename P>
+std::vector<P> pareto_min_bruteforce(const std::vector<P>& pts,
+                                     const Semiring& dd, const Semiring& da) {
+  std::vector<P> kept;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < pts.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const bool j_dominates = dominates(pts[j], pts[i], dd, da);
+      const bool values_equal = dd.equivalent(pts[i].def, pts[j].def) &&
+                                da.equivalent(pts[i].att, pts[j].att);
+      // Equal value pairs collapse: keep only the first occurrence.
+      if (values_equal) {
+        if (j < i) dominated = true;
+      } else if (j_dominates) {
+        dominated = true;
+      }
+    }
+    if (!dominated) kept.push_back(pts[i]);
+  }
+  return kept;
+}
+
+}  // namespace adtp

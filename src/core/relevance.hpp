@@ -1,0 +1,54 @@
+/// \file relevance.hpp
+/// \brief Defense-relevance analysis (extension).
+///
+/// The paper's case study observes that the BDS "strong pwd" is part of no
+/// Pareto-optimal point, "suggesting that this action does not help the
+/// defender and should be avoided". This module generalizes that
+/// observation into an exact analysis: a defense d is *irrelevant* when
+/// forbidding it entirely (fixing delta_d = 0) leaves the Pareto front
+/// unchanged - every trade-off the defender could reach with d is reachable
+/// without it. Implemented by restricting the structure function's ROBDD on
+/// d's variable and re-running BDDBU, so one BDD build serves all queries.
+
+#pragma once
+
+#include <vector>
+
+#include "core/bdd_bu.hpp"
+
+namespace adtp {
+
+/// Relevance verdict for one basic defense step.
+struct DefenseRelevance {
+  NodeId defense = kNoNode;
+  bool relevant = false;  ///< forbidding it changes the Pareto front
+  Front front_without;    ///< PF(T | delta_d = 0)
+
+  /// Security ceiling with/without this defense: the attacker's optimal
+  /// value when the defender budget is unlimited (the fronts' endpoints).
+  /// The gap is the defense's contribution to the best reachable
+  /// security level - a quick ROI signal for defense portfolios.
+  double ceiling_with = 0;
+  double ceiling_without = 0;
+};
+
+struct RelevanceReport {
+  Front full_front;  ///< PF(T) with every defense available
+  std::vector<DefenseRelevance> defenses;  ///< one entry per BDS
+
+  /// The irrelevant defenses (money spent on them is wasted).
+  [[nodiscard]] std::vector<NodeId> irrelevant() const {
+    std::vector<NodeId> out;
+    for (const auto& d : defenses) {
+      if (!d.relevant) out.push_back(d.defense);
+    }
+    return out;
+  }
+};
+
+/// Computes relevance for every defense of \p aadt. Works on trees and
+/// DAGs (everything goes through the BDD pipeline).
+[[nodiscard]] RelevanceReport analyze_defense_relevance(
+    const AugmentedAdt& aadt, const BddBuOptions& options = {});
+
+}  // namespace adtp

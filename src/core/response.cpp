@@ -1,0 +1,167 @@
+#include "core/response.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+Responder::Responder(const AugmentedAdt& aadt, std::size_t node_limit)
+    : aadt_(&aadt),
+      order_(bdd::VarOrder::defense_first(aadt.adt())),
+      manager_(order_.num_vars(), node_limit),
+      root_(bdd::build_structure_function(manager_, aadt.adt(), order_)) {}
+
+std::size_t Responder::bdd_size() const { return manager_.size(root_); }
+
+ResponseResult Responder::respond(const BitVec& defense) const {
+  const Adt& adt = aadt_->adt();
+  const Semiring& da = aadt_->attacker_domain();
+  if (defense.size() != adt.num_defenses()) {
+    throw ModelError("Responder::respond: defense vector size " +
+                     std::to_string(defense.size()) + " != |D| = " +
+                     std::to_string(adt.num_defenses()));
+  }
+
+  // Cofactor on the deployed defenses; the result tests attack variables
+  // only (defenses occupy the first block of the order).
+  bdd::Ref f = root_;
+  for (std::uint32_t v = 0; v < order_.num_defenses(); ++v) {
+    const NodeId leaf = order_.node_of(v);
+    f = manager_.restrict_var(f, v, defense.test(adt.defense_index(leaf)));
+  }
+
+  // The attacker's target terminal (Definition 7).
+  const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
+  const bdd::Ref target = root_is_attack ? bdd::kTrue : bdd::kFalse;
+
+  struct NodeValue {
+    double value;
+    bool reachable;     // can the target terminal be reached from here?
+    bool via_high;      // witness breadcrumb
+  };
+  std::unordered_map<bdd::Ref, NodeValue> values;
+
+  for (bdd::Ref w : manager_.reachable(f)) {
+    if (manager_.is_terminal(w)) {
+      values[w] = NodeValue{w == target ? da.one() : da.zero(), w == target,
+                            false};
+      continue;
+    }
+    const NodeValue& low = values.at(manager_.low(w));
+    const NodeValue& high = values.at(manager_.high(w));
+    const NodeId leaf = order_.node_of(manager_.var(w));
+    const double beta = aadt_->attack_value(adt.attack_index(leaf));
+    const double via_high_value = da.combine(beta, high.value);
+
+    NodeValue nv;
+    nv.reachable = low.reachable || high.reachable;
+    if (!high.reachable) {
+      nv.value = low.value;
+      nv.via_high = false;
+    } else if (!low.reachable) {
+      nv.value = via_high_value;
+      nv.via_high = true;
+    } else {
+      nv.via_high = da.strictly_prefer(via_high_value, low.value);
+      nv.value = nv.via_high ? via_high_value : low.value;
+    }
+    values[w] = nv;
+  }
+
+  ResponseResult result;
+  result.attack = BitVec(adt.num_attacks());
+  result.attack_exists = values.at(f).reachable;
+  result.value = result.attack_exists ? values.at(f).value : da.zero();
+  if (result.attack_exists) {
+    // Walk the breadcrumbs to extract one optimal attack vector.
+    bdd::Ref w = f;
+    while (!manager_.is_terminal(w)) {
+      const NodeValue& nv = values.at(w);
+      if (nv.via_high) {
+        const NodeId leaf = order_.node_of(manager_.var(w));
+        result.attack.set(adt.attack_index(leaf));
+        w = manager_.high(w);
+      } else {
+        w = manager_.low(w);
+      }
+    }
+  }
+  return result;
+}
+
+ResponseResult Responder::respond_undefended() const {
+  return respond(BitVec(aadt_->adt().num_defenses()));
+}
+
+std::vector<BitVec> Responder::minimal_attacks(const BitVec& defense,
+                                               std::size_t max_sets) const {
+  const Adt& adt = aadt_->adt();
+  if (defense.size() != adt.num_defenses()) {
+    throw ModelError("Responder::minimal_attacks: defense vector size " +
+                     std::to_string(defense.size()) + " != |D| = " +
+                     std::to_string(adt.num_defenses()));
+  }
+  bdd::Ref f = root_;
+  for (std::uint32_t v = 0; v < order_.num_defenses(); ++v) {
+    const NodeId leaf = order_.node_of(v);
+    f = manager_.restrict_var(f, v, defense.test(adt.defense_index(leaf)));
+  }
+  const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
+  const bdd::Ref target = root_is_attack ? bdd::kTrue : bdd::kFalse;
+
+  // Minimal models of a function monotone in its (attack) variables:
+  //   minsets(w) = minsets(low)
+  //              + { {v} + h : h in minsets(high), no l in minsets(low)
+  //                            with l subset-of h }.
+  // Sets not containing w's variable must satisfy the low cofactor; sets
+  // containing it are minimal iff the rest is minimal for the high
+  // cofactor and does not already satisfy the low one.
+  std::unordered_map<bdd::Ref, std::vector<BitVec>> memo;
+  std::size_t total = 0;
+
+  auto recurse = [&](auto&& self, bdd::Ref w) -> const std::vector<BitVec>& {
+    if (auto it = memo.find(w); it != memo.end()) return it->second;
+    std::vector<BitVec> sets;
+    if (manager_.is_terminal(w)) {
+      if (w == target) sets.push_back(BitVec(adt.num_attacks()));
+    } else {
+      // Copies, not references: the second recursion can rehash the memo
+      // map and invalidate a reference obtained from the first.
+      std::vector<BitVec> low = self(self, manager_.low(w));
+      const std::vector<BitVec> high = self(self, manager_.high(w));
+      sets = std::move(low);
+      const std::size_t attack_index =
+          adt.attack_index(order_.node_of(manager_.var(w)));
+      for (const BitVec& h : high) {
+        bool covered = false;
+        for (const BitVec& l : sets) {
+          if (l.is_subset_of(h)) {
+            covered = true;
+            break;
+          }
+        }
+        if (covered) continue;
+        BitVec with_v = h;
+        with_v.set(attack_index);
+        sets.push_back(std::move(with_v));
+      }
+    }
+    total += sets.size();
+    if (total > max_sets) {
+      throw LimitError("minimal_attacks: more than " +
+                       std::to_string(max_sets) + " sets");
+    }
+    return memo.emplace(w, std::move(sets)).first->second;
+  };
+
+  std::vector<BitVec> result = recurse(recurse, f);
+  return result;
+}
+
+ResponseResult optimal_response(const AugmentedAdt& aadt,
+                                const BitVec& defense) {
+  return Responder(aadt).respond(defense);
+}
+
+}  // namespace adtp

@@ -1,0 +1,81 @@
+/// \file response.hpp
+/// \brief The attacker's optimal response rho(delta) for a *fixed* defense
+///        vector (Definition 7).
+///
+/// The Pareto-front algorithms answer the planning question over all
+/// defense vectors at once; this module answers the operational question
+/// for one deployed defense configuration: what will an optimal attacker
+/// do, and what does it cost them? When the model has no defenses this is
+/// exactly the classical BDD-based attack-tree analysis of
+/// Lopuhaa-Zwakenberg et al. (the paper's [18]), which Algorithm 3
+/// degenerates to.
+///
+/// Implementation: the structure function's ROBDD is cofactored on every
+/// defense variable according to delta; the remaining BDD mentions attack
+/// variables only and a single bottom-up sweep propagates the optimal
+/// attack value (and its witness) per node. A Responder instance builds
+/// the BDD once and serves many delta queries.
+
+#pragma once
+
+#include "bdd/build.hpp"
+#include "core/attribution.hpp"
+#include "util/bitvec.hpp"
+
+namespace adtp {
+
+/// Outcome of one optimal-response query.
+struct ResponseResult {
+  /// False when no attack vector achieves the attacker's goal; then
+  /// value = 1_oplus_A and attack is the empty vector (the paper's
+  /// rho(delta) = "hat").
+  bool attack_exists = false;
+
+  /// beta-hat_A(rho(delta)).
+  double value = 0;
+
+  /// A witness optimal attack vector (any minimizer).
+  BitVec attack;
+};
+
+/// Multi-query optimal-response engine over one augmented ADT.
+class Responder {
+ public:
+  /// Builds the structure function's ROBDD (defense-first order).
+  /// \p node_limit guards the manager (0 = default). The model is held by
+  /// reference and must outlive the Responder; binding a temporary is
+  /// rejected at compile time.
+  explicit Responder(const AugmentedAdt& aadt, std::size_t node_limit = 0);
+  explicit Responder(AugmentedAdt&&, std::size_t = 0) = delete;
+
+  /// The attacker's optimal response to \p defense (size |D|).
+  [[nodiscard]] ResponseResult respond(const BitVec& defense) const;
+
+  /// Convenience: the classical "no defenses deployed" analysis.
+  [[nodiscard]] ResponseResult respond_undefended() const;
+
+  /// All *minimal* successful attack vectors against \p defense - the
+  /// ADT analogue of fault-tree minimal cut sets. The structure function
+  /// is monotone in the attack variables (attacks only ever help the
+  /// attacker), so minimal models are well-defined; they are enumerated
+  /// directly on the cofactored ROBDD. Throws LimitError when more than
+  /// \p max_sets sets exist (worst-case exponential).
+  [[nodiscard]] std::vector<BitVec> minimal_attacks(
+      const BitVec& defense, std::size_t max_sets = 1u << 20) const;
+
+  /// Number of BDD nodes backing this responder (diagnostics).
+  [[nodiscard]] std::size_t bdd_size() const;
+
+ private:
+  const AugmentedAdt* aadt_;
+  bdd::VarOrder order_;
+  // mutable: restrict_var() may allocate cofactor nodes in the manager.
+  mutable bdd::Manager manager_;
+  bdd::Ref root_;
+};
+
+/// One-shot convenience wrapper around Responder.
+[[nodiscard]] ResponseResult optimal_response(const AugmentedAdt& aadt,
+                                              const BitVec& defense);
+
+}  // namespace adtp

@@ -1,0 +1,193 @@
+#include "core/semiring.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+const char* to_string(SemiringKind kind) noexcept {
+  switch (kind) {
+    case SemiringKind::MinCost:
+      return "min cost";
+    case SemiringKind::MinTimeSeq:
+      return "min time (sequential)";
+    case SemiringKind::MinTimePar:
+      return "min time (parallel)";
+    case SemiringKind::MinSkill:
+      return "min skill";
+    case SemiringKind::Probability:
+      return "probability";
+    case SemiringKind::Custom:
+      return "custom";
+  }
+  return "?";
+}
+
+std::optional<SemiringKind> parse_semiring_kind(std::string_view name) noexcept {
+  std::string normal;
+  for (char ch : name) {
+    if (ch == '-' || ch == '_' || ch == ' ') continue;
+    normal += static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+  }
+  if (normal == "mincost" || normal == "cost") return SemiringKind::MinCost;
+  if (normal == "mintimeseq" || normal == "mintime(sequential)") {
+    return SemiringKind::MinTimeSeq;
+  }
+  if (normal == "mintimepar" || normal == "mintime(parallel)") {
+    return SemiringKind::MinTimePar;
+  }
+  if (normal == "minskill" || normal == "skill") return SemiringKind::MinSkill;
+  if (normal == "probability" || normal == "prob") {
+    return SemiringKind::Probability;
+  }
+  return std::nullopt;
+}
+
+std::string semiring_kind_name(SemiringKind kind) {
+  switch (kind) {
+    case SemiringKind::MinCost:
+      return "mincost";
+    case SemiringKind::MinTimeSeq:
+      return "mintimeseq";
+    case SemiringKind::MinTimePar:
+      return "mintimepar";
+    case SemiringKind::MinSkill:
+      return "minskill";
+    case SemiringKind::Probability:
+      return "probability";
+    case SemiringKind::Custom:
+      break;
+  }
+  throw ModelError("semiring_kind_name: custom domains have no canonical "
+                   "text-format name");
+}
+
+Semiring::Semiring(SemiringKind kind, std::string name, double one,
+                   double zero)
+    : kind_(kind), name_(std::move(name)), one_(one), zero_(zero) {}
+
+Semiring::Semiring(SemiringKind kind)
+    : Semiring(kind, to_string(kind),
+               kind == SemiringKind::Probability ? 1.0 : 0.0,
+               kind == SemiringKind::Probability ? 0.0 : kInf) {
+  if (kind == SemiringKind::Custom) {
+    throw ModelError("Semiring: use Semiring::custom() to build a custom "
+                     "domain");
+  }
+}
+
+Semiring Semiring::custom(std::string name, double one, double zero,
+                          std::function<double(double, double)> combine,
+                          std::function<bool(double, double)> prefer) {
+  if (!combine || !prefer) {
+    throw ModelError("Semiring::custom: combine and prefer are required");
+  }
+  Semiring s(SemiringKind::Custom, std::move(name), one, zero);
+  s.custom_combine_ = std::move(combine);
+  s.custom_prefer_ = std::move(prefer);
+  return s;
+}
+
+double Semiring::combine(double x, double y) const {
+  switch (kind_) {
+    case SemiringKind::MinCost:
+    case SemiringKind::MinTimeSeq:
+      return x + y;
+    case SemiringKind::MinTimePar:
+    case SemiringKind::MinSkill:
+      return std::max(x, y);
+    case SemiringKind::Probability:
+      return x * y;
+    case SemiringKind::Custom:
+      return custom_combine_(x, y);
+  }
+  return zero_;
+}
+
+bool Semiring::prefer(double x, double y) const {
+  switch (kind_) {
+    case SemiringKind::MinCost:
+    case SemiringKind::MinTimeSeq:
+    case SemiringKind::MinTimePar:
+    case SemiringKind::MinSkill:
+      return x <= y;
+    case SemiringKind::Probability:
+      return x >= y;
+    case SemiringKind::Custom:
+      return custom_prefer_(x, y);
+  }
+  return false;
+}
+
+bool Semiring::contains(double x) const {
+  if (std::isnan(x)) return false;
+  switch (kind_) {
+    case SemiringKind::MinCost:
+    case SemiringKind::MinTimeSeq:
+    case SemiringKind::MinTimePar:
+    case SemiringKind::MinSkill:
+      return x >= 0;
+    case SemiringKind::Probability:
+      return x >= 0 && x <= 1;
+    case SemiringKind::Custom:
+      return true;
+  }
+  return false;
+}
+
+Semiring::AxiomReport Semiring::check_axioms(std::uint64_t seed,
+                                             int samples) const {
+  AxiomReport report;
+  Rng rng(seed);
+
+  // Representative values: the identities plus random in-domain points.
+  std::vector<double> pool{one(), zero()};
+  const bool bounded = kind_ == SemiringKind::Probability ||
+                       (kind_ == SemiringKind::Custom && zero_ <= 1.0 &&
+                        one_ <= 1.0 && zero_ >= 0.0 && one_ >= 0.0);
+  for (int i = 0; i < 14; ++i) {
+    pool.push_back(bounded ? rng.uniform()
+                           : static_cast<double>(rng.range(0, 1000)));
+  }
+
+  // Value equality up to floating-point rounding: combine() on doubles is
+  // only associative up to ULPs (e.g. products in the probability domain).
+  auto eqv = [&](double x, double y) {
+    if (x == y) return true;
+    const double scale = std::max({1.0, std::abs(x), std::abs(y)});
+    return std::abs(x - y) <= 1e-9 * scale;
+  };
+
+  for (int i = 0; i < samples; ++i) {
+    const double x = pool[rng.below(pool.size())];
+    const double y = pool[rng.below(pool.size())];
+    const double z = pool[rng.below(pool.size())];
+
+    if (!eqv(combine(x, y), combine(y, x))) report.commutative = false;
+    if (!eqv(combine(combine(x, y), z), combine(x, combine(y, z)))) {
+      report.associative = false;
+    }
+    if (prefer(x, y) && !prefer(combine(x, z), combine(y, z))) {
+      report.monotone = false;
+    }
+    if (!eqv(combine(x, one()), x)) report.one_is_unit = false;
+    if (!prefer(one(), x)) report.one_minimal = false;
+    if (!prefer(x, zero())) report.zero_maximal = false;
+    if (!prefer(x, y) && !prefer(y, x)) report.order_total = false;
+  }
+  return report;
+}
+
+}  // namespace adtp

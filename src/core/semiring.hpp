@@ -1,0 +1,147 @@
+/// \file semiring.hpp
+/// \brief Linearly ordered unital semiring attribute domains (Definition 4).
+///
+/// A semiring attribute domain is L = (V, combine, one, zero, prefer) where
+/// in the paper's notation:
+///   - combine  is the binary operator  (x tensor y),
+///   - one      is 1_tensor  (the unit of combine, minimal w.r.t. prefer),
+///   - zero     is 1_oplus   (maximal w.r.t. prefer; "impossible/worst"),
+///   - prefer   is the linear order <= (true when the first argument is at
+///              least as good as the second),
+///   - choose   is the induced oplus:  x oplus y = min_prefer(x, y).
+///
+/// All Table I domains have values in [0, inf] or [0, 1], so V = double.
+/// Note on Table I's probability row: from the Definition 4 axioms (1_tensor
+/// is the unit of tensor and minimal w.r.t. prefer, 1_oplus is maximal) the
+/// probability domain is ([0,1], max, *, 0, 1, >=): "better" means a higher
+/// success probability, zero() = 0 ("attack impossible"), one() = 1.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace adtp {
+
+/// The built-in attribute domains of Table I, plus Custom for user hooks.
+enum class SemiringKind : std::uint8_t {
+  MinCost,      ///< ([0,inf], min, +,   inf, 0, <=)
+  MinTimeSeq,   ///< ([0,inf], min, +,   inf, 0, <=)  sequential time
+  MinTimePar,   ///< ([0,inf], min, max, inf, 0, <=)  parallel time
+  MinSkill,     ///< ([0,inf], min, max, inf, 0, <=)
+  Probability,  ///< ([0,1],   max, *,   0,   1, >=)
+  Custom,       ///< user-supplied hooks
+};
+
+[[nodiscard]] const char* to_string(SemiringKind kind) noexcept;
+
+/// Parses a built-in domain name as used by the text format and CLIs:
+/// "mincost", "mintimeseq", "mintimepar", "minskill", "probability"
+/// (case-insensitive, '-'/'_' ignored). Custom is not parseable.
+[[nodiscard]] std::optional<SemiringKind> parse_semiring_kind(
+    std::string_view name) noexcept;
+
+/// The canonical text-format name of a built-in kind (inverse of
+/// parse_semiring_kind); throws for Custom.
+[[nodiscard]] std::string semiring_kind_name(SemiringKind kind);
+
+/// A runtime-dispatched semiring attribute domain over double values.
+///
+/// The five Table I domains are value types constructed from a
+/// SemiringKind; bespoke metrics are built with Semiring::custom(). The
+/// class is cheap to copy and all operations are branch-on-kind inline
+/// calls, so it is suitable for the hot loops of the analysis algorithms.
+class Semiring {
+ public:
+  /// Constructs one of the built-in Table I domains.
+  explicit Semiring(SemiringKind kind);
+
+  /// Shorthand factories for the Table I rows.
+  static Semiring min_cost() { return Semiring(SemiringKind::MinCost); }
+  static Semiring min_time_seq() { return Semiring(SemiringKind::MinTimeSeq); }
+  static Semiring min_time_par() { return Semiring(SemiringKind::MinTimePar); }
+  static Semiring min_skill() { return Semiring(SemiringKind::MinSkill); }
+  static Semiring probability() { return Semiring(SemiringKind::Probability); }
+
+  /// Builds a custom domain. \p combine must be commutative, associative,
+  /// monotone w.r.t. \p prefer, with unit \p one; \p zero must be maximal
+  /// and \p one minimal w.r.t. \p prefer. check_axioms() can probe this.
+  static Semiring custom(std::string name, double one, double zero,
+                         std::function<double(double, double)> combine,
+                         std::function<bool(double, double)> prefer);
+
+  [[nodiscard]] SemiringKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// 1_tensor: the neutral element of combine (and the best value).
+  [[nodiscard]] double one() const noexcept { return one_; }
+
+  /// 1_oplus: the absorbing/worst value ("no strategy exists").
+  [[nodiscard]] double zero() const noexcept { return zero_; }
+
+  /// x tensor y.
+  [[nodiscard]] double combine(double x, double y) const;
+
+  /// The linear order: true iff x is at least as good as y (x prefer-<= y).
+  [[nodiscard]] bool prefer(double x, double y) const;
+
+  /// True iff x is strictly better than y.
+  [[nodiscard]] bool strictly_prefer(double x, double y) const {
+    return prefer(x, y) && !prefer(y, x);
+  }
+
+  /// True iff x and y are equivalent under the order (equal for all
+  /// built-ins).
+  [[nodiscard]] bool equivalent(double x, double y) const {
+    return prefer(x, y) && prefer(y, x);
+  }
+
+  /// x oplus y = min_prefer(x, y).
+  [[nodiscard]] double choose(double x, double y) const {
+    return prefer(x, y) ? x : y;
+  }
+
+  /// True iff \p x lies in the domain's value set V (Table I): [0, inf]
+  /// for the cost/time/skill domains, [0, 1] for probability. Custom
+  /// domains accept any non-NaN value (their V is not known here).
+  /// Values outside V break the semiring axioms silently (e.g. negative
+  /// costs destroy monotonicity), so AugmentedAdt rejects them.
+  [[nodiscard]] bool contains(double x) const;
+
+  /// Result of a randomized probe of the Definition 4 axioms; all fields
+  /// true means no counterexample was found.
+  struct AxiomReport {
+    bool commutative = true;
+    bool associative = true;
+    bool monotone = true;
+    bool one_is_unit = true;
+    bool one_minimal = true;
+    bool zero_maximal = true;
+    bool order_total = true;
+
+    [[nodiscard]] bool all_hold() const noexcept {
+      return commutative && associative && monotone && one_is_unit &&
+             one_minimal && zero_maximal && order_total;
+    }
+  };
+
+  /// Randomized axiom probe over \p samples triples drawn from
+  /// representative values of the domain (plus one() and zero()).
+  [[nodiscard]] AxiomReport check_axioms(std::uint64_t seed = 1,
+                                         int samples = 200) const;
+
+ private:
+  Semiring(SemiringKind kind, std::string name, double one, double zero);
+
+  SemiringKind kind_;
+  std::string name_;
+  double one_;
+  double zero_;
+  std::function<double(double, double)> custom_combine_;
+  std::function<bool(double, double)> custom_prefer_;
+};
+
+}  // namespace adtp

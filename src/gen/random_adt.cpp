@@ -1,0 +1,266 @@
+#include "gen/random_adt.hpp"
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+namespace {
+
+/// Mutable scaffolding; converted to an Adt once generation finishes.
+struct Blueprint {
+  struct BpNode {
+    GateType type = GateType::BasicStep;
+    Agent agent = Agent::Attacker;
+    std::vector<std::size_t> children;  // INH: [inhibited, trigger]
+  };
+
+  std::vector<BpNode> nodes;
+  std::size_t root = 0;
+
+  std::size_t add(Agent agent) {
+    nodes.push_back(BpNode{GateType::BasicStep, agent, {}});
+    return nodes.size() - 1;
+  }
+};
+
+class Generator {
+ public:
+  Generator(const RandomAdtOptions& options, std::uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  Adt run() {
+    bp_.root = bp_.add(options_.root_agent);
+    leaves_.push_back(bp_.root);
+
+    // Expand random leaves until the target size is reached or nothing is
+    // expandable (e.g. the defense cap forbids all remaining expansions).
+    std::size_t stuck = 0;
+    while (bp_.nodes.size() < options_.target_nodes &&
+           stuck < leaves_.size() + 8) {
+      const std::size_t pick = rng_.below(leaves_.size());
+      if (expand(leaves_[pick])) {
+        leaves_[pick] = leaves_.back();
+        leaves_.pop_back();
+        stuck = 0;
+      } else {
+        ++stuck;
+      }
+    }
+    return to_adt();
+  }
+
+ private:
+  [[nodiscard]] std::size_t defense_leaf_count() const {
+    std::size_t n = 0;
+    for (const auto& node : bp_.nodes) {
+      if (node.type == GateType::BasicStep && node.agent == Agent::Defender) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// All current ancestors of \p v (for acyclic sharing). The blueprint
+  /// is small; recomputing per expansion keeps the code simple.
+  [[nodiscard]] std::vector<char> ancestors_of(std::size_t v) const {
+    std::vector<std::vector<std::size_t>> parents(bp_.nodes.size());
+    for (std::size_t u = 0; u < bp_.nodes.size(); ++u) {
+      for (std::size_t c : bp_.nodes[u].children) parents[c].push_back(u);
+    }
+    std::vector<char> marked(bp_.nodes.size(), 0);
+    std::vector<std::size_t> stack{v};
+    marked[v] = 1;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (std::size_t p : parents[u]) {
+        if (!marked[p]) {
+          marked[p] = 1;
+          stack.push_back(p);
+        }
+      }
+    }
+    return marked;
+  }
+
+  /// A random existing node of \p agent that is not an ancestor of \p of
+  /// and not already in \p taken; npos when none exists. Only nodes that
+  /// existed when \p forbidden was computed are eligible - the expansion
+  /// loop appends fresh leaves to bp_.nodes while \p forbidden keeps its
+  /// original size (and sharing a just-created sibling leaf would be
+  /// pointless anyway).
+  std::size_t share_candidate(Agent agent, const std::vector<char>& forbidden,
+                              const std::vector<std::size_t>& taken) {
+    std::vector<std::size_t> pool;
+    for (std::size_t u = 0; u < forbidden.size(); ++u) {
+      if (bp_.nodes[u].agent != agent) continue;
+      if (forbidden[u]) continue;
+      bool dup = false;
+      for (std::size_t t : taken) dup = dup || (t == u);
+      if (!dup) pool.push_back(u);
+    }
+    if (pool.empty()) return npos;
+    return pool[rng_.below(pool.size())];
+  }
+
+  /// Expands leaf \p v into a gate; returns false when no expansion is
+  /// currently allowed for it.
+  bool expand(std::size_t v) {
+    const Agent agent = bp_.nodes[v].agent;
+    const std::size_t defenses = defense_leaf_count();
+    const std::size_t defense_headroom =
+        options_.max_defenses > defenses ? options_.max_defenses - defenses
+                                         : 0;
+
+    // An INH gate needs a trigger of the opposite agent; when the gate is
+    // an attacker's, the trigger subtree adds one defense leaf. A defender
+    // INH replaces a defense leaf with (defense leaf + attack trigger), so
+    // the defense count is unchanged.
+    const bool allow_inh = agent == Agent::Defender || defense_headroom >= 1;
+    // Expanding a defense leaf into a k-ary AND/OR adds (k - 1) defense
+    // leaves; the cap limits k.
+    std::size_t max_children = std::max<std::size_t>(options_.max_children, 2);
+    if (agent == Agent::Defender) {
+      if (defense_headroom == 0) max_children = 0;  // cannot add any
+      else max_children = std::min(max_children, defense_headroom + 1);
+    }
+    const bool allow_and_or = max_children >= 2;
+
+    if (!allow_and_or && !allow_inh) return false;
+
+    const bool make_inh =
+        allow_inh && (!allow_and_or || rng_.chance(options_.inh_probability));
+
+    if (make_inh) {
+      const std::size_t inhibited = bp_.add(agent);
+      const std::size_t trigger = bp_.add(opponent(agent));
+      bp_.nodes[v].type = GateType::Inhibit;
+      bp_.nodes[v].children = {inhibited, trigger};
+      leaves_.push_back(inhibited);
+      leaves_.push_back(trigger);
+      return true;
+    }
+
+    const std::size_t child_count = 2 + rng_.below(max_children - 1);
+    const auto forbidden = ancestors_of(v);
+    std::vector<std::size_t> children;
+    for (std::size_t i = 0; i < child_count; ++i) {
+      if (options_.share_probability > 0 &&
+          rng_.chance(options_.share_probability)) {
+        const std::size_t shared = share_candidate(agent, forbidden, children);
+        if (shared != npos) {
+          children.push_back(shared);
+          continue;
+        }
+      }
+      const std::size_t fresh = bp_.add(agent);
+      leaves_.push_back(fresh);
+      children.push_back(fresh);
+    }
+    bp_.nodes[v].type =
+        rng_.chance(options_.and_probability) ? GateType::And : GateType::Or;
+    bp_.nodes[v].children = std::move(children);
+    return true;
+  }
+
+  Adt to_adt() {
+    Adt adt;
+    std::unordered_map<std::size_t, NodeId> remap;
+    std::size_t attack_seq = 0;
+    std::size_t defense_seq = 0;
+    std::size_t gate_seq = 0;
+
+    std::function<NodeId(std::size_t)> visit = [&](std::size_t u) -> NodeId {
+      if (auto it = remap.find(u); it != remap.end()) return it->second;
+      const Blueprint::BpNode& n = bp_.nodes[u];
+      NodeId id = kNoNode;
+      switch (n.type) {
+        case GateType::BasicStep:
+          id = n.agent == Agent::Attacker
+                   ? adt.add_basic("a" + std::to_string(++attack_seq),
+                                   Agent::Attacker)
+                   : adt.add_basic("d" + std::to_string(++defense_seq),
+                                   Agent::Defender);
+          break;
+        case GateType::Inhibit: {
+          const NodeId inhibited = visit(n.children[0]);
+          const NodeId trigger = visit(n.children[1]);
+          id = adt.add_inhibit("g" + std::to_string(++gate_seq), inhibited,
+                               trigger);
+          break;
+        }
+        case GateType::And:
+        case GateType::Or: {
+          std::vector<NodeId> children;
+          children.reserve(n.children.size());
+          for (std::size_t c : n.children) children.push_back(visit(c));
+          id = adt.add_gate("g" + std::to_string(++gate_seq), n.type, n.agent,
+                            std::move(children));
+          break;
+        }
+      }
+      remap.emplace(u, id);
+      return id;
+    };
+
+    const NodeId root = visit(bp_.root);
+    adt.set_root(root);
+    adt.freeze();
+    return adt;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  const RandomAdtOptions& options_;
+  Rng rng_;
+  Blueprint bp_;
+  std::vector<std::size_t> leaves_;  // currently expandable leaves
+};
+
+double draw_value(const Semiring& domain, Rng& rng) {
+  if (domain.kind() == SemiringKind::Probability) {
+    return 0.05 + 0.9 * rng.uniform();
+  }
+  return static_cast<double>(rng.range(1, 100));
+}
+
+}  // namespace
+
+Adt generate_random_adt(const RandomAdtOptions& options, std::uint64_t seed) {
+  if (options.target_nodes == 0) {
+    throw ModelError("generate_random_adt: target_nodes must be positive");
+  }
+  return Generator(options, seed).run();
+}
+
+Attribution random_attribution(const Adt& adt, const Semiring& defender_domain,
+                               const Semiring& attacker_domain,
+                               std::uint64_t seed) {
+  Rng rng(seed);
+  Attribution attribution;
+  for (NodeId id : adt.defense_steps()) {
+    attribution.set(adt.name(id), draw_value(defender_domain, rng));
+  }
+  for (NodeId id : adt.attack_steps()) {
+    attribution.set(adt.name(id), draw_value(attacker_domain, rng));
+  }
+  return attribution;
+}
+
+AugmentedAdt generate_random_aadt(const RandomAdtOptions& options,
+                                  std::uint64_t seed,
+                                  const Semiring& defender_domain,
+                                  const Semiring& attacker_domain) {
+  Adt adt = generate_random_adt(options, seed);
+  Attribution attribution =
+      random_attribution(adt, defender_domain, attacker_domain, seed ^
+                         0x9e3779b97f4a7c15ULL);
+  return AugmentedAdt(std::move(adt), std::move(attribution), defender_domain,
+                      attacker_domain);
+}
+
+}  // namespace adtp

@@ -1,0 +1,72 @@
+/// \file random_adt.hpp
+/// \brief Seeded random ADT generation (the paper's appendix recipe).
+///
+/// The paper generates its 120-instance test suite by recursively creating
+/// nodes with random properties (gate type, attack/defense agent, child
+/// count) until a target node count is reached; the process "naturally
+/// creates tree- and DAG-structured ADTs". We implement this as leaf
+/// expansion over a mutable blueprint: start from a single root leaf and
+/// repeatedly expand a random leaf into an AND/OR/INH gate with fresh leaf
+/// children; in DAG mode a child slot may instead link to an existing
+/// non-ancestor node of the right agent, which introduces sharing. The
+/// result is always a valid Definition 1 model.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "adt/adt.hpp"
+#include "core/attribution.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+
+struct RandomAdtOptions {
+  /// Stop expanding once the model has at least this many nodes.
+  std::size_t target_nodes = 50;
+
+  /// Children per AND/OR gate are drawn uniformly from [2, max_children].
+  std::size_t max_children = 4;
+
+  /// Probability that an expansion picks an INH gate (a counter-measure
+  /// for attacker nodes, a counter-attack for defender nodes).
+  double inh_probability = 0.3;
+
+  /// Among AND/OR expansions, probability of AND.
+  double and_probability = 0.45;
+
+  /// Probability that a child slot of an AND/OR expansion reuses an
+  /// existing node instead of a fresh leaf. 0 generates trees; > 0
+  /// generates DAGs.
+  double share_probability = 0.0;
+
+  /// Upper bound on the number of basic defense steps (2^|D| defense
+  /// vectors drive the Pareto front size; the paper's instances keep |D|
+  /// moderate). No bound by default.
+  std::size_t max_defenses = std::numeric_limits<std::size_t>::max();
+
+  /// Agent of the root (the paper's case studies use attacker roots; the
+  /// Fig. 4 family uses a defender root).
+  Agent root_agent = Agent::Attacker;
+};
+
+/// Generates a random ADT. Identical (options, seed) pairs produce
+/// identical models.
+[[nodiscard]] Adt generate_random_adt(const RandomAdtOptions& options,
+                                      std::uint64_t seed);
+
+/// Draws an attribution for every leaf of \p adt, suitable for the given
+/// domains: integer values in [1, 100] for the cost/time/skill domains,
+/// probabilities in [0.05, 0.95] for probability domains.
+[[nodiscard]] Attribution random_attribution(const Adt& adt,
+                                             const Semiring& defender_domain,
+                                             const Semiring& attacker_domain,
+                                             std::uint64_t seed);
+
+/// Convenience: generate_random_adt + random_attribution, bundled.
+[[nodiscard]] AugmentedAdt generate_random_aadt(
+    const RandomAdtOptions& options, std::uint64_t seed,
+    const Semiring& defender_domain, const Semiring& attacker_domain);
+
+}  // namespace adtp

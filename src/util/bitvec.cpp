@@ -1,0 +1,171 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+namespace {
+
+constexpr std::uint64_t kSplitMixGamma = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+BitVec::BitVec(std::size_t size) : size_(size), bits_(words(), 0) {}
+
+BitVec BitVec::from_string(const std::string& bits) {
+  BitVec v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      v.set(i);
+    } else if (bits[i] != '0') {
+      throw ModelError("BitVec::from_string: invalid character '" +
+                       std::string(1, bits[i]) + "'");
+    }
+  }
+  return v;
+}
+
+void BitVec::check_index(std::size_t i) const {
+  if (i >= size_) {
+    throw std::out_of_range("BitVec index " + std::to_string(i) +
+                            " out of range (size " + std::to_string(size_) +
+                            ")");
+  }
+}
+
+void BitVec::check_same_size(const BitVec& other) const {
+  if (size_ != other.size_) {
+    throw ModelError("BitVec size mismatch: " + std::to_string(size_) +
+                     " vs " + std::to_string(other.size_));
+  }
+}
+
+bool BitVec::test(std::size_t i) const {
+  check_index(i);
+  return (bits_[i / 64] >> (i % 64)) & 1ULL;
+}
+
+void BitVec::set(std::size_t i, bool value) {
+  check_index(i);
+  if (value) {
+    bits_[i / 64] |= (1ULL << (i % 64));
+  } else {
+    bits_[i / 64] &= ~(1ULL << (i % 64));
+  }
+}
+
+void BitVec::reset(std::size_t i) { set(i, false); }
+
+void BitVec::clear() noexcept {
+  for (auto& w : bits_) w = 0;
+}
+
+std::size_t BitVec::count() const noexcept {
+  std::size_t n = 0;
+  for (auto w : bits_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::none() const noexcept {
+  for (auto w : bits_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> BitVec::set_bits() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t wi = 0; wi < bits_.size(); ++wi) {
+    std::uint64_t w = bits_[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      out.push_back(wi * 64 + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+  return out;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= other.bits_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator-=(const BitVec& other) {
+  check_same_size(other);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~other.bits_[i];
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& other) const noexcept {
+  return size_ == other.size_ && bits_ == other.bits_;
+}
+
+bool BitVec::operator<(const BitVec& other) const noexcept {
+  if (size_ != other.size_) return size_ < other.size_;
+  return bits_ < other.bits_;
+}
+
+bool BitVec::is_subset_of(const BitVec& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if ((bits_[i] & ~other.bits_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVec::intersects(const BitVec& other) const {
+  check_same_size(other);
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if ((bits_[i] & other.bits_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i) {
+    if (test(i)) s[i] = '1';
+  }
+  return s;
+}
+
+std::uint64_t BitVec::to_uint() const {
+  if (size_ > 64) {
+    throw ModelError("BitVec::to_uint requires size <= 64, got " +
+                     std::to_string(size_));
+  }
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    value = (value << 1) | (test(i) ? 1ULL : 0ULL);
+  }
+  return value;
+}
+
+std::uint64_t BitVec::hash() const noexcept {
+  std::uint64_t h = mix64(size_ + kSplitMixGamma);
+  for (auto w : bits_) h = mix64(h ^ (w + kSplitMixGamma));
+  return h;
+}
+
+}  // namespace adtp

@@ -1,0 +1,104 @@
+/// \file bitvec.hpp
+/// \brief Fixed-size dynamic bitset used for attack/defense vectors.
+///
+/// The paper (Def. 2) represents the attacker's and defender's choices as
+/// binary vectors over the basic attack steps (BAS) and basic defense steps
+/// (BDS). ADTs in the experiments have up to a few hundred leaves, which is
+/// more than the 64 bits of a plain integer mask, so we provide a small
+/// word-packed bitset with the operations the analysis algorithms need.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adtp {
+
+/// A fixed-size vector of bits, indexed from 0.
+///
+/// Unlike std::vector<bool> this exposes word-level access (for hashing and
+/// fast union/intersection) and unlike std::bitset the size is a runtime
+/// parameter. The size is fixed at construction; all binary operations
+/// require equal sizes.
+class BitVec {
+ public:
+  /// Creates an empty (size-0) vector.
+  BitVec() = default;
+
+  /// Creates a vector of \p size bits, all zero.
+  explicit BitVec(std::size_t size);
+
+  /// Creates a vector from a string of '0'/'1' characters, index 0 first
+  /// (so "011" sets bits 1 and 2, matching the paper's vector notation
+  /// where e.g. alpha = 011 activates a2 and a3).
+  static BitVec from_string(const std::string& bits);
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const;
+  void set(std::size_t i, bool value = true);
+  void reset(std::size_t i);
+  void clear() noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept;
+
+  /// True if no bit is set.
+  [[nodiscard]] bool none() const noexcept;
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<std::size_t> set_bits() const;
+
+  /// In-place union / intersection / difference with \p other (equal sizes).
+  BitVec& operator|=(const BitVec& other);
+  BitVec& operator&=(const BitVec& other);
+  BitVec& operator-=(const BitVec& other);
+
+  friend BitVec operator|(BitVec lhs, const BitVec& rhs) { return lhs |= rhs; }
+  friend BitVec operator&(BitVec lhs, const BitVec& rhs) { return lhs &= rhs; }
+
+  bool operator==(const BitVec& other) const noexcept;
+  bool operator!=(const BitVec& other) const noexcept = default;
+
+  /// Lexicographic order on (size, words); usable as a map key.
+  bool operator<(const BitVec& other) const noexcept;
+
+  /// True if this vector is a subset of \p other (equal sizes).
+  [[nodiscard]] bool is_subset_of(const BitVec& other) const;
+
+  /// True if this and \p other share at least one set bit (equal sizes).
+  [[nodiscard]] bool intersects(const BitVec& other) const;
+
+  /// Renders as a '0'/'1' string, index 0 first, e.g. "0110".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Interprets the vector as a binary-encoded integer with bit 0 as the
+  /// most significant digit (the paper's Fig. 4 encoding). Requires
+  /// size() <= 64.
+  [[nodiscard]] std::uint64_t to_uint() const;
+
+  /// Stable 64-bit hash of contents.
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t words() const noexcept {
+    return (size_ + 63) / 64;
+  }
+  void check_index(std::size_t i) const;
+  void check_same_size(const BitVec& other) const;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace adtp
+
+template <>
+struct std::hash<adtp::BitVec> {
+  std::size_t operator()(const adtp::BitVec& v) const noexcept {
+    return static_cast<std::size_t>(v.hash());
+  }
+};

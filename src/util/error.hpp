@@ -1,0 +1,54 @@
+/// \file error.hpp
+/// \brief Error hierarchy for the adtpareto library.
+///
+/// All library-raised failures derive from adtp::Error so that callers can
+/// catch library errors separately from standard-library failures. More
+/// specific subclasses distinguish model-construction problems from resource
+/// exhaustion guards (e.g. BDD node limits).
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace adtp {
+
+/// Base class of all errors thrown by the adtpareto library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A structural constraint of Definition 1 (or a builder precondition) was
+/// violated while constructing or validating an attack-defense tree.
+class ModelError : public Error {
+ public:
+  explicit ModelError(const std::string& what) : Error(what) {}
+};
+
+/// An attribution (beta_A / beta_D) is incomplete or contains invalid values.
+class AttributionError : public Error {
+ public:
+  explicit AttributionError(const std::string& what) : Error(what) {}
+};
+
+/// A textual ADT description could not be parsed; carries a 1-based line.
+class ParseError : public Error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// A configured resource guard (BDD node limit, event-enumeration limit)
+/// was exceeded; the computation was abandoned, not silently truncated.
+class LimitError : public Error {
+ public:
+  explicit LimitError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace adtp

@@ -1,0 +1,172 @@
+#include "util/json.hpp"
+
+#include <cstdio>
+
+namespace adtp {
+
+std::string JsonWriter::quote(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (done_) {
+    throw Error("JsonWriter: document already complete");
+  }
+  if (stack_.empty()) {
+    return;  // top-level value
+  }
+  if (stack_.back() == Frame::Object) {
+    if (!key_pending_) {
+      throw Error("JsonWriter: object members need a key() first");
+    }
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) raw(",");
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (done_ || stack_.empty() || stack_.back() != Frame::Object) {
+    throw Error("JsonWriter: key() outside an object");
+  }
+  if (key_pending_) {
+    throw Error("JsonWriter: key() twice without a value");
+  }
+  if (has_items_.back()) raw(",");
+  has_items_.back() = true;
+  raw(quote(name));
+  raw(":");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  raw("{");
+  stack_.push_back(Frame::Object);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::Object || key_pending_) {
+    throw Error("JsonWriter: unbalanced end_object()");
+  }
+  raw("}");
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  raw("[");
+  stack_.push_back(Frame::Array);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::Array) {
+    throw Error("JsonWriter: unbalanced end_array()");
+  }
+  raw("]");
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  raw(quote(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isnan(v)) {
+    raw("null");  // JSON has no NaN
+  } else if (std::isinf(v)) {
+    raw(v > 0 ? "\"inf\"" : "\"-inf\"");  // JSON has no infinities
+  } else if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    raw(buf);
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    raw(buf);
+  }
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  raw(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  raw(std::to_string(v));
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  raw(v ? "true" : "false");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  raw("null");
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  if (!done_ || !stack_.empty()) {
+    throw Error("JsonWriter: document incomplete");
+  }
+  return out_;
+}
+
+}  // namespace adtp

@@ -1,0 +1,58 @@
+/// \file json.hpp
+/// \brief A minimal streaming JSON writer (no external dependencies).
+///
+/// Produces compact, valid JSON for the library's machine-readable
+/// outputs (analysis results, experiment rows). Writer calls are
+/// validated at runtime: mismatched begin/end or values in the wrong
+/// position throw, so malformed output cannot be produced silently.
+
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// The finished document; throws unless all containers were closed and
+  /// exactly one top-level value was written.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  enum class Frame : std::uint8_t { Object, Array };
+
+  void before_value();
+  void raw(const std::string& text) { out_ += text; }
+  static std::string quote(const std::string& s);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+}  // namespace adtp

@@ -1,0 +1,99 @@
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generation.
+///
+/// The experiments in the paper rely on randomly generated ADTs; for
+/// reproducibility every randomized component of this library (generator,
+/// property tests, benches) consumes an explicitly seeded generator. We use
+/// xoshiro256** seeded through splitmix64, the standard recommendation of
+/// the xoshiro authors; it is fast, has a 256-bit state, and - unlike
+/// std::mt19937 - produces identical streams across standard libraries.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace adtp {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full state.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed0ad7ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be > 0.
+  /// Uses Lemire's multiply-shift method with rejection (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // For bound == 0 fall back to 0 rather than invoking UB; callers are
+    // expected to pass bound > 0.
+    if (bound == 0) return 0;
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0ULL - bound) % bound;  // 2^64 % bound
+      while (low < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derives an independent child generator; convenient for splitting one
+  /// experiment seed into per-instance seeds.
+  Rng split() noexcept { return Rng((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace adtp

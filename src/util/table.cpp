@@ -1,0 +1,126 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace adtp {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) {
+    throw ModelError("TextTable requires a non-empty header");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw ModelError("TextTable row width " + std::to_string(row.size()) +
+                     " does not match header width " +
+                     std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_row_raw(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (double c : cells) row.push_back(format_value(c, precision));
+  add_row(std::move(row));
+}
+
+std::string TextTable::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " ");
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-") << std::string(widths[c], '-') << "-|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << quote(row[c]);
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string format_value(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<long long>(v);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << v;
+  std::string s = out.str();
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string format_seconds(double s) {
+  if (std::isinf(s) || std::isnan(s)) return "n/a";
+  const char* unit = "s";
+  double v = s;
+  if (s < 1e-6) {
+    v = s * 1e9;
+    unit = "ns";
+  } else if (s < 1e-3) {
+    v = s * 1e6;
+    unit = "us";
+  } else if (s < 1.0) {
+    v = s * 1e3;
+    unit = "ms";
+  }
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(v < 10 ? 2 : (v < 100 ? 1 : 0));
+  out << v << ' ' << unit;
+  return out.str();
+}
+
+}  // namespace adtp

@@ -1,0 +1,49 @@
+/// \file table.hpp
+/// \brief Console table and CSV rendering for the benchmark harness.
+///
+/// The benches reproduce the paper's tables and figure series as aligned
+/// text tables (for humans) and CSV (for re-plotting). This tiny formatter
+/// keeps that output consistent across all bench binaries.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace adtp {
+
+/// An in-memory table: a header row plus data rows of equal width.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_string-like rules.
+  void add_row_raw(const std::vector<double>& cells, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders an aligned, pipe-separated table.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly: integers without decimals, "inf" for
+/// infinity, otherwise fixed with \p precision digits, trailing zeros
+/// trimmed.
+[[nodiscard]] std::string format_value(double v, int precision = 3);
+
+/// Formats a duration in seconds with engineering-friendly units
+/// (e.g. "1.23 ms", "4.5 s").
+[[nodiscard]] std::string format_seconds(double s);
+
+}  // namespace adtp

@@ -1,0 +1,52 @@
+/// \file timer.hpp
+/// \brief Wall-clock timing helpers for the experiment harness.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace adtp {
+
+/// A simple monotonic stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A soft deadline used by benches to abandon exponential computations
+/// (mirrors the paper's 10^4-second cap, scaled down for this harness).
+class Deadline {
+ public:
+  /// A deadline \p budget_seconds from now; non-positive means "no limit".
+  explicit Deadline(double budget_seconds)
+      : enabled_(budget_seconds > 0), budget_(budget_seconds) {}
+
+  [[nodiscard]] bool expired() const {
+    return enabled_ && watch_.seconds() > budget_;
+  }
+
+  [[nodiscard]] double budget_seconds() const { return budget_; }
+
+ private:
+  bool enabled_;
+  double budget_;
+  Stopwatch watch_;
+};
+
+}  // namespace adtp

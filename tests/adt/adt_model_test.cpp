@@ -1,0 +1,233 @@
+#include "adt/adt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+Adt small_tree() {
+  Adt adt;
+  const NodeId a1 = adt.add_basic("a1", Agent::Attacker);
+  const NodeId a2 = adt.add_basic("a2", Agent::Attacker);
+  const NodeId d1 = adt.add_basic("d1", Agent::Defender);
+  const NodeId band = adt.add_gate("band", GateType::And, Agent::Attacker,
+                                   {a1, a2});
+  const NodeId inh = adt.add_inhibit("inh", band, d1);
+  adt.set_root(inh);
+  adt.freeze();
+  return adt;
+}
+
+TEST(AdtModel, BuildAndQuery) {
+  const Adt adt = small_tree();
+  EXPECT_EQ(adt.size(), 5u);
+  EXPECT_EQ(adt.name(adt.root()), "inh");
+  EXPECT_EQ(adt.type(adt.root()), GateType::Inhibit);
+  EXPECT_EQ(adt.agent(adt.root()), Agent::Attacker);
+  EXPECT_EQ(adt.num_attacks(), 2u);
+  EXPECT_EQ(adt.num_defenses(), 1u);
+  EXPECT_TRUE(adt.is_tree());
+}
+
+TEST(AdtModel, FindAndAt) {
+  const Adt adt = small_tree();
+  EXPECT_TRUE(adt.find("a1").has_value());
+  EXPECT_FALSE(adt.find("zz").has_value());
+  EXPECT_EQ(adt.name(adt.at("band")), "band");
+  EXPECT_THROW((void)adt.at("zz"), ModelError);
+}
+
+TEST(AdtModel, InhChildAccessors) {
+  const Adt adt = small_tree();
+  const NodeId inh = adt.at("inh");
+  EXPECT_EQ(adt.name(adt.inhibited_child(inh)), "band");
+  EXPECT_EQ(adt.name(adt.trigger_child(inh)), "d1");
+  EXPECT_THROW((void)adt.inhibited_child(adt.at("a1")), ModelError);
+}
+
+TEST(AdtModel, ParentsComputed) {
+  const Adt adt = small_tree();
+  EXPECT_TRUE(adt.parents(adt.root()).empty());
+  ASSERT_EQ(adt.parents(adt.at("a1")).size(), 1u);
+  EXPECT_EQ(adt.parents(adt.at("a1"))[0], adt.at("band"));
+}
+
+TEST(AdtModel, TopologicalOrderChildrenFirst) {
+  const Adt adt = small_tree();
+  std::vector<std::size_t> position(adt.size());
+  const auto& topo = adt.topological_order();
+  for (std::size_t i = 0; i < topo.size(); ++i) position[topo[i]] = i;
+  for (NodeId v = 0; v < adt.size(); ++v) {
+    for (NodeId c : adt.children(v)) {
+      EXPECT_LT(position[c], position[v]);
+    }
+  }
+}
+
+TEST(AdtModel, AttackDefenseIndexing) {
+  const Adt adt = small_tree();
+  EXPECT_EQ(adt.attack_index(adt.at("a1")), 0u);
+  EXPECT_EQ(adt.attack_index(adt.at("a2")), 1u);
+  EXPECT_EQ(adt.defense_index(adt.at("d1")), 0u);
+  EXPECT_THROW((void)adt.attack_index(adt.at("d1")), ModelError);
+  EXPECT_THROW((void)adt.defense_index(adt.at("a1")), ModelError);
+  EXPECT_THROW((void)adt.attack_index(adt.at("band")), ModelError);
+}
+
+TEST(AdtModel, QueriesRequireFreeze) {
+  Adt adt;
+  adt.add_basic("a", Agent::Attacker);
+  EXPECT_THROW((void)adt.root(), ModelError);
+  EXPECT_THROW((void)adt.attack_steps(), ModelError);
+  adt.freeze();
+  EXPECT_EQ(adt.name(adt.root()), "a");
+}
+
+TEST(AdtModel, MutationAfterFreezeUnfreezes) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  adt.freeze();
+  EXPECT_TRUE(adt.frozen());
+  const NodeId b = adt.add_basic("b", Agent::Attacker);
+  EXPECT_FALSE(adt.frozen());
+  const NodeId gate = adt.add_gate("or", GateType::Or, Agent::Attacker,
+                                   {a, b});
+  adt.set_root(gate);
+  adt.freeze();
+  EXPECT_EQ(adt.num_attacks(), 2u);
+}
+
+TEST(AdtModel, DuplicateNamesRejected) {
+  Adt adt;
+  adt.add_basic("x", Agent::Attacker);
+  EXPECT_THROW(adt.add_basic("x", Agent::Defender), ModelError);
+}
+
+TEST(AdtModel, EmptyNamesRejected) {
+  Adt adt;
+  EXPECT_THROW(adt.add_basic("", Agent::Attacker), ModelError);
+}
+
+TEST(AdtModel, ChildrenMustExist) {
+  Adt adt;
+  EXPECT_THROW(adt.add_gate("g", GateType::And, Agent::Attacker, {5}),
+               ModelError);
+  EXPECT_THROW(adt.add_inhibit("i", 0, 1), ModelError);
+}
+
+TEST(AdtModel, GateTypeRestrictedInAddGate) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  EXPECT_THROW(
+      adt.add_gate("g", GateType::Inhibit, Agent::Attacker, {a, a}),
+      ModelError);
+  EXPECT_THROW(adt.add_gate("g", GateType::BasicStep, Agent::Attacker, {a}),
+               ModelError);
+}
+
+TEST(AdtModel, EmptyGateRejected) {
+  Adt adt;
+  EXPECT_THROW(adt.add_gate("g", GateType::And, Agent::Attacker, {}),
+               ModelError);
+}
+
+TEST(AdtModel, InhDistinctChildren) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  EXPECT_THROW(adt.add_inhibit("i", a, a), ModelError);
+}
+
+TEST(AdtModel, Definition1MixedAgentAndOrRejected) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId d = adt.add_basic("d", Agent::Defender);
+  adt.add_gate("g", GateType::And, Agent::Attacker, {a, d});
+  EXPECT_THROW(adt.freeze(), ModelError);
+}
+
+TEST(AdtModel, Definition1InhOppositeAgents) {
+  Adt adt;
+  const NodeId a1 = adt.add_basic("a1", Agent::Attacker);
+  const NodeId a2 = adt.add_basic("a2", Agent::Attacker);
+  adt.add_inhibit("i", a1, a2);  // trigger must be the opposite agent
+  EXPECT_THROW(adt.freeze(), ModelError);
+}
+
+TEST(AdtModel, UnreachableNodesRejected) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  adt.add_basic("orphan", Agent::Attacker);
+  adt.set_root(a);
+  EXPECT_THROW(adt.freeze(), ModelError);
+}
+
+TEST(AdtModel, EmptyModelRejected) {
+  Adt adt;
+  EXPECT_THROW(adt.freeze(), ModelError);
+}
+
+TEST(AdtModel, SetRootValidates) {
+  Adt adt;
+  adt.add_basic("a", Agent::Attacker);
+  EXPECT_THROW(adt.set_root(9), ModelError);
+}
+
+TEST(AdtModel, RootDefaultsToLastAdded) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId b = adt.add_basic("b", Agent::Attacker);
+  adt.add_gate("top", GateType::Or, Agent::Attacker, {a, b});
+  adt.freeze();  // no explicit set_root
+  EXPECT_EQ(adt.name(adt.root()), "top");
+}
+
+TEST(AdtModel, DagDetection) {
+  Adt adt;
+  const NodeId shared = adt.add_basic("shared", Agent::Attacker);
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId g1 = adt.add_gate("g1", GateType::And, Agent::Attacker,
+                                 {shared, a});
+  const NodeId b = adt.add_basic("b", Agent::Attacker);
+  const NodeId g2 = adt.add_gate("g2", GateType::And, Agent::Attacker,
+                                 {shared, b});
+  const NodeId root = adt.add_gate("root", GateType::Or, Agent::Attacker,
+                                   {g1, g2});
+  adt.set_root(root);
+  adt.freeze();
+  EXPECT_FALSE(adt.is_tree());
+  EXPECT_EQ(adt.parents(shared).size(), 2u);
+  const AdtStats stats = adt.stats();
+  EXPECT_EQ(stats.shared_nodes, 1u);
+  EXPECT_FALSE(stats.tree_shaped);
+}
+
+TEST(AdtModel, StatsCountGates) {
+  const Adt adt = small_tree();
+  const AdtStats stats = adt.stats();
+  EXPECT_EQ(stats.nodes, 5u);
+  EXPECT_EQ(stats.attack_steps, 2u);
+  EXPECT_EQ(stats.defense_steps, 1u);
+  EXPECT_EQ(stats.and_gates, 1u);
+  EXPECT_EQ(stats.or_gates, 0u);
+  EXPECT_EQ(stats.inh_gates, 1u);
+  EXPECT_TRUE(stats.tree_shaped);
+}
+
+TEST(AdtModel, ToTextMentionsEveryNode) {
+  const Adt adt = small_tree();
+  const std::string text = adt.to_text();
+  for (const Node& n : adt.nodes()) {
+    EXPECT_NE(text.find(n.name), std::string::npos) << n.name;
+  }
+}
+
+TEST(AdtModel, NodeIdOutOfRangeThrows) {
+  const Adt adt = small_tree();
+  EXPECT_THROW((void)adt.node(99), ModelError);
+  EXPECT_THROW((void)adt.parents(99), ModelError);
+}
+
+}  // namespace
+}  // namespace adtp

@@ -1,0 +1,178 @@
+#include "adt/adtool_xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adt/structure.hpp"
+#include "core/bdd_bu.hpp"
+#include "core/naive.hpp"
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+/// A small ADTool-style export: an OR root, one conjunctive branch, a
+/// countermeasure with a counter-counter, and a repeated basic-step label
+/// ("phish") shared between two branches.
+constexpr const char* kSample = R"(<?xml version="1.0" encoding="UTF-8"?>
+<adtree>
+  <node refinement="disjunctive">
+    <label>break in</label>
+    <node refinement="conjunctive">
+      <label>insider path</label>
+      <node refinement="disjunctive">
+        <label>get creds</label>
+        <node><label>phish</label>
+          <parameter domainId="MinCost1" category="basic">30</parameter>
+        </node>
+        <node><label>bribe</label>
+          <parameter domainId="MinCost1" category="basic">100</parameter>
+        </node>
+      </node>
+      <node>
+        <label>use vpn</label>
+        <parameter domainId="MinCost1" category="basic">5</parameter>
+        <node switchRole="yes">
+          <label>mfa</label>
+          <parameter domainId="MinCost1" category="basic">8</parameter>
+          <node switchRole="yes">
+            <label>steal token</label>
+            <parameter domainId="MinCost1" category="basic">50</parameter>
+          </node>
+        </node>
+      </node>
+    </node>
+    <node>
+      <label>phish</label>
+    </node>
+  </node>
+</adtree>
+)";
+
+TEST(AdtoolXml, ImportsStructure) {
+  const AdtoolImport import = import_adtool_xml(kSample);
+  const Adt& adt = import.adt;
+  EXPECT_EQ(adt.name(adt.root()), "break in");
+  EXPECT_EQ(adt.type(adt.root()), GateType::Or);
+  EXPECT_EQ(adt.agent(adt.root()), Agent::Attacker);
+  // Basic steps: phish (shared!), bribe, use vpn, steal token + mfa (D).
+  EXPECT_EQ(adt.num_attacks(), 4u);
+  EXPECT_EQ(adt.num_defenses(), 1u);
+  // Repeated label -> one shared node -> DAG.
+  EXPECT_FALSE(adt.is_tree());
+  EXPECT_EQ(adt.parents(adt.at("phish")).size(), 2u);
+  // Countermeasure chain: use vpn inhibited by mfa, mfa by steal token.
+  const NodeId countered = adt.at("use vpn countered");
+  EXPECT_EQ(adt.type(countered), GateType::Inhibit);
+  EXPECT_EQ(adt.name(adt.inhibited_child(countered)), "use vpn");
+  EXPECT_EQ(adt.name(adt.trigger_child(countered)), "mfa countered");
+}
+
+TEST(AdtoolXml, ParametersBecomeAttribution) {
+  const AdtoolImport import = import_adtool_xml(kSample);
+  EXPECT_EQ(import.attribution.get("phish"), 30);
+  EXPECT_EQ(import.attribution.get("bribe"), 100);
+  EXPECT_EQ(import.attribution.get("mfa"), 8);
+  ASSERT_EQ(import.domain_ids.size(), 1u);
+  EXPECT_EQ(import.domain_ids[0], "MinCost1");
+}
+
+TEST(AdtoolXml, ImportedModelAnalyzes) {
+  const AdtoolImport import = import_adtool_xml(kSample);
+  const AugmentedAdt aadt(import.adt, import.attribution,
+                          Semiring::min_cost(), Semiring::min_cost());
+  const Front front = bdd_bu_front(aadt);
+  EXPECT_TRUE(front.same_values(naive_front(aadt), aadt.defender_domain(),
+                                aadt.attacker_domain()));
+  // Cheapest attack: the bare "phish" branch at 30.
+  EXPECT_EQ(front.front_point().def, 0);
+  EXPECT_EQ(front.front_point().att, 30);
+  // mfa (8) only forces the insider path's attacker to add steal token -
+  // but "phish" alone still works, so mfa never helps: front has 1 point.
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(AdtoolXml, SemanticsMatchesByHand) {
+  // With mfa deployed, "use vpn" requires "steal token".
+  const AdtoolImport import = import_adtool_xml(kSample);
+  const Adt& adt = import.adt;
+  BitVec defense(1);
+  BitVec attack(adt.num_attacks());
+  attack.set(adt.attack_index(adt.at("phish")));
+  // phish alone satisfies the root OR regardless of mfa.
+  EXPECT_TRUE(evaluate_root(adt, defense, attack));
+  defense.set(0);
+  EXPECT_TRUE(evaluate_root(adt, defense, attack));
+}
+
+TEST(AdtoolXml, MultipleCountermeasuresAreOred) {
+  const char* xml = R"(<adtree><node>
+      <label>a</label>
+      <node switchRole="yes"><label>d1</label></node>
+      <node switchRole="yes"><label>d2</label></node>
+    </node></adtree>)";
+  const AdtoolImport import = import_adtool_xml(xml);
+  const Adt& adt = import.adt;
+  const NodeId trigger = adt.trigger_child(adt.at("a countered"));
+  EXPECT_EQ(adt.type(trigger), GateType::Or);
+  EXPECT_EQ(adt.agent(trigger), Agent::Defender);
+  EXPECT_EQ(adt.children(trigger).size(), 2u);
+}
+
+TEST(AdtoolXml, DefaultRefinementIsDisjunctive) {
+  const char* xml = R"(<adtree><node>
+      <label>top</label>
+      <node><label>x</label></node>
+      <node><label>y</label></node>
+    </node></adtree>)";
+  const AdtoolImport import = import_adtool_xml(xml);
+  EXPECT_EQ(import.adt.type(import.adt.root()), GateType::Or);
+}
+
+TEST(AdtoolXml, EntitiesAndComments) {
+  const char* xml =
+      "<adtree><!-- exported -->\n"
+      "<node><label>A &amp; B &lt;x&gt;</label></node></adtree>";
+  const AdtoolImport import = import_adtool_xml(xml);
+  EXPECT_TRUE(import.adt.find("A & B <x>").has_value());
+}
+
+TEST(AdtoolXml, SelectsRequestedDomain) {
+  const char* xml = R"(<adtree><node>
+      <label>a</label>
+      <parameter domainId="Cost">7</parameter>
+      <parameter domainId="Time">3</parameter>
+    </node></adtree>)";
+  EXPECT_EQ(import_adtool_xml(xml, "Time").attribution.get("a"), 3);
+  EXPECT_EQ(import_adtool_xml(xml, "Cost").attribution.get("a"), 7);
+  // Default: the first domain encountered.
+  EXPECT_EQ(import_adtool_xml(xml).attribution.get("a"), 7);
+}
+
+TEST(AdtoolXml, MalformedInputsRejected) {
+  EXPECT_THROW((void)import_adtool_xml("<adtree>"), ParseError);
+  EXPECT_THROW((void)import_adtool_xml("<adtree></wrong>"), ParseError);
+  EXPECT_THROW((void)import_adtool_xml("<nottree/>"), ModelError);
+  EXPECT_THROW((void)import_adtool_xml("<adtree></adtree>"), ModelError);
+  EXPECT_THROW((void)import_adtool_xml(
+                   "<adtree><node></node></adtree>"),  // no label
+               ModelError);
+  EXPECT_THROW((void)import_adtool_xml(
+                   "<adtree><node refinement=\"weird\"><label>x</label>"
+                   "<node><label>y</label></node></node></adtree>"),
+               ModelError);
+  EXPECT_THROW((void)import_adtool_xml(
+                   "<adtree><node><label>x</label>"
+                   "<parameter domainId=\"d\">abc</parameter>"
+                   "</node></adtree>"),
+               ModelError);
+  EXPECT_THROW((void)import_adtool_xml("<adtree><node><label>&bogus;"
+                                       "</label></node></adtree>"),
+               ParseError);
+}
+
+TEST(AdtoolXml, MissingFileThrows) {
+  EXPECT_THROW((void)load_adtool_file("/nonexistent/tree.xml"), Error);
+}
+
+}  // namespace
+}  // namespace adtp

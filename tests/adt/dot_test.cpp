@@ -1,0 +1,70 @@
+#include "adt/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/build.hpp"
+#include "bdd/dot.hpp"
+#include "gen/catalog.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(AdtDot, MentionsEveryNodeAndEdge) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const std::string dot = to_dot(fig5.adt());
+  EXPECT_NE(dot.find("digraph adt"), std::string::npos);
+  for (const Node& n : fig5.adt().nodes()) {
+    EXPECT_NE(dot.find(n.name), std::string::npos) << n.name;
+  }
+  // 6 edges in fig5: two INH gates with 2 children + OR with 2.
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 6u);
+}
+
+TEST(AdtDot, TriggerEdgesMarked) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const std::string dot = to_dot(fig5.adt());
+  // Two INH gates -> two odot-marked trigger edges (the paper's circle).
+  std::size_t markers = 0;
+  for (std::size_t pos = dot.find("arrowhead=odot");
+       pos != std::string::npos; pos = dot.find("arrowhead=odot", pos + 1)) {
+    ++markers;
+  }
+  EXPECT_EQ(markers, 2u);
+}
+
+TEST(AdtDot, AugmentedIncludesValues) {
+  const std::string dot = to_dot(catalog::fig5_example());
+  EXPECT_NE(dot.find("a2\\n10"), std::string::npos);
+  EXPECT_NE(dot.find("d1\\n4"), std::string::npos);
+}
+
+TEST(AdtDot, EscapesQuotes) {
+  Adt adt;
+  adt.add_basic("weird\"name", Agent::Attacker);
+  adt.freeze();
+  const std::string dot = to_dot(adt);
+  EXPECT_NE(dot.find("weird\\\"name"), std::string::npos);
+}
+
+TEST(BddDot, RendersTerminalsAndEdges) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const auto order = bdd::VarOrder::defense_first(fig5.adt());
+  bdd::Manager manager(order.num_vars());
+  const bdd::Ref root =
+      bdd::build_structure_function(manager, fig5.adt(), order);
+  const std::string dot = bdd::to_dot(manager, root, fig5.adt(), order);
+  EXPECT_NE(dot.find("digraph robdd"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"0\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"1\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // Fig. 6 style
+  EXPECT_NE(dot.find("a1"), std::string::npos);
+  EXPECT_NE(dot.find("d1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adtp

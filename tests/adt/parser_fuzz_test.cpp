@@ -1,0 +1,125 @@
+/// Deterministic fuzz-style robustness tests for the two parsers: random
+/// mutations of valid documents (byte flips, truncations, duplications)
+/// must either parse successfully or throw a library Error - never crash,
+/// hang, or escape with a foreign exception type.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "adt/adtool_xml.hpp"
+#include "adt/text_format.hpp"
+#include "gen/catalog.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+namespace {
+
+std::string mutate(const std::string& input, Rng& rng) {
+  std::string out = input;
+  const int strategy = static_cast<int>(rng.below(4));
+  switch (strategy) {
+    case 0: {  // flip random bytes
+      for (int i = 0; i < 4 && !out.empty(); ++i) {
+        out[rng.below(out.size())] =
+            static_cast<char>(32 + rng.below(95));
+      }
+      break;
+    }
+    case 1: {  // truncate
+      if (!out.empty()) out.resize(rng.below(out.size()));
+      break;
+    }
+    case 2: {  // duplicate a random slice into a random position
+      if (out.size() > 4) {
+        const std::size_t from = rng.below(out.size() - 1);
+        const std::size_t len =
+            1 + rng.below(std::min<std::size_t>(out.size() - from, 40));
+        out.insert(rng.below(out.size()), out.substr(from, len));
+      }
+      break;
+    }
+    default: {  // delete a random slice
+      if (out.size() > 4) {
+        const std::size_t from = rng.below(out.size() - 1);
+        const std::size_t len =
+            1 + rng.below(std::min<std::size_t>(out.size() - from, 40));
+        out.erase(from, len);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(ParserFuzz, TextFormatNeverCrashes) {
+  const std::string valid = to_text_format(catalog::money_theft_dag());
+  Rng rng(0xF002);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 1500; ++trial) {
+    const std::string input = mutate(valid, rng);
+    try {
+      (void)parse_adt_text(input);
+      ++parsed_ok;
+    } catch (const Error&) {
+      // Any library error is acceptable.
+    }
+  }
+  // Some mutations (e.g. comment-area flips) must still parse; if none
+  // do, the mutator is broken.
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST(ParserFuzz, AdtoolXmlNeverCrashes) {
+  const std::string valid = R"(<?xml version="1.0"?>
+<adtree><node refinement="disjunctive"><label>root</label>
+<node><label>a</label><parameter domainId="c">3</parameter></node>
+<node><label>b</label>
+  <node switchRole="yes"><label>d</label></node>
+</node>
+</node></adtree>)";
+  Rng rng(0xF003);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 1500; ++trial) {
+    const std::string input = mutate(valid, rng);
+    try {
+      (void)import_adtool_xml(input);
+      ++parsed_ok;
+    } catch (const Error&) {
+    }
+  }
+  EXPECT_GT(parsed_ok, 0);
+}
+
+TEST(ParserFuzz, RandomGarbageRejectedCleanly) {
+  Rng rng(0xF004);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string garbage;
+    const std::size_t length = rng.below(300);
+    for (std::size_t i = 0; i < length; ++i) {
+      garbage += static_cast<char>(rng.below(256));
+    }
+    EXPECT_THROW((void)parse_adt_text(garbage), Error) << "trial " << trial;
+    try {
+      (void)import_adtool_xml(garbage);
+      // A parse succeeding on random bytes is implausible but not unsound
+      // per se - it must at least have produced a valid document element.
+      FAIL() << "random garbage accepted at trial " << trial;
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, DeeplyNestedXmlDoesNotOverflowQuickly) {
+  // 2k nesting levels: the recursive-descent parser must either handle it
+  // or fail cleanly (here: it handles it; the converter rejects missing
+  // labels at the leaves).
+  std::string xml = "<adtree>";
+  for (int i = 0; i < 2000; ++i) xml += "<node><label>n</label>";
+  for (int i = 0; i < 2000; ++i) xml += "</node>";
+  xml += "</adtree>";
+  EXPECT_NO_THROW((void)import_adtool_xml(xml));
+}
+
+}  // namespace
+}  // namespace adtp

@@ -1,0 +1,190 @@
+#include "adt/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+namespace {
+
+/// Reference recursive implementation of Definition 3, used to check the
+/// iterative evaluator.
+bool reference_eval(const Adt& adt, const BitVec& defense,
+                    const BitVec& attack, NodeId v) {
+  const Node& n = adt.node(v);
+  switch (n.type) {
+    case GateType::BasicStep:
+      return n.agent == Agent::Attacker ? attack.test(adt.attack_index(v))
+                                        : defense.test(adt.defense_index(v));
+    case GateType::And: {
+      for (NodeId c : n.children) {
+        if (!reference_eval(adt, defense, attack, c)) return false;
+      }
+      return true;
+    }
+    case GateType::Or: {
+      for (NodeId c : n.children) {
+        if (reference_eval(adt, defense, attack, c)) return true;
+      }
+      return false;
+    }
+    case GateType::Inhibit:
+      return reference_eval(adt, defense, attack, n.children[0]) &&
+             !reference_eval(adt, defense, attack, n.children[1]);
+  }
+  return false;
+}
+
+TEST(Structure, AndGate) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId b = adt.add_basic("b", Agent::Attacker);
+  adt.add_gate("and", GateType::And, Agent::Attacker, {a, b});
+  adt.freeze();
+  const BitVec d(0);
+  EXPECT_FALSE(evaluate_root(adt, d, BitVec::from_string("00")));
+  EXPECT_FALSE(evaluate_root(adt, d, BitVec::from_string("10")));
+  EXPECT_FALSE(evaluate_root(adt, d, BitVec::from_string("01")));
+  EXPECT_TRUE(evaluate_root(adt, d, BitVec::from_string("11")));
+}
+
+TEST(Structure, OrGate) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId b = adt.add_basic("b", Agent::Attacker);
+  adt.add_gate("or", GateType::Or, Agent::Attacker, {a, b});
+  adt.freeze();
+  const BitVec d(0);
+  EXPECT_FALSE(evaluate_root(adt, d, BitVec::from_string("00")));
+  EXPECT_TRUE(evaluate_root(adt, d, BitVec::from_string("10")));
+  EXPECT_TRUE(evaluate_root(adt, d, BitVec::from_string("01")));
+  EXPECT_TRUE(evaluate_root(adt, d, BitVec::from_string("11")));
+}
+
+TEST(Structure, InhGateTruthTable) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId d = adt.add_basic("d", Agent::Defender);
+  adt.add_inhibit("inh", a, d);
+  adt.freeze();
+  // f(INH) = f(inhibited) AND NOT f(trigger).
+  EXPECT_FALSE(evaluate_root(adt, BitVec::from_string("0"),
+                             BitVec::from_string("0")));
+  EXPECT_TRUE(evaluate_root(adt, BitVec::from_string("0"),
+                            BitVec::from_string("1")));
+  EXPECT_FALSE(evaluate_root(adt, BitVec::from_string("1"),
+                             BitVec::from_string("0")));
+  EXPECT_FALSE(evaluate_root(adt, BitVec::from_string("1"),
+                             BitVec::from_string("1")));
+}
+
+TEST(Structure, VectorSizeValidated) {
+  Adt adt;
+  adt.add_basic("a", Agent::Attacker);
+  adt.freeze();
+  EXPECT_THROW((void)evaluate_root(adt, BitVec(1), BitVec(1)), ModelError);
+  EXPECT_THROW((void)evaluate_root(adt, BitVec(0), BitVec(2)), ModelError);
+}
+
+TEST(Structure, Fig2SoftwareUpdateSharedDefense) {
+  // In Fig. 2, SU protects both ESV and ACV; DNS disables SU.
+  const Adt adt = catalog::fig2_steal_data_adt();
+  const std::size_t esv = adt.attack_index(adt.at("ESV"));
+  const std::size_t dns = adt.attack_index(adt.at("DNS"));
+  const std::size_t sdk = adt.attack_index(adt.at("SDK"));
+  const std::size_t su = adt.defense_index(adt.at("SU"));
+
+  BitVec attack(adt.num_attacks());
+  BitVec defense(adt.num_defenses());
+  attack.set(esv);
+  attack.set(sdk);
+  // ESV + SDK succeeds with no defenses.
+  EXPECT_TRUE(evaluate_root(adt, defense, attack));
+  // SU active blocks ESV.
+  defense.set(su);
+  EXPECT_FALSE(evaluate_root(adt, defense, attack));
+  // DNS hijack re-enables the attack.
+  attack.set(dns);
+  EXPECT_TRUE(evaluate_root(adt, defense, attack));
+}
+
+TEST(Structure, Example2NoDefenseResponses) {
+  // Example 2: with no defenses, 010 and 001 both succeed on Fig. 3.
+  const AugmentedAdt fig3 = catalog::fig3_example();
+  const Adt& adt = fig3.adt();
+  EXPECT_TRUE(evaluate_root(adt, BitVec::from_string("00"),
+                            BitVec::from_string("010")));
+  EXPECT_TRUE(evaluate_root(adt, BitVec::from_string("00"),
+                            BitVec::from_string("001")));
+  EXPECT_FALSE(evaluate_root(adt, BitVec::from_string("00"),
+                             BitVec::from_string("000")));
+  // With both defenses, 010 fails but 110 succeeds.
+  EXPECT_FALSE(evaluate_root(adt, BitVec::from_string("11"),
+                             BitVec::from_string("010")));
+  EXPECT_TRUE(evaluate_root(adt, BitVec::from_string("11"),
+                            BitVec::from_string("110")));
+}
+
+TEST(Structure, AttackSucceedsFollowsRootAgent) {
+  // Defender-rooted: the attack succeeds when the root evaluates to 0.
+  const AugmentedAdt fig4 = catalog::fig4_exponential(2);
+  const Adt& adt = fig4.adt();
+  // No defenses active: root OR of (d_i AND NOT a_i) is 0 -> success.
+  EXPECT_FALSE(evaluate_root(adt, BitVec::from_string("00"),
+                             BitVec::from_string("00")));
+  EXPECT_TRUE(attack_succeeds(adt, BitVec::from_string("00"),
+                              BitVec::from_string("00")));
+  // d1 active, no attack: root is 1 -> attack fails.
+  EXPECT_TRUE(evaluate_root(adt, BitVec::from_string("10"),
+                            BitVec::from_string("00")));
+  EXPECT_FALSE(attack_succeeds(adt, BitVec::from_string("10"),
+                               BitVec::from_string("00")));
+  // d1 active and countered by a1 -> success again.
+  EXPECT_TRUE(attack_succeeds(adt, BitVec::from_string("10"),
+                              BitVec::from_string("10")));
+}
+
+TEST(Structure, EvaluateAllMatchesPerNode) {
+  const AugmentedAdt fig3 = catalog::fig3_example();
+  const Adt& adt = fig3.adt();
+  const BitVec defense = BitVec::from_string("11");
+  const BitVec attack = BitVec::from_string("110");
+  const auto values = evaluate_all(adt, defense, attack);
+  for (NodeId v = 0; v < adt.size(); ++v) {
+    EXPECT_EQ(values[v] != 0, evaluate(adt, defense, attack, v)) << v;
+  }
+}
+
+class StructureRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StructureRandomized, IterativeMatchesRecursiveReference) {
+  RandomAdtOptions options;
+  options.target_nodes = 40;
+  options.share_probability = 0.25;
+  const Adt adt = generate_random_adt(options, GetParam());
+  Rng rng(GetParam() ^ 0xabcdef);
+  StructureEvaluator evaluator(adt);
+  for (int trial = 0; trial < 25; ++trial) {
+    BitVec defense(adt.num_defenses());
+    BitVec attack(adt.num_attacks());
+    for (std::size_t i = 0; i < defense.size(); ++i) {
+      if (rng.chance(0.5)) defense.set(i);
+    }
+    for (std::size_t i = 0; i < attack.size(); ++i) {
+      if (rng.chance(0.5)) attack.set(i);
+    }
+    const bool expected =
+        reference_eval(adt, defense, attack, adt.root());
+    EXPECT_EQ(evaluate_root(adt, defense, attack), expected);
+    EXPECT_EQ(evaluator.root_value(defense, attack), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructureRandomized,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace adtp

@@ -1,0 +1,159 @@
+#include "adt/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adt/structure.hpp"
+#include "core/bottom_up.hpp"
+#include "core/naive.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(UnfoldToTree, TreeStaysIdentical) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const AugmentedAdt unfolded = unfold_to_tree(fig5);
+  EXPECT_EQ(unfolded.adt().size(), fig5.adt().size());
+  EXPECT_TRUE(unfolded.adt().is_tree());
+  EXPECT_EQ(naive_front(unfolded).to_string(),
+            naive_front(fig5).to_string());
+}
+
+TEST(UnfoldToTree, DuplicatesSharedNodes) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  EXPECT_FALSE(dag.adt().is_tree());
+  const AugmentedAdt tree = unfold_to_tree(dag);
+  EXPECT_TRUE(tree.adt().is_tree());
+  // Phishing feeds two parents; the tree gains exactly one clone.
+  EXPECT_EQ(tree.adt().size(), dag.adt().size() + 1);
+  EXPECT_TRUE(tree.adt().find("phishing").has_value());
+  EXPECT_TRUE(tree.adt().find("phishing@2").has_value());
+}
+
+TEST(UnfoldToTree, ClonesInheritAttributeValues) {
+  const AugmentedAdt tree = unfold_to_tree(catalog::money_theft_dag());
+  EXPECT_EQ(tree.attribution().get("phishing"), 70);
+  EXPECT_EQ(tree.attribution().get("phishing@2"), 70);
+}
+
+TEST(UnfoldToTree, PaperSectionVIATreeSemantics) {
+  // The paper's manual unfolding: the tree-BU front differs from the DAG
+  // front because Phishing must be paid twice.
+  const AugmentedAdt tree = unfold_to_tree(catalog::money_theft_dag());
+  EXPECT_EQ(bottom_up_front(tree).to_string(),
+            "{(0, 90), (30, 150), (50, 165)}");
+}
+
+TEST(UnfoldToTree, LeafOriginMapsClones) {
+  const UnfoldResult result = unfold_to_tree(catalog::money_theft_dag().adt());
+  EXPECT_EQ(result.leaf_origin.at("phishing@2"), "phishing");
+  EXPECT_EQ(result.leaf_origin.at("phishing"), "phishing");
+}
+
+TEST(UnfoldToTree, DeepSharingExpandsEverything) {
+  // shared appears under two gates which are themselves shared.
+  Adt adt;
+  const NodeId shared = adt.add_basic("s", Agent::Attacker);
+  const NodeId x = adt.add_basic("x", Agent::Attacker);
+  const NodeId g1 = adt.add_gate("g1", GateType::And, Agent::Attacker,
+                                 {shared, x});
+  const NodeId y = adt.add_basic("y", Agent::Attacker);
+  const NodeId g2 = adt.add_gate("g2", GateType::Or, Agent::Attacker,
+                                 {g1, y});
+  const NodeId g3 = adt.add_gate("g3", GateType::Or, Agent::Attacker,
+                                 {g1, shared});
+  const NodeId root = adt.add_gate("root", GateType::And, Agent::Attacker,
+                                   {g2, g3});
+  adt.set_root(root);
+  adt.freeze();
+
+  const UnfoldResult result = unfold_to_tree(adt);
+  EXPECT_TRUE(result.tree.is_tree());
+  // g1 expands twice (3 nodes each: g1, s, x), s once more, y, g2, g3, root.
+  EXPECT_EQ(result.tree.size(), 11u);
+}
+
+TEST(UnfoldToTree, RequiresFrozen) {
+  Adt adt;
+  adt.add_basic("a", Agent::Attacker);
+  EXPECT_THROW((void)unfold_to_tree(adt), ModelError);
+}
+
+TEST(ExtractSubgraph, KeepsNamesAndStructure) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const NodeId online = dag.adt().at("via_online_banking");
+  const AugmentedAdt sub = extract_subgraph(dag, online);
+  EXPECT_EQ(sub.adt().name(sub.adt().root()), "via_online_banking");
+  EXPECT_TRUE(sub.adt().find("phishing").has_value());
+  EXPECT_FALSE(sub.adt().find("via_atm").has_value());
+  // Phishing is still shared inside the online branch.
+  EXPECT_FALSE(sub.adt().is_tree());
+  EXPECT_EQ(sub.attribution().get("phishing"), 70);
+}
+
+TEST(ExtractSubgraph, LeafSubgraph) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const AugmentedAdt sub = extract_subgraph(dag, dag.adt().at("phishing"));
+  EXPECT_EQ(sub.adt().size(), 1u);
+  EXPECT_EQ(sub.adt().num_attacks(), 1u);
+}
+
+TEST(ExtractSubgraph, OutOfRangeRejected) {
+  const Adt adt = catalog::fig1_steal_data_at();
+  EXPECT_THROW((void)extract_subgraph(adt, 999), ModelError);
+}
+
+TEST(ExtractSubgraph, WholeRootIsIdentity) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const AugmentedAdt sub = extract_subgraph(dag, dag.adt().root());
+  EXPECT_EQ(sub.adt().size(), dag.adt().size());
+  EXPECT_EQ(naive_front(sub).to_string(), naive_front(dag).to_string());
+}
+
+TEST(UnfoldToTree, StructureFunctionAgreesOnSharedInputs) {
+  // Tree semantics: an event that activates *all* copies of a duplicated
+  // leaf matches the DAG's activation of the shared leaf.
+  RandomAdtOptions options;
+  options.target_nodes = 25;
+  options.share_probability = 0.3;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Adt dag = generate_random_adt(options, seed);
+    const UnfoldResult unfolded = unfold_to_tree(dag);
+    const Adt& tree = unfolded.tree;
+
+    Rng rng(seed);
+    for (int trial = 0; trial < 10; ++trial) {
+      BitVec dag_defense(dag.num_defenses());
+      BitVec dag_attack(dag.num_attacks());
+      for (std::size_t i = 0; i < dag_defense.size(); ++i) {
+        if (rng.chance(0.5)) dag_defense.set(i);
+      }
+      for (std::size_t i = 0; i < dag_attack.size(); ++i) {
+        if (rng.chance(0.5)) dag_attack.set(i);
+      }
+      // Mirror the event onto every clone.
+      BitVec tree_defense(tree.num_defenses());
+      BitVec tree_attack(tree.num_attacks());
+      for (NodeId leaf : tree.defense_steps()) {
+        const std::string& origin = unfolded.leaf_origin.at(tree.name(leaf));
+        if (dag_defense.test(dag.defense_index(dag.at(origin)))) {
+          tree_defense.set(tree.defense_index(leaf));
+        }
+      }
+      for (NodeId leaf : tree.attack_steps()) {
+        const std::string& origin = unfolded.leaf_origin.at(tree.name(leaf));
+        if (dag_attack.test(dag.attack_index(dag.at(origin)))) {
+          tree_attack.set(tree.attack_index(leaf));
+        }
+      }
+      EXPECT_EQ(evaluate_root(dag, dag_defense, dag_attack),
+                evaluate_root(tree, tree_defense, tree_attack))
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtp

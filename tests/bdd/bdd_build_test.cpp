@@ -1,0 +1,203 @@
+#include "bdd/build.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "adt/structure.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adtp::bdd {
+namespace {
+
+/// Checks f_T == BDD on every assignment (exhaustive up to 20 leaves).
+void expect_equivalent(const Adt& adt, Manager& manager, Ref root,
+                       const VarOrder& order) {
+  const std::size_t bits = order.num_vars();
+  ASSERT_LE(bits, 20u);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << bits); ++mask) {
+    std::vector<bool> assignment(bits);
+    BitVec defense(adt.num_defenses());
+    BitVec attack(adt.num_attacks());
+    for (std::uint32_t v = 0; v < bits; ++v) {
+      const bool value = ((mask >> v) & 1ULL) != 0;
+      assignment[v] = value;
+      if (!value) continue;
+      const NodeId leaf = order.node_of(v);
+      if (adt.agent(leaf) == Agent::Defender) {
+        defense.set(adt.defense_index(leaf));
+      } else {
+        attack.set(adt.attack_index(leaf));
+      }
+    }
+    ASSERT_EQ(manager.evaluate(root, assignment),
+              evaluate_root(adt, defense, attack))
+        << "mask " << mask;
+  }
+}
+
+TEST(BddBuild, Fig5Equivalence) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const VarOrder order = VarOrder::defense_first(fig5.adt());
+  Manager manager(order.num_vars());
+  const Ref root = build_structure_function(manager, fig5.adt(), order);
+  expect_equivalent(fig5.adt(), manager, root, order);
+}
+
+TEST(BddBuild, Fig2DagEquivalence) {
+  const Adt adt = catalog::fig2_steal_data_adt();
+  const VarOrder order = VarOrder::defense_first(adt);
+  Manager manager(order.num_vars());
+  const Ref root = build_structure_function(manager, adt, order);
+  expect_equivalent(adt, manager, root, order);
+}
+
+TEST(BddBuild, MoneyTheftEquivalence) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const VarOrder order = VarOrder::defense_first(dag.adt());
+  Manager manager(order.num_vars());
+  const Ref root = build_structure_function(manager, dag.adt(), order);
+  expect_equivalent(dag.adt(), manager, root, order);
+}
+
+TEST(BddBuild, BuildAllSharesTranslations) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const VarOrder order = VarOrder::defense_first(dag.adt());
+  Manager manager(order.num_vars());
+  const auto roots = build_all(manager, dag.adt(), order);
+  ASSERT_EQ(roots.size(), dag.adt().size());
+  // The BDD of a leaf is its variable.
+  const NodeId phishing = dag.adt().at("phishing");
+  EXPECT_EQ(roots[phishing], manager.make_var(order.var_of(phishing)));
+  // Each internal node's BDD is consistent with its children via the gate
+  // semantics; spot-check an INH.
+  const NodeId inh = dag.adt().at("sms_effective");
+  const Ref expected = manager.apply_and(
+      roots[dag.adt().at("sms_authentication")],
+      manager.apply_not(roots[dag.adt().at("steal_phone")]));
+  EXPECT_EQ(roots[inh], expected);
+}
+
+TEST(BddBuild, ManagerVarCountValidated) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const VarOrder order = VarOrder::defense_first(fig5.adt());
+  Manager manager(order.num_vars() + 3);
+  EXPECT_THROW((void)build_all(manager, fig5.adt(), order), ModelError);
+}
+
+TEST(BddBuild, RandomModelsEquivalence) {
+  RandomAdtOptions options;
+  options.target_nodes = 26;
+  options.share_probability = 0.3;
+  options.max_defenses = 5;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Adt adt = generate_random_adt(options, seed);
+    if (adt.num_attacks() + adt.num_defenses() > 16) continue;
+    for (auto heuristic : {OrderHeuristic::Dfs, OrderHeuristic::Random}) {
+      const VarOrder order = VarOrder::defense_first(adt, heuristic, seed);
+      Manager manager(order.num_vars());
+      const Ref root = build_structure_function(manager, adt, order);
+      expect_equivalent(adt, manager, root, order);
+    }
+  }
+}
+
+TEST(BddBuild, SharedSubtreeTranslatedOnce) {
+  // A DAG whose shared subtree appears under two gates must not blow up
+  // the manager: the memoized build reuses the BDD.
+  const Adt adt = catalog::fig2_steal_data_adt();
+  const VarOrder order = VarOrder::defense_first(adt);
+  Manager manager(order.num_vars());
+  const auto roots = build_all(manager, adt, order);
+  // SU_effective's BDD is shared by both inhibition gates.
+  const Ref su_eff = roots[adt.at("SU_effective")];
+  EXPECT_FALSE(manager.is_terminal(su_eff));
+}
+
+
+TEST(BddPaths, Example6PathSemantics) {
+  // "The paths in the BDD correspond to evaluations of the structure
+  // function": every root-to-1 path, with don't-cares (*) expanded both
+  // ways, satisfies f_T; root-to-0 paths falsify it; and the expansions
+  // of all paths partition the full assignment space.
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const Adt& adt = fig5.adt();
+  const VarOrder order = VarOrder::defense_first(adt);
+  Manager manager(order.num_vars());
+  const Ref root = build_structure_function(manager, adt, order);
+
+  double covered = 0;
+  for (Ref target : {kTrue, kFalse}) {
+    for (const auto& path : manager.enumerate_paths(root, target)) {
+      std::size_t dont_cares = 0;
+      // Expand every don't-care both ways and check the evaluation.
+      std::vector<std::uint32_t> free_vars;
+      for (std::uint32_t v = 0; v < order.num_vars(); ++v) {
+        if (path[v] == Manager::kDontCare) {
+          ++dont_cares;
+          free_vars.push_back(v);
+        }
+      }
+      covered += std::pow(2.0, static_cast<double>(dont_cares));
+      for (std::uint64_t mask = 0;
+           mask < (std::uint64_t{1} << free_vars.size()); ++mask) {
+        BitVec defense(adt.num_defenses());
+        BitVec attack(adt.num_attacks());
+        auto assign = [&](std::uint32_t v, bool value) {
+          if (!value) return;
+          const NodeId leaf = order.node_of(v);
+          if (adt.agent(leaf) == Agent::Defender) {
+            defense.set(adt.defense_index(leaf));
+          } else {
+            attack.set(adt.attack_index(leaf));
+          }
+        };
+        for (std::uint32_t v = 0; v < order.num_vars(); ++v) {
+          if (path[v] != Manager::kDontCare) assign(v, path[v] == 1);
+        }
+        for (std::size_t i = 0; i < free_vars.size(); ++i) {
+          assign(free_vars[i], ((mask >> i) & 1ULL) != 0);
+        }
+        EXPECT_EQ(evaluate_root(adt, defense, attack), target == kTrue);
+      }
+    }
+  }
+  // All 2^4 assignments are covered exactly once across both terminals.
+  EXPECT_EQ(covered, 16.0);
+}
+
+TEST(BddPaths, CountMatchesSatCount) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const VarOrder order = VarOrder::defense_first(dag.adt());
+  Manager manager(order.num_vars());
+  const Ref root = build_structure_function(manager, dag.adt(), order);
+  double sat = 0;
+  for (const auto& path : manager.enumerate_paths(root, kTrue)) {
+    std::size_t dont_cares = 0;
+    for (auto v : path) dont_cares += (v == Manager::kDontCare);
+    sat += std::pow(2.0, static_cast<double>(dont_cares));
+  }
+  EXPECT_EQ(sat, manager.sat_count(root));
+}
+
+TEST(BddPaths, PathLimitGuard) {
+  const AugmentedAdt fig4 = catalog::fig4_exponential(8);
+  const VarOrder order = VarOrder::defense_first(fig4.adt());
+  Manager manager(order.num_vars());
+  const Ref root = build_structure_function(manager, fig4.adt(), order);
+  EXPECT_THROW((void)manager.enumerate_paths(root, kFalse, 4), LimitError);
+}
+
+TEST(BddPaths, TargetMustBeTerminal) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const VarOrder order = VarOrder::defense_first(fig5.adt());
+  Manager manager(order.num_vars());
+  const Ref root = build_structure_function(manager, fig5.adt(), order);
+  EXPECT_THROW((void)manager.enumerate_paths(root, root), ModelError);
+}
+
+}  // namespace
+}  // namespace adtp::bdd

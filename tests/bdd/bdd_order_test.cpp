@@ -1,0 +1,123 @@
+#include "bdd/order.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "util/error.hpp"
+
+namespace adtp::bdd {
+namespace {
+
+TEST(VarOrder, DefenseBlockComesFirst) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  for (auto heuristic : {OrderHeuristic::Dfs, OrderHeuristic::Bfs,
+                         OrderHeuristic::Index, OrderHeuristic::Random}) {
+    const VarOrder order =
+        VarOrder::defense_first(dag.adt(), heuristic, /*seed=*/5);
+    EXPECT_EQ(order.num_vars(), dag.adt().num_attacks() +
+                                     dag.adt().num_defenses());
+    EXPECT_EQ(order.num_defenses(), dag.adt().num_defenses());
+    for (std::uint32_t v = 0; v < order.num_vars(); ++v) {
+      const bool is_defense =
+          dag.adt().agent(order.node_of(v)) == Agent::Defender;
+      EXPECT_EQ(order.is_defense_var(v), is_defense) << to_string(heuristic);
+      EXPECT_EQ(is_defense, v < order.num_defenses());
+    }
+  }
+}
+
+TEST(VarOrder, VarOfIsInverseOfNodeOf) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const VarOrder order = VarOrder::defense_first(dag.adt());
+  for (std::uint32_t v = 0; v < order.num_vars(); ++v) {
+    EXPECT_EQ(order.var_of(order.node_of(v)), v);
+  }
+  EXPECT_THROW((void)order.var_of(dag.adt().at("via_atm")), ModelError);
+  EXPECT_THROW((void)order.node_of(order.num_vars()), ModelError);
+}
+
+TEST(VarOrder, DfsVisitsLeavesInTraversalOrder) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const VarOrder order = VarOrder::defense_first(fig5.adt());
+  // DFS of OR(INH(a1|d1), INH(a2|d2)): leaves a1, d1, a2, d2; defenses
+  // first keeps d1 < d2 and a1 < a2.
+  EXPECT_EQ(fig5.adt().name(order.node_of(0)), "d1");
+  EXPECT_EQ(fig5.adt().name(order.node_of(1)), "d2");
+  EXPECT_EQ(fig5.adt().name(order.node_of(2)), "a1");
+  EXPECT_EQ(fig5.adt().name(order.node_of(3)), "a2");
+}
+
+TEST(VarOrder, RandomSeedsDiffer) {
+  RandomAdtOptions options;
+  options.target_nodes = 60;
+  const Adt adt = generate_random_adt(options, 3);
+  const VarOrder a = VarOrder::defense_first(adt, OrderHeuristic::Random, 1);
+  const VarOrder b = VarOrder::defense_first(adt, OrderHeuristic::Random, 2);
+  EXPECT_NE(a.sequence(), b.sequence());
+  // But both remain valid permutations of the same leaves.
+  auto sa = a.sequence();
+  auto sb = b.sequence();
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(VarOrder, FromSequenceValidation) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const Adt& adt = fig5.adt();
+  const NodeId a1 = adt.at("a1");
+  const NodeId a2 = adt.at("a2");
+  const NodeId d1 = adt.at("d1");
+  const NodeId d2 = adt.at("d2");
+
+  // Valid: defenses first.
+  EXPECT_NO_THROW((void)VarOrder::from_sequence(adt, {d2, d1, a1, a2}));
+  // Defense after attack: not defense-first.
+  EXPECT_THROW((void)VarOrder::from_sequence(adt, {d1, a1, d2, a2}),
+               ModelError);
+  // Wrong cardinality.
+  EXPECT_THROW((void)VarOrder::from_sequence(adt, {d1, d2, a1}), ModelError);
+  // Duplicate leaf.
+  EXPECT_THROW((void)VarOrder::from_sequence(adt, {d1, d2, a1, a1}),
+               ModelError);
+  // Gate in the sequence.
+  EXPECT_THROW(
+      (void)VarOrder::from_sequence(adt, {d1, d2, a1, adt.at("i1")}),
+      ModelError);
+}
+
+TEST(VarOrder, ToStringFig6Notation) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const Adt& adt = fig5.adt();
+  const VarOrder order = VarOrder::from_sequence(
+      adt, {adt.at("d2"), adt.at("d1"), adt.at("a1"), adt.at("a2")});
+  EXPECT_EQ(order.to_string(adt), "d2 < d1 < a1 < a2");
+}
+
+TEST(VarOrder, AttackOnlyModels) {
+  const Adt at = catalog::fig1_steal_data_at();
+  const VarOrder order = VarOrder::defense_first(at);
+  EXPECT_EQ(order.num_defenses(), 0u);
+  EXPECT_EQ(order.num_vars(), at.num_attacks());
+}
+
+TEST(VarOrder, CoversSharedLeavesOnce) {
+  RandomAdtOptions options;
+  options.target_nodes = 50;
+  options.share_probability = 0.35;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Adt adt = generate_random_adt(options, seed);
+    for (auto heuristic : {OrderHeuristic::Dfs, OrderHeuristic::Bfs}) {
+      const VarOrder order = VarOrder::defense_first(adt, heuristic);
+      EXPECT_EQ(order.num_vars(),
+                adt.num_attacks() + adt.num_defenses())
+          << "seed " << seed << " " << to_string(heuristic);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtp::bdd

@@ -1,0 +1,93 @@
+#include "bdd/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bdd/build.hpp"
+#include "core/bdd_bu.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+
+namespace adtp::bdd {
+namespace {
+
+TEST(Reorder, BddSizeUnderMatchesManagerSize) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const VarOrder order = VarOrder::defense_first(dag.adt());
+  Manager manager(order.num_vars());
+  const Ref root = build_structure_function(manager, dag.adt(), order);
+  EXPECT_EQ(bdd_size_under(dag.adt(), order), manager.size(root));
+}
+
+TEST(Reorder, NeverWorseThanInitial) {
+  RandomAdtOptions options;
+  options.target_nodes = 40;
+  options.share_probability = 0.2;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Adt adt = generate_random_adt(options, seed);
+    const VarOrder initial =
+        VarOrder::defense_first(adt, OrderHeuristic::Random, seed);
+    const ReorderResult result = minimize_order(adt, initial);
+    EXPECT_LE(result.best_size, result.initial_size) << "seed " << seed;
+    EXPECT_EQ(bdd_size_under(adt, result.order), result.best_size);
+    EXPECT_GT(result.rebuilds, 0u);
+  }
+}
+
+TEST(Reorder, ResultStaysDefenseFirst) {
+  RandomAdtOptions options;
+  options.target_nodes = 35;
+  options.share_probability = 0.25;
+  const Adt adt = generate_random_adt(options, 11);
+  const ReorderResult result =
+      minimize_order(adt, VarOrder::defense_first(adt));
+  EXPECT_EQ(result.order.num_defenses(), adt.num_defenses());
+  for (std::uint32_t v = 0; v < result.order.num_vars(); ++v) {
+    EXPECT_EQ(result.order.is_defense_var(v),
+              adt.agent(result.order.node_of(v)) == Agent::Defender);
+  }
+}
+
+TEST(Reorder, FrontUnchangedUnderOptimizedOrder) {
+  // Reordering is a performance transformation; the Pareto front must be
+  // identical (Theorem 2 holds for every defense-first order).
+  RandomAdtOptions options;
+  options.target_nodes = 30;
+  options.share_probability = 0.3;
+  options.max_defenses = 6;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const AugmentedAdt aadt = generate_random_aadt(
+        options, seed, Semiring::min_cost(), Semiring::min_cost());
+    const ReorderResult result =
+        minimize_order(aadt.adt(), VarOrder::defense_first(aadt.adt()));
+
+    BddBuOptions plain;
+    BddBuOptions optimized;
+    optimized.order = result.order;
+    EXPECT_TRUE(bdd_bu_front(aadt, optimized)
+                    .same_values(bdd_bu_front(aadt, plain),
+                                 aadt.defender_domain(),
+                                 aadt.attacker_domain()))
+        << "seed " << seed;
+  }
+}
+
+TEST(Reorder, FullSiftKicksInForSmallModels) {
+  const AugmentedAdt fig4 = catalog::fig4_exponential(4);  // 8 leaves
+  ReorderOptions options;
+  options.full_sift_max_leaves = 24;
+  const ReorderResult full =
+      minimize_order(fig4.adt(), VarOrder::defense_first(fig4.adt()),
+                     options);
+  // Full sifting tries every in-block position: strictly more rebuilds
+  // than one hill-climbing pass over adjacent pairs.
+  options.full_sift_max_leaves = 0;
+  options.max_passes = 1;
+  const ReorderResult climb =
+      minimize_order(fig4.adt(), VarOrder::defense_first(fig4.adt()),
+                     options);
+  EXPECT_GT(full.rebuilds, climb.rebuilds);
+  EXPECT_LE(full.best_size, climb.best_size);
+}
+
+}  // namespace
+}  // namespace adtp::bdd

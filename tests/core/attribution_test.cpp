@@ -1,0 +1,184 @@
+#include "core/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "gen/catalog.hpp"
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+Adt two_leaf_adt() {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId d = adt.add_basic("d", Agent::Defender);
+  adt.add_inhibit("top", a, d);
+  adt.freeze();
+  return adt;
+}
+
+TEST(Attribution, SetGetHas) {
+  Attribution beta;
+  EXPECT_FALSE(beta.has("a"));
+  beta.set("a", 5);
+  EXPECT_TRUE(beta.has("a"));
+  EXPECT_EQ(beta.get("a"), 5);
+  beta.set("a", 7);  // overwrite
+  EXPECT_EQ(beta.get("a"), 7);
+  EXPECT_EQ(beta.size(), 1u);
+  EXPECT_THROW((void)beta.get("missing"), AttributionError);
+}
+
+TEST(Attribution, ValidateCompleteAssignment) {
+  Attribution beta;
+  beta.set("a", 1);
+  beta.set("d", 2);
+  EXPECT_NO_THROW(beta.validate(two_leaf_adt()));
+}
+
+TEST(Attribution, ValidateMissingAttackValue) {
+  Attribution beta;
+  beta.set("d", 2);
+  EXPECT_THROW(beta.validate(two_leaf_adt()), AttributionError);
+}
+
+TEST(Attribution, ValidateMissingDefenseValue) {
+  Attribution beta;
+  beta.set("a", 1);
+  EXPECT_THROW(beta.validate(two_leaf_adt()), AttributionError);
+}
+
+TEST(Attribution, ValidateUnknownName) {
+  Attribution beta;
+  beta.set("a", 1);
+  beta.set("d", 2);
+  beta.set("ghost", 3);
+  EXPECT_THROW(beta.validate(two_leaf_adt()), AttributionError);
+}
+
+TEST(Attribution, ValidateGateValueRejected) {
+  Attribution beta;
+  beta.set("a", 1);
+  beta.set("d", 2);
+  beta.set("top", 3);
+  EXPECT_THROW(beta.validate(two_leaf_adt()), AttributionError);
+}
+
+TEST(Attribution, ValidateNanRejected) {
+  Attribution beta;
+  beta.set("a", std::nan(""));
+  beta.set("d", 2);
+  EXPECT_THROW(beta.validate(two_leaf_adt()), AttributionError);
+}
+
+TEST(AugmentedAdt, DenseLookups) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const Adt& adt = fig5.adt();
+  EXPECT_EQ(fig5.attack_value(adt.attack_index(adt.at("a1"))), 5);
+  EXPECT_EQ(fig5.attack_value(adt.attack_index(adt.at("a2"))), 10);
+  EXPECT_EQ(fig5.defense_value(adt.defense_index(adt.at("d1"))), 4);
+  EXPECT_EQ(fig5.value_of(adt.at("d2")), 8);
+  EXPECT_THROW((void)fig5.value_of(adt.at("top")), AttributionError);
+}
+
+TEST(AugmentedAdt, ConstructorValidates) {
+  Adt adt = two_leaf_adt();
+  Attribution beta;
+  beta.set("a", 1);  // missing d
+  EXPECT_THROW(AugmentedAdt(adt, beta, Semiring::min_cost(),
+                            Semiring::min_cost()),
+               AttributionError);
+}
+
+TEST(AugmentedAdt, Example1MetricValues) {
+  // Example 1: beta_D({d1,d2}) = 15, beta_A({a1,a2}) = 15 on Fig. 3.
+  const AugmentedAdt fig3 = catalog::fig3_example();
+  EXPECT_EQ(fig3.defense_vector_value(BitVec::from_string("11")), 15);
+  EXPECT_EQ(fig3.attack_vector_value(BitVec::from_string("110")), 15);
+  // Empty vectors take the neutral element 1_tensor.
+  EXPECT_EQ(fig3.defense_vector_value(BitVec::from_string("00")), 0);
+  EXPECT_EQ(fig3.attack_vector_value(BitVec::from_string("000")), 0);
+}
+
+TEST(AugmentedAdt, VectorValuesUseDomainCombine) {
+  Adt adt = two_leaf_adt();
+  Attribution beta;
+  beta.set("a", 0.5);
+  beta.set("d", 0.25);
+  const AugmentedAdt aadt(std::move(adt), std::move(beta),
+                          Semiring::probability(), Semiring::probability());
+  BitVec defense(1);
+  defense.set(0);
+  BitVec attack(1);
+  attack.set(0);
+  EXPECT_DOUBLE_EQ(aadt.defense_vector_value(defense), 0.25);
+  EXPECT_DOUBLE_EQ(aadt.attack_vector_value(attack), 0.5);
+  // Neutral element of * is 1.
+  EXPECT_DOUBLE_EQ(aadt.attack_vector_value(BitVec(1)), 1.0);
+}
+
+TEST(AugmentedAdt, FreezesUnfrozenInput) {
+  Adt adt;
+  adt.add_basic("a", Agent::Attacker);
+  Attribution beta;
+  beta.set("a", 3);
+  const AugmentedAdt aadt(std::move(adt), std::move(beta),
+                          Semiring::min_cost(), Semiring::min_cost());
+  EXPECT_TRUE(aadt.adt().frozen());
+  EXPECT_EQ(aadt.adt().num_attacks(), 1u);
+}
+
+
+TEST(AugmentedAdt, DomainRangeValidation) {
+  auto build = [](double attack_value, double defense_value,
+                  Semiring dd, Semiring da) {
+    Adt adt;
+    const NodeId a = adt.add_basic("a", Agent::Attacker);
+    const NodeId d = adt.add_basic("d", Agent::Defender);
+    adt.add_inhibit("top", a, d);
+    adt.freeze();
+    Attribution beta;
+    beta.set("a", attack_value);
+    beta.set("d", defense_value);
+    return AugmentedAdt(std::move(adt), std::move(beta), std::move(dd),
+                        std::move(da));
+  };
+  // Negative cost: outside [0, inf].
+  EXPECT_THROW(build(-5, 2, Semiring::min_cost(), Semiring::min_cost()),
+               AttributionError);
+  EXPECT_THROW(build(5, -2, Semiring::min_cost(), Semiring::min_cost()),
+               AttributionError);
+  // Probability outside [0, 1].
+  EXPECT_THROW(build(1.5, 2, Semiring::min_cost(), Semiring::probability()),
+               AttributionError);
+  EXPECT_NO_THROW(build(0.5, 2, Semiring::min_cost(),
+                        Semiring::probability()));
+  // inf is a legal cost ("cannot be bought").
+  EXPECT_NO_THROW(build(5, std::numeric_limits<double>::infinity(),
+                        Semiring::min_cost(), Semiring::min_cost()));
+  // Custom domains accept anything non-NaN.
+  const Semiring damage = Semiring::custom(
+      "damage", 0.0, -std::numeric_limits<double>::infinity(),
+      [](double x, double y) { return x + y; },
+      [](double x, double y) { return x >= y; });
+  EXPECT_NO_THROW(build(-5, 2, Semiring::min_cost(), damage));
+}
+
+TEST(Semiring, ContainsTableIRanges) {
+  EXPECT_TRUE(Semiring::min_cost().contains(0));
+  EXPECT_TRUE(Semiring::min_cost().contains(
+      std::numeric_limits<double>::infinity()));
+  EXPECT_FALSE(Semiring::min_cost().contains(-0.001));
+  EXPECT_FALSE(
+      Semiring::min_cost().contains(std::nan("")));
+  EXPECT_TRUE(Semiring::probability().contains(0));
+  EXPECT_TRUE(Semiring::probability().contains(1));
+  EXPECT_FALSE(Semiring::probability().contains(1.001));
+  EXPECT_FALSE(Semiring::probability().contains(-0.1));
+}
+
+}  // namespace
+}  // namespace adtp

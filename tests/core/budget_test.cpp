@@ -1,0 +1,73 @@
+#include "core/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bdd_bu.hpp"
+#include "gen/catalog.hpp"
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+const Semiring kCost = Semiring::min_cost();
+
+Front money_front() { return bdd_bu_front(catalog::money_theft_dag()); }
+
+TEST(Budget, GuaranteedAttackerValueSweep) {
+  // DAG front: {(0,80),(20,90),(50,140)}.
+  const Front front = money_front();
+  EXPECT_EQ(guaranteed_attacker_value(front, 0, kCost, kCost), 80);
+  EXPECT_EQ(guaranteed_attacker_value(front, 19, kCost, kCost), 80);
+  EXPECT_EQ(guaranteed_attacker_value(front, 20, kCost, kCost), 90);
+  EXPECT_EQ(guaranteed_attacker_value(front, 49, kCost, kCost), 90);
+  EXPECT_EQ(guaranteed_attacker_value(front, 50, kCost, kCost), 140);
+  EXPECT_EQ(guaranteed_attacker_value(front, 1e9, kCost, kCost), 140);
+}
+
+TEST(Budget, CheapestDefenseForTargets) {
+  const Front front = money_front();
+  EXPECT_EQ(cheapest_defense_for(front, 80, kCost, kCost), 0);
+  EXPECT_EQ(cheapest_defense_for(front, 81, kCost, kCost), 20);
+  EXPECT_EQ(cheapest_defense_for(front, 90, kCost, kCost), 20);
+  EXPECT_EQ(cheapest_defense_for(front, 140, kCost, kCost), 50);
+  EXPECT_FALSE(cheapest_defense_for(front, 141, kCost, kCost).has_value());
+}
+
+TEST(Budget, UnlimitedDefenderValue) {
+  EXPECT_EQ(unlimited_defender_value(money_front()), 140);
+  // The tree-semantics value from [5] is 165.
+  const AugmentedAdt tree = catalog::money_theft_tree();
+  EXPECT_EQ(unlimited_defender_value(bdd_bu_front(tree)), 165);
+}
+
+TEST(Budget, PerfectDefenseIsInfinity) {
+  const Front front = bdd_bu_front(catalog::fig5_example());
+  EXPECT_TRUE(std::isinf(guaranteed_attacker_value(front, 12, kCost, kCost)));
+  EXPECT_EQ(cheapest_defense_for(front, kCost.zero(), kCost, kCost), 12);
+}
+
+TEST(Budget, EmptyFrontRejected) {
+  const Front empty;
+  EXPECT_THROW((void)guaranteed_attacker_value(empty, 1, kCost, kCost),
+               Error);
+  EXPECT_THROW((void)unlimited_defender_value(empty), Error);
+}
+
+TEST(Budget, ProbabilityDomainTargets) {
+  // Defender cost vs attack success probability: "spend at least X to
+  // push success probability to at most p".
+  const Semiring prob = Semiring::probability();
+  const Front front = Front::minimized(
+      {{0, 0.9}, {10, 0.5}, {30, 0.05}}, kCost, prob);
+  EXPECT_DOUBLE_EQ(guaranteed_attacker_value(front, 9, kCost, prob), 0.9);
+  EXPECT_DOUBLE_EQ(guaranteed_attacker_value(front, 10, kCost, prob), 0.5);
+  EXPECT_DOUBLE_EQ(guaranteed_attacker_value(front, 31, kCost, prob), 0.05);
+  // Target: success probability at most 0.5.
+  EXPECT_EQ(cheapest_defense_for(front, 0.5, kCost, prob), 10);
+  EXPECT_EQ(cheapest_defense_for(front, 0.04, kCost, prob), std::nullopt);
+}
+
+}  // namespace
+}  // namespace adtp

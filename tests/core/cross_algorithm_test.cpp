@@ -1,0 +1,227 @@
+/// Cross-algorithm equivalence property suite.
+///
+/// Theorems 1 and 2 say BU (trees) and BDDBU (DAGs) compute exactly
+/// min-dominance beta(S) - which the Naive enumeration computes by brute
+/// force. These tests pit all algorithms against the oracle on hundreds of
+/// randomly generated models across all Table I attribute domains, the
+/// paper's four order heuristics, and both root agents.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "adt/structure.hpp"
+#include "core/analyzer.hpp"
+#include "gen/random_adt.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+namespace {
+
+struct DomainPair {
+  SemiringKind defender;
+  SemiringKind attacker;
+};
+
+// Named constants: commas inside brace-initializers would be split by the
+// INSTANTIATE macro's argument parsing.
+constexpr DomainPair kCostCost{SemiringKind::MinCost, SemiringKind::MinCost};
+constexpr DomainPair kCostTimePar{SemiringKind::MinCost,
+                                  SemiringKind::MinTimePar};
+constexpr DomainPair kCostTimeSeq{SemiringKind::MinCost,
+                                  SemiringKind::MinTimeSeq};
+constexpr DomainPair kSkillCost{SemiringKind::MinSkill, SemiringKind::MinCost};
+constexpr DomainPair kTimeParCost{SemiringKind::MinTimePar,
+                                  SemiringKind::MinCost};
+constexpr DomainPair kCostProb{SemiringKind::MinCost,
+                               SemiringKind::Probability};
+constexpr DomainPair kTimeSeqSkill{SemiringKind::MinTimeSeq,
+                                   SemiringKind::MinSkill};
+
+using TreeCase = std::tuple<std::uint64_t, DomainPair>;
+
+template <typename Case>
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto& [seed, domains] = info.param;
+  return "seed" + std::to_string(seed) + "_" +
+         semiring_kind_name(domains.defender) + "_" +
+         semiring_kind_name(domains.attacker);
+}
+
+class TreeEquivalence : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(TreeEquivalence, BottomUpAndBddBuMatchNaive) {
+  const auto& [seed, domains] = GetParam();
+  RandomAdtOptions options;
+  options.target_nodes = 16 + seed % 15;
+  options.share_probability = 0.0;
+  options.max_defenses = 6;
+  options.root_agent = seed % 3 == 0 ? Agent::Defender : Agent::Attacker;
+
+  const Semiring dd{domains.defender};
+  const Semiring da{domains.attacker};
+  const AugmentedAdt aadt = generate_random_aadt(options, seed, dd, da);
+  ASSERT_TRUE(aadt.adt().is_tree());
+
+  // Approximate comparison: the algorithms combine identical values in
+  // different orders, which is only associative up to floating-point ULPs.
+  const Front oracle = naive_front(aadt);
+  const Front bu = bottom_up_front(aadt);
+  EXPECT_TRUE(bu.approx_same_values(oracle))
+      << "BU " << bu.to_string() << " vs naive " << oracle.to_string();
+
+  const Front bdd = bdd_bu_front(aadt);
+  EXPECT_TRUE(bdd.approx_same_values(oracle))
+      << "BDDBU " << bdd.to_string() << " vs naive " << oracle.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TreeEquivalence,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 26),
+                       ::testing::Values(kCostCost, kCostTimePar, kSkillCost,
+                                         kCostProb, kTimeSeqSkill)),
+    case_name<TreeCase>);
+
+using DagCase = std::tuple<std::uint64_t, DomainPair>;
+
+class DagEquivalence : public ::testing::TestWithParam<DagCase> {};
+
+TEST_P(DagEquivalence, BddBuAndHybridMatchNaive) {
+  const auto& [seed, domains] = GetParam();
+  RandomAdtOptions options;
+  options.target_nodes = 18 + seed % 16;
+  options.share_probability = 0.3;
+  options.max_defenses = 6;
+  options.root_agent = seed % 4 == 0 ? Agent::Defender : Agent::Attacker;
+
+  const Semiring dd{domains.defender};
+  const Semiring da{domains.attacker};
+  const AugmentedAdt aadt = generate_random_aadt(options, seed, dd, da);
+
+  const Front oracle = naive_front(aadt);
+  const Front bdd = bdd_bu_front(aadt);
+  EXPECT_TRUE(bdd.approx_same_values(oracle))
+      << "BDDBU " << bdd.to_string() << " vs naive " << oracle.to_string();
+
+  const Front hybrid = hybrid_front(aadt);
+  EXPECT_TRUE(hybrid.approx_same_values(oracle))
+      << "hybrid " << hybrid.to_string() << " vs naive "
+      << oracle.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DagEquivalence,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 26),
+                       ::testing::Values(kCostCost, kCostTimeSeq,
+                                         kTimeParCost, kCostProb)),
+    case_name<DagCase>);
+
+class OrderInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OrderInvariance, FrontIndependentOfDefenseFirstOrder) {
+  // Theorem 2 holds for *every* defense-first order; the front must not
+  // depend on the heuristic.
+  const std::uint64_t seed = GetParam();
+  RandomAdtOptions options;
+  options.target_nodes = 30;
+  options.share_probability = 0.25;
+  options.max_defenses = 7;
+  const AugmentedAdt aadt = generate_random_aadt(
+      options, seed, Semiring::min_cost(), Semiring::min_cost());
+
+  BddBuOptions dfs;
+  dfs.order_heuristic = bdd::OrderHeuristic::Dfs;
+  const Front reference = bdd_bu_front(aadt, dfs);
+
+  for (auto heuristic : {bdd::OrderHeuristic::Bfs, bdd::OrderHeuristic::Index,
+                         bdd::OrderHeuristic::Random}) {
+    BddBuOptions options2;
+    options2.order_heuristic = heuristic;
+    options2.order_seed = seed * 31 + 7;
+    const Front front = bdd_bu_front(aadt, options2);
+    EXPECT_TRUE(front.same_values(reference, aadt.defender_domain(),
+                                  aadt.attacker_domain()))
+        << to_string(heuristic);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderInvariance,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+class WitnessConsistency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WitnessConsistency, WitnessesReplayThroughStructureFunction) {
+  const std::uint64_t seed = GetParam();
+  RandomAdtOptions options;
+  options.target_nodes = 24;
+  options.share_probability = seed % 2 == 0 ? 0.3 : 0.0;
+  options.max_defenses = 6;
+  const AugmentedAdt aadt = generate_random_aadt(
+      options, seed, Semiring::min_cost(), Semiring::min_cost());
+
+  const WitnessFront bdd = bdd_bu_front_witness(aadt);
+  for (const auto& p : bdd.points()) {
+    EXPECT_EQ(aadt.defense_vector_value(p.defense), p.def);
+    if (std::isinf(p.att)) continue;  // no successful attack exists
+    EXPECT_EQ(aadt.attack_vector_value(p.attack), p.att);
+    EXPECT_TRUE(attack_succeeds(aadt.adt(), p.defense, p.attack));
+  }
+
+  if (aadt.adt().is_tree()) {
+    const WitnessFront bu = bottom_up_front_witness(aadt);
+    for (const auto& p : bu.points()) {
+      EXPECT_EQ(aadt.defense_vector_value(p.defense), p.def);
+      if (std::isinf(p.att)) continue;
+      EXPECT_EQ(aadt.attack_vector_value(p.attack), p.att);
+      EXPECT_TRUE(attack_succeeds(aadt.adt(), p.defense, p.attack));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessConsistency,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+class ResponseOptimality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ResponseOptimality, EveryFrontPointHasNoBetterResponse) {
+  // For every Pareto point's witness defense, the claimed attacker value
+  // must equal the true optimal response value (Definition 7), checked by
+  // brute force over all attack vectors.
+  const std::uint64_t seed = GetParam();
+  RandomAdtOptions options;
+  options.target_nodes = 20;
+  options.share_probability = 0.2;
+  options.max_defenses = 5;
+  const AugmentedAdt aadt = generate_random_aadt(
+      options, seed, Semiring::min_cost(), Semiring::min_cost());
+  const Semiring& da = aadt.attacker_domain();
+
+  const WitnessFront front = bdd_bu_front_witness(aadt);
+  StructureEvaluator eval(aadt.adt());
+  const std::size_t num_a = aadt.adt().num_attacks();
+  ASSERT_LE(num_a, 24u);
+
+  for (const auto& p : front.points()) {
+    double best = da.zero();
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << num_a);
+         ++mask) {
+      BitVec attack(num_a);
+      for (std::size_t i = 0; i < num_a; ++i) {
+        if ((mask >> i) & 1ULL) attack.set(i);
+      }
+      if (!eval.attack_succeeds(p.defense, attack)) continue;
+      const double value = aadt.attack_vector_value(attack);
+      if (da.strictly_prefer(value, best)) best = value;
+    }
+    EXPECT_TRUE(da.equivalent(best, p.att))
+        << "point (" << p.def << "," << p.att << ") but optimal response is "
+        << best;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResponseOptimality,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace adtp

@@ -1,0 +1,107 @@
+#include "core/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bdd_bu.hpp"
+#include "core/bottom_up.hpp"
+#include "core/naive.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(Hybrid, MoneyTheftDagFront) {
+  EXPECT_EQ(hybrid_front(catalog::money_theft_dag()).to_string(),
+            "{(0, 80), (20, 90), (50, 140)}");
+}
+
+TEST(Hybrid, MoneyTheftUsesOneSmallBlob) {
+  // The only shared structure is inside the online branch, so exactly one
+  // blob goes to BDDBU and it is smaller than the whole model.
+  const HybridReport report = hybrid_analyze(catalog::money_theft_dag());
+  EXPECT_EQ(report.blob_count, 1u);
+  EXPECT_LT(report.largest_blob, catalog::money_theft_dag().adt().size());
+  EXPECT_GT(report.tree_combines, 0u);
+}
+
+TEST(Hybrid, PureTreeNeverCallsBdd) {
+  const HybridReport report = hybrid_analyze(catalog::money_theft_tree());
+  EXPECT_EQ(report.blob_count, 0u);
+  EXPECT_EQ(report.front.to_string(), "{(0, 90), (30, 150), (50, 165)}");
+}
+
+TEST(Hybrid, TreeModelsMatchBottomUp) {
+  for (const AugmentedAdt& model :
+       {catalog::fig3_example(), catalog::fig5_example(),
+        catalog::fig4_exponential(5)}) {
+    EXPECT_TRUE(hybrid_front(model).same_values(
+        bottom_up_front(model), model.defender_domain(),
+        model.attacker_domain()));
+  }
+}
+
+TEST(Hybrid, RootLevelSharingFallsBackToBdd) {
+  // Two parents of one shared subtree directly under the root: the whole
+  // model is one blob.
+  Adt adt;
+  const NodeId shared = adt.add_basic("s", Agent::Attacker);
+  const NodeId x = adt.add_basic("x", Agent::Attacker);
+  const NodeId g1 = adt.add_gate("g1", GateType::And, Agent::Attacker,
+                                 {shared, x});
+  const NodeId y = adt.add_basic("y", Agent::Attacker);
+  const NodeId g2 = adt.add_gate("g2", GateType::And, Agent::Attacker,
+                                 {shared, y});
+  const NodeId root = adt.add_gate("root", GateType::Or, Agent::Attacker,
+                                   {g1, g2});
+  adt.set_root(root);
+  adt.freeze();
+  Attribution beta;
+  beta.set("s", 5);
+  beta.set("x", 3);
+  beta.set("y", 1);
+  const AugmentedAdt aadt(std::move(adt), std::move(beta),
+                          Semiring::min_cost(), Semiring::min_cost());
+
+  const HybridReport report = hybrid_analyze(aadt);
+  EXPECT_EQ(report.blob_count, 1u);
+  EXPECT_EQ(report.largest_blob, aadt.adt().size());
+  EXPECT_EQ(report.front.to_string(), "{(0, 6)}");  // s + y
+}
+
+TEST(Hybrid, MatchesNaiveOnRandomDags) {
+  RandomAdtOptions options;
+  options.target_nodes = 30;
+  options.share_probability = 0.25;
+  options.max_defenses = 6;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const AugmentedAdt aadt = generate_random_aadt(
+        options, seed, Semiring::min_cost(), Semiring::min_cost());
+    const Front hybrid = hybrid_front(aadt);
+    const Front oracle = naive_front(aadt);
+    EXPECT_TRUE(hybrid.same_values(oracle, aadt.defender_domain(),
+                                   aadt.attacker_domain()))
+        << "seed " << seed << ": " << hybrid.to_string() << " vs "
+        << oracle.to_string();
+  }
+}
+
+TEST(Hybrid, MatchesBddBuOnLargerDags) {
+  RandomAdtOptions options;
+  options.target_nodes = 90;
+  options.share_probability = 0.15;
+  options.max_defenses = 10;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const AugmentedAdt aadt = generate_random_aadt(
+        options, seed, Semiring::min_cost(), Semiring::min_cost());
+    const Front hybrid = hybrid_front(aadt);
+    const Front bdd = bdd_bu_front(aadt);
+    EXPECT_TRUE(hybrid.same_values(bdd, aadt.defender_domain(),
+                                   aadt.attacker_domain()))
+        << "seed " << seed << ": " << hybrid.to_string() << " vs "
+        << bdd.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace adtp

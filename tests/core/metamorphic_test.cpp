@@ -1,0 +1,216 @@
+/// Metamorphic properties: semantic invariants that must hold under
+/// controlled transformations of the model. These catch whole classes of
+/// bugs (ordering sensitivity, price-handling errors, gate asymmetries)
+/// that fixed golden values cannot.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "adt/transform.hpp"
+#include "core/analyzer.hpp"
+#include "core/budget.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+namespace {
+
+const Semiring kCost = Semiring::min_cost();
+
+AugmentedAdt random_model(std::uint64_t seed, double share = 0.25) {
+  RandomAdtOptions options;
+  options.target_nodes = 30;
+  options.share_probability = share;
+  options.max_defenses = 7;
+  return generate_random_aadt(options, seed, kCost, kCost);
+}
+
+Front front_of(const AugmentedAdt& aadt) { return analyze(aadt).front; }
+
+/// Rebuilds the model with one leaf's value replaced.
+AugmentedAdt with_value(const AugmentedAdt& aadt, const std::string& leaf,
+                        double value) {
+  Attribution beta = aadt.attribution();
+  beta.set(leaf, value);
+  return AugmentedAdt(aadt.adt(), std::move(beta), aadt.defender_domain(),
+                      aadt.attacker_domain());
+}
+
+/// Clones the ADT with every AND/OR gate's children shuffled.
+AugmentedAdt with_shuffled_children(const AugmentedAdt& aadt,
+                                    std::uint64_t seed) {
+  const Adt& adt = aadt.adt();
+  Rng rng(seed);
+  Adt clone;
+  std::vector<NodeId> remap(adt.size());
+  for (NodeId v : adt.topological_order()) {
+    const Node& n = adt.node(v);
+    switch (n.type) {
+      case GateType::BasicStep:
+        remap[v] = clone.add_basic(n.name, n.agent);
+        break;
+      case GateType::Inhibit:
+        remap[v] = clone.add_inhibit(n.name, remap[n.children[0]],
+                                     remap[n.children[1]]);
+        break;
+      case GateType::And:
+      case GateType::Or: {
+        std::vector<NodeId> children;
+        children.reserve(n.children.size());
+        for (NodeId c : n.children) children.push_back(remap[c]);
+        for (std::size_t i = children.size(); i > 1; --i) {
+          std::swap(children[i - 1], children[rng.below(i)]);
+        }
+        remap[v] = clone.add_gate(n.name, n.type, n.agent,
+                                  std::move(children));
+        break;
+      }
+    }
+  }
+  clone.set_root(remap[adt.root()]);
+  clone.freeze();
+  return AugmentedAdt(std::move(clone), aadt.attribution(),
+                      aadt.defender_domain(), aadt.attacker_domain());
+}
+
+class Metamorphic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Metamorphic, ChildOrderIrrelevant) {
+  const AugmentedAdt original = random_model(GetParam());
+  const AugmentedAdt shuffled =
+      with_shuffled_children(original, GetParam() * 3 + 1);
+  EXPECT_TRUE(front_of(original).same_values(front_of(shuffled), kCost,
+                                             kCost));
+}
+
+TEST_P(Metamorphic, ScalingAttackerCostsScalesTheFront) {
+  const AugmentedAdt original = random_model(GetParam());
+  constexpr double kScale = 7.0;
+  Attribution beta = original.attribution();
+  for (NodeId id : original.adt().attack_steps()) {
+    beta.set(original.adt().name(id),
+             beta.get(original.adt().name(id)) * kScale);
+  }
+  const AugmentedAdt scaled(original.adt(), std::move(beta), kCost, kCost);
+
+  const Front before = front_of(original);
+  const Front after = front_of(scaled);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before.points()[i].def, after.points()[i].def);
+    EXPECT_EQ(before.points()[i].att * kScale, after.points()[i].att);
+  }
+}
+
+TEST_P(Metamorphic, RaisingADefensePriceNeverHelpsTheDefender) {
+  const AugmentedAdt original = random_model(GetParam());
+  if (original.adt().num_defenses() == 0) GTEST_SKIP();
+  const std::string leaf =
+      original.adt().name(original.adt().defense_steps()[0]);
+  const AugmentedAdt pricier =
+      with_value(original, leaf, original.attribution().get(leaf) + 37);
+
+  const Front cheap = front_of(original);
+  const Front expensive = front_of(pricier);
+  // At every budget, the cheap model guarantees an attacker value that is
+  // at least as adverse.
+  for (double budget : {0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1e9}) {
+    const double g_cheap =
+        guaranteed_attacker_value(cheap, budget, kCost, kCost);
+    const double g_expensive =
+        guaranteed_attacker_value(expensive, budget, kCost, kCost);
+    EXPECT_TRUE(kCost.prefer(g_expensive, g_cheap))
+        << "budget " << budget << ": cheap guarantees " << g_cheap
+        << ", expensive " << g_expensive;
+  }
+}
+
+TEST_P(Metamorphic, LoweringAnAttackPriceNeverHurtsTheAttacker) {
+  const AugmentedAdt original = random_model(GetParam());
+  const std::string leaf =
+      original.adt().name(original.adt().attack_steps()[0]);
+  const double old_value = original.attribution().get(leaf);
+  if (old_value <= 1) GTEST_SKIP();
+  const AugmentedAdt cheaper = with_value(original, leaf, old_value / 2);
+
+  const Front before = front_of(original);
+  const Front after = front_of(cheaper);
+  for (double budget : {0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1e9}) {
+    const double g_before =
+        guaranteed_attacker_value(before, budget, kCost, kCost);
+    const double g_after =
+        guaranteed_attacker_value(after, budget, kCost, kCost);
+    // The attacker weakly prefers the after-value.
+    EXPECT_TRUE(kCost.prefer(g_after, g_before)) << "budget " << budget;
+  }
+}
+
+TEST_P(Metamorphic, AddingADominatedAttackAlternativeChangesNothing) {
+  // Wrap the root in OR(root, overpriced-copy-of-cheapest-attack).
+  const AugmentedAdt original = random_model(GetParam());
+  if (original.adt().agent(original.adt().root()) != Agent::Attacker) {
+    GTEST_SKIP();
+  }
+  const Adt& adt = original.adt();
+  Adt clone;
+  std::vector<NodeId> remap(adt.size());
+  for (NodeId v : adt.topological_order()) {
+    const Node& n = adt.node(v);
+    switch (n.type) {
+      case GateType::BasicStep:
+        remap[v] = clone.add_basic(n.name, n.agent);
+        break;
+      case GateType::Inhibit:
+        remap[v] = clone.add_inhibit(n.name, remap[n.children[0]],
+                                     remap[n.children[1]]);
+        break;
+      default: {
+        std::vector<NodeId> children;
+        for (NodeId c : n.children) children.push_back(remap[c]);
+        remap[v] = clone.add_gate(n.name, n.type, n.agent,
+                                  std::move(children));
+      }
+    }
+  }
+  const NodeId pricey = clone.add_basic("overpriced", Agent::Attacker);
+  const NodeId root = clone.add_gate("wrapped_root", GateType::Or,
+                                     Agent::Attacker,
+                                     {remap[adt.root()], pricey});
+  clone.set_root(root);
+  clone.freeze();
+
+  Attribution beta = original.attribution();
+  beta.set("overpriced", 1e12);  // never optimal against a finite attack
+  const AugmentedAdt wrapped(std::move(clone), std::move(beta), kCost,
+                             kCost);
+
+  // Finite points are untouched; "perfect defense" points (att = inf)
+  // degrade to the fallback's cost, since the overpriced alternative is
+  // always available now.
+  const Front original_front = front_of(original);
+  std::vector<ValuePoint> expected_points;
+  for (ValuePoint p : original_front.points()) {
+    if (std::isinf(p.att)) p.att = 1e12;
+    expected_points.push_back(p);
+  }
+  const Front expected =
+      Front::minimized(std::move(expected_points), kCost, kCost);
+  EXPECT_TRUE(expected.same_values(front_of(wrapped), kCost, kCost));
+}
+
+TEST_P(Metamorphic, UnfoldedTreeOfATreeIsIdentical) {
+  const AugmentedAdt tree = random_model(GetParam(), /*share=*/0.0);
+  ASSERT_TRUE(tree.adt().is_tree());
+  const AugmentedAdt unfolded = unfold_to_tree(tree);
+  EXPECT_EQ(unfolded.adt().size(), tree.adt().size());
+  EXPECT_TRUE(front_of(tree).same_values(front_of(unfolded), kCost, kCost));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Metamorphic,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace adtp

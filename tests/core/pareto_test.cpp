@@ -1,0 +1,213 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace adtp {
+namespace {
+
+const Semiring kCost = Semiring::min_cost();
+const Semiring kProb = Semiring::probability();
+
+Front make_front(std::vector<ValuePoint> pts) {
+  return Front::minimized(std::move(pts), kCost, kCost);
+}
+
+TEST(Dominance, Definition9) {
+  // (s1,t1) dominates (s2,t2) iff s1 <=_D s2 and t1 >=_A t2.
+  const ValuePoint p{5, 20};
+  EXPECT_TRUE(dominates(p, ValuePoint{10, 10}, kCost, kCost));
+  EXPECT_TRUE(dominates(p, ValuePoint{5, 5}, kCost, kCost));
+  EXPECT_TRUE(dominates(p, p, kCost, kCost));  // non-strict
+  EXPECT_FALSE(dominates(p, ValuePoint{4, 25}, kCost, kCost));
+  EXPECT_FALSE(dominates(p, ValuePoint{4, 10}, kCost, kCost));
+  EXPECT_FALSE(dominates(p, ValuePoint{10, 25}, kCost, kCost));
+}
+
+TEST(Front, Example3) {
+  // X = {(10,10),(5,20),(5,5)}; (5,20) dominates both others.
+  const Front front =
+      make_front({{10, 10}, {5, 20}, {5, 5}});
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front.front_point().def, 5);
+  EXPECT_EQ(front.front_point().att, 20);
+}
+
+TEST(Front, StaircaseSortedAndStrict) {
+  const Front front = make_front({{0, 5}, {8, 5}, {4, 10}, {12, 8}, {4, 10}});
+  // (8,5) dominated by (0,5); (12,8) dominated by (4,10); dup (4,10)
+  // collapses.
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_EQ(front.points()[0].def, 0);
+  EXPECT_EQ(front.points()[0].att, 5);
+  EXPECT_EQ(front.points()[1].def, 4);
+  EXPECT_EQ(front.points()[1].att, 10);
+}
+
+TEST(Front, EqualValuePairsCollapse) {
+  const Front front = make_front({{3, 3}, {3, 3}, {3, 3}});
+  EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Front, EmptyInputGivesEmptyFront) {
+  const Front front = make_front({});
+  EXPECT_TRUE(front.empty());
+  EXPECT_EQ(front.to_string(), "{}");
+}
+
+TEST(Front, SingletonAndToString) {
+  const Front front = Front::singleton(ValuePoint{0, 90});
+  EXPECT_EQ(front.to_string(), "{(0, 90)}");
+}
+
+TEST(Front, InfinityPointsSurvive) {
+  // "Perfect defense" points (att = inf) are meaningful and must be kept.
+  const Front front = make_front({{0, 5}, {12, kCost.zero()}});
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_TRUE(std::isinf(front.points()[1].att));
+}
+
+TEST(Front, MergedWith) {
+  const Front a = make_front({{0, 5}, {4, 10}});
+  const Front b = make_front({{2, 8}, {4, 12}});
+  const Front merged = a.merged_with(b, kCost, kCost);
+  // (2,8) survives between (0,5) and (4,12); (4,10) dominated by (4,12).
+  EXPECT_EQ(merged.to_string(), "{(0, 5), (2, 8), (4, 12)}");
+}
+
+TEST(Front, SameValues) {
+  const Front a = make_front({{0, 5}, {4, 10}});
+  const Front b = make_front({{4, 10}, {0, 5}});
+  const Front c = make_front({{0, 5}});
+  EXPECT_TRUE(a.same_values(b, kCost, kCost));
+  EXPECT_FALSE(a.same_values(c, kCost, kCost));
+}
+
+TEST(Front, ProbabilityOrderReversed) {
+  // Attacker domain probability: higher is better for the attacker, so a
+  // point with *lower* success probability is better for the defender.
+  const Front front = Front::minimized(
+      {{0, 0.9}, {5, 0.5}, {7, 0.6}, {9, 0.1}}, kCost, kProb);
+  // (7,0.6) is dominated by (5,0.5): more spend, easier attack.
+  EXPECT_EQ(front.size(), 3u);
+  EXPECT_EQ(front.points()[0].att, 0.9);
+  EXPECT_EQ(front.points()[1].att, 0.5);
+  EXPECT_EQ(front.points()[2].att, 0.1);
+}
+
+TEST(CombineFronts, Example5OrGate) {
+  // The OR-A combination of the two INH fronts from Example 5.
+  const Front left = make_front({{0, 5}, {4, kCost.zero()}});
+  const Front right = make_front({{0, 10}, {8, kCost.zero()}});
+  const Front combined =
+      combine_fronts(left, right, AttackOp::Choose, kCost, kCost);
+  EXPECT_EQ(combined.to_string(), "{(0, 5), (4, 10), (12, inf)}");
+}
+
+TEST(CombineFronts, CombineAddsBothCoordinates) {
+  const Front left = make_front({{0, 5}});
+  const Front right = make_front({{0, 0}, {4, kCost.zero()}});
+  const Front combined =
+      combine_fronts(left, right, AttackOp::Combine, kCost, kCost);
+  EXPECT_EQ(combined.to_string(), "{(0, 5), (4, inf)}");
+}
+
+TEST(CombineFronts, WitnessUnionsAndAdoption) {
+  WitnessPoint l;
+  l.def = 0;
+  l.att = 5;
+  l.defense = BitVec::from_string("00");
+  l.attack = BitVec::from_string("10");
+  WitnessPoint r_cheap;
+  r_cheap.def = 0;
+  r_cheap.att = 3;
+  r_cheap.defense = BitVec::from_string("00");
+  r_cheap.attack = BitVec::from_string("01");
+  WitnessPoint r_blocked;
+  r_blocked.def = 4;
+  r_blocked.att = kCost.zero();
+  r_blocked.defense = BitVec::from_string("01");
+  r_blocked.attack = BitVec::from_string("00");
+
+  const auto left = WitnessFront::singleton(l);
+  const auto right =
+      WitnessFront::minimized({r_cheap, r_blocked}, kCost, kCost);
+
+  // Choose: the attacker picks the better side; defenses union.
+  const auto chosen =
+      combine_fronts(left, right, AttackOp::Choose, kCost, kCost);
+  ASSERT_EQ(chosen.size(), 2u);
+  EXPECT_EQ(chosen.points()[0].att, 3);
+  EXPECT_EQ(chosen.points()[0].attack.to_string(), "01");  // adopted right
+  EXPECT_EQ(chosen.points()[1].att, 5);
+  EXPECT_EQ(chosen.points()[1].attack.to_string(), "10");  // kept left
+  EXPECT_EQ(chosen.points()[1].defense.to_string(), "01");
+
+  // Combine: both attacks execute; bits union.
+  const auto both =
+      combine_fronts(left, right, AttackOp::Combine, kCost, kCost);
+  EXPECT_EQ(both.points()[0].att, 8);
+  EXPECT_EQ(both.points()[0].attack.to_string(), "11");
+}
+
+TEST(Front, MinimizedMatchesBruteForceRandomized) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ValuePoint> pts;
+    const int n = 1 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(ValuePoint{static_cast<double>(rng.below(12)),
+                               static_cast<double>(rng.below(12))});
+    }
+    const Front fast = Front::minimized(pts, kCost, kCost);
+    const auto slow = pareto_min_bruteforce(pts, kCost, kCost);
+    // Same size and same value multiset (both deduplicate).
+    ASSERT_EQ(fast.size(), slow.size()) << "trial " << trial;
+    for (const auto& p : slow) {
+      bool found = false;
+      for (const auto& q : fast.points()) {
+        found = found || (q.def == p.def && q.att == p.att);
+      }
+      EXPECT_TRUE(found) << "(" << p.def << "," << p.att << ")";
+    }
+  }
+}
+
+TEST(Front, NoKeptPointDominatedProperty) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ValuePoint> pts;
+    for (int i = 0; i < 25; ++i) {
+      pts.push_back(ValuePoint{static_cast<double>(rng.below(10)),
+                               static_cast<double>(rng.below(10))});
+    }
+    const Front front = Front::minimized(pts, kCost, kCost);
+    const auto& kept = front.points();
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      for (std::size_t j = 0; j < kept.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(dominates(kept[i], kept[j], kCost, kCost))
+            << "kept point dominated by another kept point";
+      }
+    }
+    // And every input point is dominated-or-equal by something kept.
+    for (const auto& p : pts) {
+      bool covered = false;
+      for (const auto& q : kept) {
+        covered = covered || dominates(q, p, kCost, kCost);
+      }
+      EXPECT_TRUE(covered);
+    }
+  }
+}
+
+TEST(AttackOp, Names) {
+  EXPECT_STREQ(to_string(AttackOp::Combine), "tensor_A");
+  EXPECT_STREQ(to_string(AttackOp::Choose), "oplus_A");
+}
+
+}  // namespace
+}  // namespace adtp

@@ -1,0 +1,120 @@
+#include "core/relevance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/naive.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(Relevance, StrongPwdIsIrrelevantInMoneyTheft) {
+  // The paper's observation, generalized: forbidding strong_pwd leaves
+  // the front unchanged; forbidding cover keypad or SMS auth does not.
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const RelevanceReport report = analyze_defense_relevance(dag);
+  EXPECT_EQ(report.full_front.to_string(),
+            "{(0, 80), (20, 90), (50, 140)}");
+
+  const Adt& adt = dag.adt();
+  const auto irrelevant = report.irrelevant();
+  ASSERT_EQ(irrelevant.size(), 1u);
+  EXPECT_EQ(adt.name(irrelevant[0]), "strong_pwd");
+
+  for (const auto& entry : report.defenses) {
+    if (adt.name(entry.defense) == "cover_keypad" ||
+        adt.name(entry.defense) == "sms_authentication") {
+      EXPECT_TRUE(entry.relevant) << adt.name(entry.defense);
+    }
+  }
+}
+
+TEST(Relevance, Fig5BothDefensesRelevant) {
+  const RelevanceReport report =
+      analyze_defense_relevance(catalog::fig5_example());
+  EXPECT_TRUE(report.irrelevant().empty());
+  ASSERT_EQ(report.defenses.size(), 2u);
+  // Without d1 the (4,10) and (12,inf) points disappear.
+  EXPECT_EQ(report.defenses[0].front_without.to_string(),
+            "{(0, 5)}");
+}
+
+TEST(Relevance, RestrictedFrontMatchesRebuiltModel) {
+  // Cross-check the BDD-restriction shortcut against re-pricing the
+  // defense out of reach (beta_D(d) = inf is NOT the same as forbidding -
+  // the point (inf, ...) would still exist - so instead compare against a
+  // naive run where the defense bit is forced off).
+  RandomAdtOptions options;
+  options.target_nodes = 24;
+  options.share_probability = 0.25;
+  options.max_defenses = 5;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const AugmentedAdt aadt = generate_random_aadt(
+        options, seed, Semiring::min_cost(), Semiring::min_cost());
+    const RelevanceReport report = analyze_defense_relevance(aadt);
+
+    for (const auto& entry : report.defenses) {
+      // Oracle: enumerate feasible events, dropping every delta that
+      // activates the forbidden defense.
+      const auto events = enumerate_feasible_events(aadt);
+      std::vector<ValuePoint> points;
+      const std::size_t bit = aadt.adt().defense_index(entry.defense);
+      for (const auto& ev : events) {
+        if (ev.defense.test(bit)) continue;
+        points.push_back(ValuePoint{ev.defense_value, ev.attack_value});
+      }
+      const Front oracle =
+          Front::minimized(std::move(points), aadt.defender_domain(),
+                           aadt.attacker_domain());
+      EXPECT_TRUE(entry.front_without.same_values(
+          oracle, aadt.defender_domain(), aadt.attacker_domain()))
+          << "seed " << seed << " defense "
+          << aadt.adt().name(entry.defense) << ": "
+          << entry.front_without.to_string() << " vs "
+          << oracle.to_string();
+    }
+  }
+}
+
+TEST(Relevance, ModelsWithoutDefenses) {
+  Adt adt;
+  adt.add_basic("a", Agent::Attacker);
+  adt.freeze();
+  Attribution beta;
+  beta.set("a", 3);
+  const AugmentedAdt aadt(std::move(adt), std::move(beta),
+                          Semiring::min_cost(), Semiring::min_cost());
+  const RelevanceReport report = analyze_defense_relevance(aadt);
+  EXPECT_TRUE(report.defenses.empty());
+  EXPECT_EQ(report.full_front.to_string(), "{(0, 3)}");
+}
+
+
+TEST(Relevance, SecurityCeilings) {
+  // Money theft ceilings: with all defenses purchasable the best
+  // reachable security is 140. Without cover keypad the ATM attack at 90
+  // is forever available; without SMS auth the online attack at 80 is.
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const Adt& adt = dag.adt();
+  const RelevanceReport report = analyze_defense_relevance(dag);
+  for (const auto& entry : report.defenses) {
+    EXPECT_EQ(entry.ceiling_with, 140) << adt.name(entry.defense);
+    // Ceiling without a defense is never better than with it.
+    EXPECT_TRUE(dag.attacker_domain().prefer(entry.ceiling_without,
+                                             entry.ceiling_with));
+    if (adt.name(entry.defense) == "cover_keypad") {
+      EXPECT_EQ(entry.ceiling_without, 90);
+    }
+    if (adt.name(entry.defense) == "sms_authentication") {
+      // Without SMS the online branch costs only 80 forever.
+      EXPECT_EQ(entry.ceiling_without, 80);
+    }
+    if (adt.name(entry.defense) == "strong_pwd") {
+      EXPECT_EQ(entry.ceiling_without, 140);  // irrelevant: no change
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtp

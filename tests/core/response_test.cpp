@@ -1,0 +1,291 @@
+#include "core/response.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "adt/structure.hpp"
+#include "core/naive.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(Response, Example2ResponsesOnFig3) {
+  // rho(00) = rho(01) = rho(10) = 010 (cost 10); rho(11) = 110 (cost 15).
+  const AugmentedAdt fig3 = catalog::fig3_example();
+  const Responder responder(fig3);
+  for (const char* delta : {"00", "01", "10"}) {
+    const ResponseResult r = responder.respond(BitVec::from_string(delta));
+    EXPECT_TRUE(r.attack_exists);
+    EXPECT_EQ(r.value, 10) << delta;
+    EXPECT_EQ(r.attack.to_string(), "010") << delta;
+  }
+  const ResponseResult r = responder.respond(BitVec::from_string("11"));
+  EXPECT_EQ(r.value, 15);
+  EXPECT_EQ(r.attack.to_string(), "110");
+}
+
+TEST(Response, MoneyTheftNarrative) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const Adt& adt = dag.adt();
+  const Responder responder(dag);
+
+  // Undefended: phishing + transfer = 80.
+  const ResponseResult undefended = responder.respond_undefended();
+  EXPECT_EQ(undefended.value, 80);
+
+  // SMS auth deployed: the attacker moves to the ATM (90).
+  BitVec sms(adt.num_defenses());
+  sms.set(adt.defense_index(adt.at("sms_authentication")));
+  EXPECT_EQ(responder.respond(sms).value, 90);
+
+  // SMS + cover keypad: online with phone theft (140).
+  BitVec both = sms;
+  both.set(adt.defense_index(adt.at("cover_keypad")));
+  const ResponseResult r = responder.respond(both);
+  EXPECT_EQ(r.value, 140);
+  EXPECT_TRUE(r.attack.test(adt.attack_index(adt.at("steal_phone"))));
+}
+
+TEST(Response, NoAttackExists) {
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId d = adt.add_basic("d", Agent::Defender);
+  adt.add_inhibit("top", a, d);
+  adt.freeze();
+  Attribution beta;
+  beta.set("a", 5);
+  beta.set("d", 3);
+  const AugmentedAdt aadt(std::move(adt), std::move(beta),
+                          Semiring::min_cost(), Semiring::min_cost());
+  const ResponseResult r = optimal_response(aadt, BitVec::from_string("1"));
+  EXPECT_FALSE(r.attack_exists);
+  EXPECT_TRUE(std::isinf(r.value));
+  EXPECT_TRUE(r.attack.none());
+}
+
+TEST(Response, DefenderRootedGoal) {
+  // Fig. 4 family: the optimal response mirrors the defense vector.
+  const AugmentedAdt fig4 = catalog::fig4_exponential(4);
+  const Responder responder(fig4);
+  for (const char* delta : {"0000", "1010", "1111", "0001"}) {
+    const ResponseResult r = responder.respond(BitVec::from_string(delta));
+    EXPECT_TRUE(r.attack_exists);
+    EXPECT_EQ(r.attack.to_string(), delta);
+  }
+}
+
+TEST(Response, VectorSizeValidated) {
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  const Responder responder(fig5);
+  EXPECT_THROW((void)responder.respond(BitVec(5)), ModelError);
+}
+
+TEST(Response, ClassicalAttackTreeSpecialCase) {
+  // No defenses: respond_undefended() is the classical min-cost attack.
+  Adt adt = catalog::fig1_steal_data_at();
+  Attribution beta;
+  beta.set("BU", 90);
+  beta.set("PA", 20);
+  beta.set("ESV", 35);
+  beta.set("ACV", 40);
+  beta.set("SDK", 25);
+  const AugmentedAdt aadt(std::move(adt), std::move(beta),
+                          Semiring::min_cost(), Semiring::min_cost());
+  const ResponseResult r = Responder(aadt).respond_undefended();
+  EXPECT_EQ(r.value, 45);  // PA + SDK
+  EXPECT_EQ(r.attack.count(), 2u);
+}
+
+TEST(Response, WitnessReplaysAndIsOptimal) {
+  RandomAdtOptions options;
+  options.target_nodes = 24;
+  options.share_probability = 0.25;
+  options.max_defenses = 5;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const AugmentedAdt aadt = generate_random_aadt(
+        options, seed, Semiring::min_cost(), Semiring::min_cost());
+    const Responder responder(aadt);
+    const auto events = enumerate_feasible_events(aadt);
+    for (const auto& ev : events) {
+      const ResponseResult r = responder.respond(ev.defense);
+      // Same optimal value as the brute-force oracle...
+      EXPECT_EQ(r.attack_exists, ev.response.has_value());
+      EXPECT_EQ(r.value, ev.attack_value)
+          << "seed " << seed << " delta " << ev.defense.to_string();
+      // ...and the witness really achieves it.
+      if (r.attack_exists) {
+        EXPECT_TRUE(attack_succeeds(aadt.adt(), ev.defense, r.attack));
+        EXPECT_EQ(aadt.attack_vector_value(r.attack), r.value);
+      }
+    }
+  }
+}
+
+TEST(Response, ParallelTimeDomain) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  Attribution beta;
+  for (NodeId id : dag.adt().attack_steps()) {
+    beta.set(dag.adt().name(id), dag.attribution().get(dag.adt().name(id)));
+  }
+  for (NodeId id : dag.adt().defense_steps()) {
+    beta.set(dag.adt().name(id), dag.attribution().get(dag.adt().name(id)));
+  }
+  const AugmentedAdt par(dag.adt(), beta, Semiring::min_cost(),
+                         Semiring::min_time_par());
+  // Undefended, parallel time: the ATM branch runs steal card (10),
+  // eavesdrop (20) and withdraw (60) in parallel -> 60, beating the
+  // online branch's phishing (70).
+  EXPECT_EQ(Responder(par).respond_undefended().value, 60);
+}
+
+TEST(Response, BddSizeReported) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const Responder responder(dag);
+  EXPECT_GT(responder.bdd_size(), 2u);
+}
+
+
+TEST(MinimalAttacks, Fig1ClassicalCutSets) {
+  Adt adt = catalog::fig1_steal_data_at();
+  Attribution beta;
+  for (NodeId id : adt.attack_steps()) beta.set(adt.name(id), 1);
+  const AugmentedAdt aadt(std::move(adt), std::move(beta),
+                          Semiring::min_cost(), Semiring::min_cost());
+  const auto sets = Responder(aadt).minimal_attacks(BitVec(0));
+  // AND(OR(BU,PA,ESV,ACV), SDK): one credential theft + SDK each.
+  ASSERT_EQ(sets.size(), 4u);
+  for (const BitVec& s : sets) {
+    EXPECT_EQ(s.count(), 2u);
+    EXPECT_TRUE(
+        s.test(aadt.adt().attack_index(aadt.adt().at("SDK"))));
+  }
+}
+
+TEST(MinimalAttacks, MoneyTheftUndefended) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const Adt& adt = dag.adt();
+  const auto sets =
+      Responder(dag).minimal_attacks(BitVec(adt.num_defenses()));
+  // Undefended minimal attacks: ATM = {steal card, force|eavesdrop,
+  // withdraw}, online = {user, pwd, transfer} combinations:
+  // user in {guess_user, phishing} x pwd in {guess_pwd, phishing}.
+  // With shared phishing, {phishing, transfer} is one set.
+  ASSERT_FALSE(sets.empty());
+  // Every set succeeds; dropping any element fails (minimality).
+  for (const BitVec& s : sets) {
+    EXPECT_TRUE(attack_succeeds(adt, BitVec(adt.num_defenses()), s));
+    for (std::size_t bit : s.set_bits()) {
+      BitVec smaller = s;
+      smaller.reset(bit);
+      EXPECT_FALSE(
+          attack_succeeds(adt, BitVec(adt.num_defenses()), smaller));
+    }
+  }
+  // Pairwise incomparable.
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    for (std::size_t j = 0; j < sets.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(sets[i].is_subset_of(sets[j]));
+      }
+    }
+  }
+  // The cheapest minimal attack is the optimal response.
+  double best = std::numeric_limits<double>::infinity();
+  for (const BitVec& s : sets) {
+    best = std::min(best, dag.attack_vector_value(s));
+  }
+  EXPECT_EQ(best, 80);
+}
+
+TEST(MinimalAttacks, DefensesPruneCutSets) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  const Adt& adt = dag.adt();
+  const Responder responder(dag);
+  const auto undefended =
+      responder.minimal_attacks(BitVec(adt.num_defenses()));
+  BitVec sms(adt.num_defenses());
+  sms.set(adt.defense_index(adt.at("sms_authentication")));
+  const auto defended = responder.minimal_attacks(sms);
+  // Online attacks now additionally require steal_phone; the family
+  // changes and every defended set still succeeds against sms.
+  for (const BitVec& s : defended) {
+    EXPECT_TRUE(attack_succeeds(adt, sms, s));
+  }
+  EXPECT_NE(undefended.size(), 0u);
+  EXPECT_NE(defended.size(), 0u);
+}
+
+TEST(MinimalAttacks, DefenderRootedFamily) {
+  // Fig. 4: with defenses delta deployed, the unique minimal attack is
+  // exactly delta.
+  const AugmentedAdt fig4 = catalog::fig4_exponential(4);
+  const Responder responder(fig4);
+  for (const char* delta : {"0000", "1010", "1111"}) {
+    const auto sets = responder.minimal_attacks(BitVec::from_string(delta));
+    ASSERT_EQ(sets.size(), 1u) << delta;
+    EXPECT_EQ(sets[0].to_string(), delta);
+  }
+}
+
+TEST(MinimalAttacks, MatchesBruteForceOnRandomModels) {
+  RandomAdtOptions options;
+  options.target_nodes = 20;
+  options.share_probability = 0.25;
+  options.max_defenses = 4;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const AugmentedAdt aadt = generate_random_aadt(
+        options, seed, Semiring::min_cost(), Semiring::min_cost());
+    const Adt& adt = aadt.adt();
+    if (adt.num_attacks() > 16) continue;
+    const Responder responder(aadt);
+    Rng rng(seed);
+    BitVec defense(adt.num_defenses());
+    for (std::size_t i = 0; i < defense.size(); ++i) {
+      if (rng.chance(0.5)) defense.set(i);
+    }
+    // Brute force: all successful attack masks, filtered to minimal.
+    StructureEvaluator eval(adt);
+    std::vector<BitVec> successful;
+    for (std::uint64_t mask = 0;
+         mask < (std::uint64_t{1} << adt.num_attacks()); ++mask) {
+      BitVec attack(adt.num_attacks());
+      for (std::size_t i = 0; i < adt.num_attacks(); ++i) {
+        if ((mask >> i) & 1ULL) attack.set(i);
+      }
+      if (eval.attack_succeeds(defense, attack)) {
+        successful.push_back(std::move(attack));
+      }
+    }
+    std::vector<BitVec> expected;
+    for (const BitVec& s : successful) {
+      bool minimal = true;
+      for (const BitVec& t : successful) {
+        if (t != s && t.is_subset_of(s)) minimal = false;
+      }
+      if (minimal) expected.push_back(s);
+    }
+    auto sets = responder.minimal_attacks(defense);
+    std::sort(sets.begin(), sets.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(sets, expected) << "seed " << seed;
+  }
+}
+
+TEST(MinimalAttacks, SetLimitGuard) {
+  const AugmentedAdt fig4 = catalog::fig4_exponential(6);
+  const Responder responder(fig4);
+  BitVec all(6);
+  for (std::size_t i = 0; i < 6; ++i) all.set(i);
+  EXPECT_NO_THROW((void)responder.minimal_attacks(all));
+  // An absurdly small budget trips the guard even on tiny models.
+  EXPECT_THROW((void)responder.minimal_attacks(all, 1), LimitError);
+}
+
+}  // namespace
+}  // namespace adtp

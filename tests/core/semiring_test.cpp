@@ -1,0 +1,166 @@
+#include "core/semiring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Semiring, MinCostTableRow) {
+  const Semiring s = Semiring::min_cost();
+  EXPECT_EQ(s.one(), 0);
+  EXPECT_EQ(s.zero(), kInf);
+  EXPECT_EQ(s.combine(3, 4), 7);
+  EXPECT_TRUE(s.prefer(3, 4));
+  EXPECT_FALSE(s.prefer(4, 3));
+  EXPECT_EQ(s.choose(3, 4), 3);
+}
+
+TEST(Semiring, MinTimeSeqMatchesMinCost) {
+  const Semiring s = Semiring::min_time_seq();
+  EXPECT_EQ(s.combine(5, 2), 7);
+  EXPECT_EQ(s.choose(5, 2), 2);
+  EXPECT_EQ(s.zero(), kInf);
+}
+
+TEST(Semiring, MinTimeParCombinesWithMax) {
+  const Semiring s = Semiring::min_time_par();
+  EXPECT_EQ(s.combine(5, 2), 5);
+  EXPECT_EQ(s.choose(5, 2), 2);
+  EXPECT_EQ(s.one(), 0);
+  EXPECT_EQ(s.zero(), kInf);
+}
+
+TEST(Semiring, MinSkillCombinesWithMax) {
+  const Semiring s = Semiring::min_skill();
+  EXPECT_EQ(s.combine(30, 80), 80);
+  EXPECT_EQ(s.choose(30, 80), 30);
+}
+
+TEST(Semiring, ProbabilityTableRow) {
+  // From the Definition 4 axioms: ([0,1], max, *, 0, 1, >=).
+  const Semiring s = Semiring::probability();
+  EXPECT_EQ(s.one(), 1);   // unit of *: certain success
+  EXPECT_EQ(s.zero(), 0);  // worst value: impossible
+  EXPECT_DOUBLE_EQ(s.combine(0.5, 0.5), 0.25);
+  EXPECT_TRUE(s.prefer(0.8, 0.2));   // higher probability preferred
+  EXPECT_FALSE(s.prefer(0.2, 0.8));
+  EXPECT_EQ(s.choose(0.8, 0.2), 0.8);
+}
+
+TEST(Semiring, InfinityAbsorbsInMinCost) {
+  const Semiring s = Semiring::min_cost();
+  EXPECT_EQ(s.combine(kInf, 5), kInf);
+  EXPECT_TRUE(s.prefer(5, kInf));
+}
+
+TEST(Semiring, StrictAndEquivalent) {
+  const Semiring s = Semiring::min_cost();
+  EXPECT_TRUE(s.strictly_prefer(1, 2));
+  EXPECT_FALSE(s.strictly_prefer(2, 1));
+  EXPECT_FALSE(s.strictly_prefer(2, 2));
+  EXPECT_TRUE(s.equivalent(2, 2));
+  EXPECT_FALSE(s.equivalent(1, 2));
+}
+
+class TableIDomains : public ::testing::TestWithParam<SemiringKind> {};
+
+TEST_P(TableIDomains, SatisfiesDefinition4Axioms) {
+  const Semiring s{GetParam()};
+  const auto report = s.check_axioms(/*seed=*/17, /*samples=*/500);
+  EXPECT_TRUE(report.commutative);
+  EXPECT_TRUE(report.associative);
+  EXPECT_TRUE(report.monotone);
+  EXPECT_TRUE(report.one_is_unit);
+  EXPECT_TRUE(report.one_minimal);
+  EXPECT_TRUE(report.zero_maximal);
+  EXPECT_TRUE(report.order_total);
+  EXPECT_TRUE(report.all_hold());
+}
+
+std::string domain_case_name(
+    const ::testing::TestParamInfo<SemiringKind>& info) {
+  return semiring_kind_name(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBuiltIns, TableIDomains,
+    ::testing::Values(SemiringKind::MinCost, SemiringKind::MinTimeSeq,
+                      SemiringKind::MinTimePar, SemiringKind::MinSkill,
+                      SemiringKind::Probability),
+    domain_case_name);
+
+TEST(Semiring, CustomDomainWorks) {
+  // "max damage given a budget" style domain: combine = +, prefer = >=
+  // (the attacker wants more damage); one = 0 damage, zero = "impossible"
+  // marked by -inf.
+  const Semiring damage = Semiring::custom(
+      "damage", 0.0, -kInf, [](double a, double b) { return a + b; },
+      [](double a, double b) { return a >= b; });
+  EXPECT_EQ(damage.kind(), SemiringKind::Custom);
+  EXPECT_EQ(damage.name(), "damage");
+  EXPECT_EQ(damage.combine(3, 4), 7);
+  EXPECT_EQ(damage.choose(3, 4), 4);
+  EXPECT_TRUE(damage.prefer(4, 3));
+}
+
+TEST(Semiring, CustomDomainAxiomCheckCatchesBrokenCombine) {
+  // Subtraction is neither commutative nor associative nor monotone.
+  const Semiring broken = Semiring::custom(
+      "broken", 0.0, kInf, [](double a, double b) { return a - b; },
+      [](double a, double b) { return a <= b; });
+  const auto report = broken.check_axioms(3, 500);
+  EXPECT_FALSE(report.commutative);
+  EXPECT_FALSE(report.all_hold());
+}
+
+TEST(Semiring, CustomRequiresHooks) {
+  EXPECT_THROW((void)Semiring::custom("x", 0, 1, nullptr,
+                                      [](double, double) { return true; }),
+               ModelError);
+  EXPECT_THROW(
+      (void)Semiring::custom("x", 0, 1,
+                             [](double a, double b) { return a + b; },
+                             nullptr),
+      ModelError);
+}
+
+TEST(Semiring, CustomKindCannotUsePlainConstructor) {
+  EXPECT_THROW(Semiring s{SemiringKind::Custom}, ModelError);
+}
+
+TEST(Semiring, ParseKindNames) {
+  EXPECT_EQ(parse_semiring_kind("mincost"), SemiringKind::MinCost);
+  EXPECT_EQ(parse_semiring_kind("min-cost"), SemiringKind::MinCost);
+  EXPECT_EQ(parse_semiring_kind("MIN_COST"), SemiringKind::MinCost);
+  EXPECT_EQ(parse_semiring_kind("mintimeseq"), SemiringKind::MinTimeSeq);
+  EXPECT_EQ(parse_semiring_kind("mintimepar"), SemiringKind::MinTimePar);
+  EXPECT_EQ(parse_semiring_kind("minskill"), SemiringKind::MinSkill);
+  EXPECT_EQ(parse_semiring_kind("probability"), SemiringKind::Probability);
+  EXPECT_EQ(parse_semiring_kind("prob"), SemiringKind::Probability);
+  EXPECT_FALSE(parse_semiring_kind("nonsense").has_value());
+}
+
+TEST(Semiring, KindNamesRoundTrip) {
+  for (SemiringKind kind :
+       {SemiringKind::MinCost, SemiringKind::MinTimeSeq,
+        SemiringKind::MinTimePar, SemiringKind::MinSkill,
+        SemiringKind::Probability}) {
+    EXPECT_EQ(parse_semiring_kind(semiring_kind_name(kind)), kind);
+  }
+  EXPECT_THROW((void)semiring_kind_name(SemiringKind::Custom), ModelError);
+}
+
+TEST(Semiring, ToStringHumanNames) {
+  EXPECT_STREQ(to_string(SemiringKind::MinCost), "min cost");
+  EXPECT_STREQ(to_string(SemiringKind::Probability), "probability");
+}
+
+}  // namespace
+}  // namespace adtp

@@ -1,0 +1,67 @@
+/// The shipped model files under data/ must stay loadable and reproduce
+/// the paper's golden fronts - they are the quickest way for users to try
+/// the tools (`adt_cli analyze data/money_theft.adt`), so breaking them
+/// is breaking the front door.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "adt/adtool_xml.hpp"
+#include "adt/text_format.hpp"
+#include "core/analyzer.hpp"
+
+namespace adtp {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(ADTP_DATA_DIR) + "/" + name;
+}
+
+TEST(DataFiles, Fig3) {
+  const AugmentedAdt aadt =
+      load_adt_file(data_path("fig3_example.adt")).augmented();
+  EXPECT_EQ(analyze(aadt).front.to_string(), "{(0, 10), (15, 15)}");
+}
+
+TEST(DataFiles, Fig5) {
+  const AugmentedAdt aadt =
+      load_adt_file(data_path("fig5_example.adt")).augmented();
+  EXPECT_EQ(analyze(aadt).front.to_string(), "{(0, 5), (4, 10), (12, inf)}");
+}
+
+TEST(DataFiles, Fig4N4) {
+  const AugmentedAdt aadt =
+      load_adt_file(data_path("fig4_n4.adt")).augmented();
+  EXPECT_EQ(analyze(aadt).front.size(), 16u);
+}
+
+TEST(DataFiles, MoneyTheftDag) {
+  const AugmentedAdt aadt =
+      load_adt_file(data_path("money_theft.adt")).augmented();
+  EXPECT_FALSE(aadt.adt().is_tree());
+  EXPECT_EQ(analyze(aadt).front.to_string(),
+            "{(0, 80), (20, 90), (50, 140)}");
+}
+
+TEST(DataFiles, MoneyTheftTree) {
+  const AugmentedAdt aadt =
+      load_adt_file(data_path("money_theft_tree.adt")).augmented();
+  EXPECT_TRUE(aadt.adt().is_tree());
+  const AnalysisResult result = analyze(aadt);
+  EXPECT_EQ(result.used, Algorithm::BottomUp);
+  EXPECT_EQ(result.front.to_string(), "{(0, 90), (30, 150), (50, 165)}");
+}
+
+TEST(DataFiles, AdtoolSampleXml) {
+  const AdtoolImport import =
+      load_adtool_file(data_path("adtool_sample.xml"));
+  const AugmentedAdt aadt(import.adt, import.attribution,
+                          Semiring::min_cost(), Semiring::min_cost());
+  EXPECT_FALSE(aadt.adt().is_tree());  // shared "phish"
+  const Front front = analyze(aadt).front;
+  EXPECT_EQ(front.front_point().att, 30);
+}
+
+}  // namespace
+}  // namespace adtp

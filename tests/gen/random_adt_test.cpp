@@ -1,0 +1,133 @@
+#include "gen/random_adt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(RandomAdt, DeterministicForSeed) {
+  RandomAdtOptions options;
+  options.target_nodes = 60;
+  options.share_probability = 0.2;
+  const Adt a = generate_random_adt(options, 42);
+  const Adt b = generate_random_adt(options, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a.name(v), b.name(v));
+    EXPECT_EQ(a.type(v), b.type(v));
+    EXPECT_EQ(a.agent(v), b.agent(v));
+    EXPECT_EQ(a.children(v), b.children(v));
+  }
+}
+
+TEST(RandomAdt, DifferentSeedsDiffer) {
+  RandomAdtOptions options;
+  options.target_nodes = 60;
+  const Adt a = generate_random_adt(options, 1);
+  const Adt b = generate_random_adt(options, 2);
+  bool differs = a.size() != b.size();
+  if (!differs) {
+    for (NodeId v = 0; v < a.size() && !differs; ++v) {
+      differs = a.type(v) != b.type(v) || a.children(v) != b.children(v);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RandomAdt, ReachesTargetSize) {
+  for (std::size_t target : {10u, 50u, 150u, 325u}) {
+    RandomAdtOptions options;
+    options.target_nodes = target;
+    const Adt adt = generate_random_adt(options, 7);
+    EXPECT_GE(adt.size(), target);
+    // Expansion adds at most max_children nodes past the target.
+    EXPECT_LE(adt.size(), target + options.max_children + 1);
+  }
+}
+
+TEST(RandomAdt, TreeModeProducesTrees) {
+  RandomAdtOptions options;
+  options.target_nodes = 120;
+  options.share_probability = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    EXPECT_TRUE(generate_random_adt(options, seed).is_tree())
+        << "seed " << seed;
+  }
+}
+
+TEST(RandomAdt, DagModeProducesSharing) {
+  RandomAdtOptions options;
+  options.target_nodes = 120;
+  options.share_probability = 0.3;
+  std::size_t dags = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    if (!generate_random_adt(options, seed).is_tree()) ++dags;
+  }
+  EXPECT_GE(dags, 8u);  // sharing at p=0.3 is near-certain at this size
+}
+
+TEST(RandomAdt, ModelsAlwaysValid) {
+  // freeze() inside the generator already checks Definition 1; this test
+  // makes the coverage explicit across shapes and root agents.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomAdtOptions options;
+    options.target_nodes = 30 + (seed % 5) * 40;
+    options.share_probability = (seed % 3) * 0.2;
+    options.root_agent = seed % 2 == 0 ? Agent::Defender : Agent::Attacker;
+    const Adt adt = generate_random_adt(options, seed);
+    EXPECT_TRUE(adt.frozen());
+    EXPECT_EQ(adt.agent(adt.root()), options.root_agent);
+    EXPECT_GT(adt.num_attacks() + adt.num_defenses(), 0u);
+  }
+}
+
+TEST(RandomAdt, MaxDefensesRespected) {
+  RandomAdtOptions options;
+  options.target_nodes = 200;
+  options.max_defenses = 6;
+  options.share_probability = 0.2;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Adt adt = generate_random_adt(options, seed);
+    EXPECT_LE(adt.num_defenses(), 6u) << "seed " << seed;
+  }
+}
+
+TEST(RandomAdt, ZeroTargetRejected) {
+  RandomAdtOptions options;
+  options.target_nodes = 0;
+  EXPECT_THROW((void)generate_random_adt(options, 1), ModelError);
+}
+
+TEST(RandomAttribution, CoversEveryLeafWithDomainSuitableValues) {
+  RandomAdtOptions options;
+  options.target_nodes = 80;
+  const Adt adt = generate_random_adt(options, 5);
+  const Attribution cost_beta = random_attribution(
+      adt, Semiring::min_cost(), Semiring::probability(), 3);
+  for (NodeId id : adt.defense_steps()) {
+    const double v = cost_beta.get(adt.name(id));
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+  for (NodeId id : adt.attack_steps()) {
+    const double v = cost_beta.get(adt.name(id));
+    EXPECT_GT(v, 0);
+    EXPECT_LT(v, 1);  // probability domain draws from (0, 1)
+  }
+  EXPECT_NO_THROW(cost_beta.validate(adt));
+}
+
+TEST(RandomAadt, BundlesValidatedModel) {
+  RandomAdtOptions options;
+  options.target_nodes = 40;
+  options.share_probability = 0.25;
+  const AugmentedAdt aadt = generate_random_aadt(
+      options, 9, Semiring::min_cost(), Semiring::min_cost());
+  EXPECT_GE(aadt.adt().size(), 40u);
+  EXPECT_EQ(aadt.defender_domain().kind(), SemiringKind::MinCost);
+}
+
+}  // namespace
+}  // namespace adtp

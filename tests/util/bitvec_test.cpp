@@ -1,0 +1,175 @@
+#include "util/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(BitVec, DefaultIsEmpty) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.count(), 0u);
+}
+
+TEST(BitVec, ConstructedZeroed) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_FALSE(v.test(i));
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVec, SetResetTest) {
+  BitVec v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(63));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(69));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.reset(63);
+  EXPECT_FALSE(v.test(63));
+  EXPECT_EQ(v.count(), 3u);
+  v.set(0, false);
+  EXPECT_FALSE(v.test(0));
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW((void)v.test(8), std::out_of_range);
+  EXPECT_THROW(v.set(100), std::out_of_range);
+  EXPECT_THROW((void)BitVec(3).test(64), std::out_of_range);
+}
+
+TEST(BitVec, FromStringMatchesPaperNotation) {
+  // The paper writes alpha = 011 for "a2 and a3 active, a1 not".
+  const BitVec v = BitVec::from_string("011");
+  EXPECT_FALSE(v.test(0));
+  EXPECT_TRUE(v.test(1));
+  EXPECT_TRUE(v.test(2));
+  EXPECT_EQ(v.to_string(), "011");
+}
+
+TEST(BitVec, FromStringRejectsJunk) {
+  EXPECT_THROW(BitVec::from_string("01x"), ModelError);
+}
+
+TEST(BitVec, ClearResetsAllBits) {
+  BitVec v(100);
+  for (std::size_t i = 0; i < 100; i += 7) v.set(i);
+  EXPECT_FALSE(v.none());
+  v.clear();
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.size(), 100u);
+}
+
+TEST(BitVec, SetBitsAscending) {
+  BitVec v(130);
+  v.set(2);
+  v.set(64);
+  v.set(129);
+  const std::vector<std::size_t> expected{2, 64, 129};
+  EXPECT_EQ(v.set_bits(), expected);
+}
+
+TEST(BitVec, UnionIntersectionDifference) {
+  BitVec a = BitVec::from_string("1100");
+  const BitVec b = BitVec::from_string("1010");
+  BitVec u = a;
+  u |= b;
+  EXPECT_EQ(u.to_string(), "1110");
+  BitVec i = a;
+  i &= b;
+  EXPECT_EQ(i.to_string(), "1000");
+  BitVec d = a;
+  d -= b;
+  EXPECT_EQ(d.to_string(), "0100");
+}
+
+TEST(BitVec, BinaryOpsRequireSameSize) {
+  BitVec a(4);
+  const BitVec b(5);
+  EXPECT_THROW(a |= b, ModelError);
+  EXPECT_THROW(a &= b, ModelError);
+  EXPECT_THROW((void)a.is_subset_of(b), ModelError);
+}
+
+TEST(BitVec, SubsetAndIntersects) {
+  const BitVec a = BitVec::from_string("0110");
+  const BitVec b = BitVec::from_string("0111");
+  const BitVec c = BitVec::from_string("1000");
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_TRUE(a.is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(BitVec, EqualityAndOrdering) {
+  const BitVec a = BitVec::from_string("0110");
+  BitVec b(4);
+  b.set(1);
+  b.set(2);
+  EXPECT_EQ(a, b);
+  b.set(3);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b);   // 0110 < 0111 word-wise
+  EXPECT_FALSE(b < a);
+}
+
+TEST(BitVec, ToUintUsesPaperEncoding) {
+  // Fig. 4 encodes delta as a binary number with bit 0 most significant.
+  EXPECT_EQ(BitVec::from_string("101").to_uint(), 5u);
+  EXPECT_EQ(BitVec::from_string("011").to_uint(), 3u);
+  EXPECT_EQ(BitVec::from_string("000").to_uint(), 0u);
+  EXPECT_EQ(BitVec(0).to_uint(), 0u);
+}
+
+TEST(BitVec, ToUintRejectsWideVectors) {
+  EXPECT_THROW((void)BitVec(65).to_uint(), ModelError);
+}
+
+TEST(BitVec, HashDistinguishesContents) {
+  std::unordered_set<BitVec> set;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    BitVec v(97);
+    for (std::size_t b = 0; b < 97; ++b) {
+      if (rng.chance(0.3)) v.set(b);
+    }
+    set.insert(v);
+  }
+  // Overwhelmingly likely all distinct; the set must not collapse them.
+  EXPECT_GT(set.size(), 190u);
+  // And re-inserting an element must dedupe.
+  const std::size_t size = set.size();
+  set.insert(*set.begin());
+  EXPECT_EQ(set.size(), size);
+}
+
+TEST(BitVec, HashIgnoresNothingButContents) {
+  BitVec a(64);
+  BitVec b(64);
+  a.set(13);
+  b.set(13);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(14);
+  EXPECT_NE(a.hash(), b.hash());  // not guaranteed, but catastrophic if equal
+}
+
+TEST(BitVec, SizeMismatchNotEqual) {
+  EXPECT_NE(BitVec(3), BitVec(4));
+}
+
+}  // namespace
+}  // namespace adtp

@@ -1,0 +1,97 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(Json, ObjectWithScalars) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fig5");
+  w.key("nodes").value(std::size_t{7});
+  w.key("tree").value(true);
+  w.key("missing").null();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"fig5","nodes":7,"tree":true,"missing":null})");
+}
+
+TEST(Json, NestedArrays) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("front").begin_array();
+  w.begin_array().value(0).value(80).end_array();
+  w.begin_array().value(20).value(90).end_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"front":[[0,80],[20,90]]})");
+}
+
+TEST(Json, DoublesAndSpecials) {
+  JsonWriter w;
+  w.begin_array();
+  w.value(0.5);
+  w.value(90.0);  // integral double prints without decimals
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([0.5,90,"inf","-inf",null])");
+}
+
+TEST(Json, StringEscaping) {
+  JsonWriter w;
+  w.value(std::string("a\"b\\c\nd\te") + '\x01');
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(Json, TopLevelScalar) {
+  JsonWriter w;
+  w.value(42);
+  EXPECT_EQ(w.str(), "42");
+}
+
+TEST(Json, MisuseDetected) {
+  {
+    JsonWriter w;
+    EXPECT_THROW((void)w.str(), Error);  // nothing written
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), Error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.key("k2"), Error);  // key twice
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), Error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW((void)w.str(), Error);  // unclosed
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), Error);  // two top-level values
+  }
+  {
+    JsonWriter w;
+    EXPECT_THROW(w.key("k"), Error);  // key outside object
+  }
+}
+
+}  // namespace
+}  // namespace adtp

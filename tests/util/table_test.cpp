@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace adtp {
+namespace {
+
+TEST(FormatValue, Integers) {
+  EXPECT_EQ(format_value(0), "0");
+  EXPECT_EQ(format_value(90), "90");
+  EXPECT_EQ(format_value(-5), "-5");
+  EXPECT_EQ(format_value(1e6), "1000000");
+}
+
+TEST(FormatValue, Infinity) {
+  EXPECT_EQ(format_value(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_value(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(FormatValue, NaN) {
+  EXPECT_EQ(format_value(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(FormatValue, TrimsTrailingZeros) {
+  EXPECT_EQ(format_value(0.5), "0.5");
+  EXPECT_EQ(format_value(0.25, 4), "0.25");
+  EXPECT_EQ(format_value(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(FormatSeconds, PicksUnits) {
+  EXPECT_EQ(format_seconds(2.5), "2.50 s");
+  EXPECT_EQ(format_seconds(0.0032), "3.20 ms");
+  EXPECT_EQ(format_seconds(4.2e-6), "4.20 us");
+  EXPECT_EQ(format_seconds(8.0e-9), "8.00 ns");
+  EXPECT_EQ(format_seconds(std::numeric_limits<double>::infinity()), "n/a");
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(text.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ModelError);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), ModelError);
+}
+
+TEST(TextTable, CsvQuotesSpecials) {
+  TextTable t({"k", "v"});
+  t.add_row({"plain", "a,b"});
+  t.add_row({"quote\"y", "x"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("plain,\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"y\",x"), std::string::npos);
+}
+
+TEST(TextTable, AddRowRawFormats) {
+  TextTable t({"x", "y"});
+  t.add_row_raw({1.0, std::numeric_limits<double>::infinity()});
+  EXPECT_NE(t.to_csv().find("1,inf"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace adtp

@@ -1,0 +1,50 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace adtp {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double s = watch.seconds();
+  EXPECT_GE(s, 0.009);
+  EXPECT_LT(s, 5.0);  // generous: CI machines stall
+  EXPECT_NEAR(watch.millis(), watch.seconds() * 1e3, 50.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  watch.reset();
+  EXPECT_LT(watch.seconds(), 0.005);
+}
+
+TEST(Stopwatch, Monotone) {
+  Stopwatch watch;
+  const double a = watch.seconds();
+  const double b = watch.seconds();
+  EXPECT_LE(a, b);
+}
+
+TEST(Deadline, ExpiresAfterBudget) {
+  const Deadline deadline(0.005);
+  EXPECT_FALSE(deadline.expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.budget_seconds(), 0.005);
+}
+
+TEST(Deadline, NonPositiveBudgetNeverExpires) {
+  const Deadline unlimited(0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_FALSE(unlimited.expired());
+  const Deadline negative(-1.0);
+  EXPECT_FALSE(negative.expired());
+}
+
+}  // namespace
+}  // namespace adtp
