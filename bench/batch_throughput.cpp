@@ -1,0 +1,75 @@
+/// Batch-analysis throughput: how many random models per second the
+/// analyzer sustains at 1, 2, 4, and 8 worker threads - the many-scenarios
+/// workload that analyze_batch() exists for. Reports trees/sec and the
+/// speedup over single-threaded for the same fleet (scaling is bounded by
+/// the machine's core count; on a single-core host all rows converge).
+///
+/// Usage: bench_batch_throughput [--count N] [--nodes N] [--dag P]
+///                               [--seed S] [--repeats R]
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/batch.hpp"
+#include "gen/random_adt.hpp"
+#include "util/table.hpp"
+
+using namespace adtp;
+
+int main(int argc, char** argv) {
+  const std::size_t count = bench::arg_size_t(argc, argv, "--count", 64);
+  const std::size_t nodes = bench::arg_size_t(argc, argv, "--nodes", 100);
+  const std::size_t repeats = bench::arg_size_t(argc, argv, "--repeats", 3);
+  const double dag_probability =
+      bench::arg_value(argc, argv, "--dag")
+          ? std::stod(*bench::arg_value(argc, argv, "--dag"))
+          : 0.2;
+  const std::uint64_t seed = bench::arg_size_t(argc, argv, "--seed", 1);
+
+  bench::banner("batch throughput (" + std::to_string(count) + " models, ~" +
+                std::to_string(nodes) + " nodes)");
+
+  std::vector<AugmentedAdt> fleet;
+  fleet.reserve(count);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    RandomAdtOptions options;
+    options.target_nodes = nodes;
+    options.share_probability = dag_probability;
+    options.max_defenses = 14;
+    fleet.push_back(generate_random_aadt(options, rng(), Semiring::min_cost(),
+                                         Semiring::min_cost()));
+  }
+
+  AnalysisOptions analysis;
+  analysis.bdd.node_limit = 8u << 20;
+  analysis.bdd.max_front_points = 200000;
+
+  double base_rate = 0;
+  TextTable table({"threads", "median secs", "trees/sec", "speedup",
+                   "failures"});
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::vector<double> times;
+    BatchReport last;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      last = analyze_batch(fleet, analysis, threads);
+      times.push_back(last.seconds);
+    }
+    const double secs = bench::median(times);
+    // Completed models only, matching BatchReport::trees_per_second.
+    const double completed = static_cast<double>(count - last.failures);
+    const double rate = secs > 0 ? completed / secs : 0;
+    if (threads == 1) base_rate = rate;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  base_rate > 0 ? rate / base_rate : 0.0);
+    table.add_row({std::to_string(threads), format_seconds(secs),
+                   std::to_string(static_cast<std::size_t>(rate)), speedup,
+                   std::to_string(last.failures)});
+  }
+  std::cout << table.to_text();
+  return 0;
+}

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "adt/structure.hpp"
 #include "bdd/build.hpp"
 #include "core/analyzer.hpp"
@@ -86,11 +88,92 @@ void BM_CombineFronts(benchmark::State& state) {
   }
   const Front front = Front::minimized(pts, cost, cost);
   for (auto _ : state) {
+    // Copy parity with BM_CombineFrontsArena's accumulator, so the two
+    // variants time identical work (copy + combine) and differ only in
+    // the allocation strategy.
+    Front lhs = front;
     benchmark::DoNotOptimize(
-        combine_fronts(front, front, AttackOp::Choose, cost, cost));
+        combine_fronts(lhs, front, AttackOp::Choose, cost, cost));
   }
 }
 BENCHMARK(BM_CombineFronts)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CombineFrontsArena(benchmark::State& state) {
+  const Semiring cost = Semiring::min_cost();
+  std::vector<ValuePoint> pts;
+  for (int i = 0; i < state.range(0); ++i) {
+    pts.push_back(ValuePoint{double(i), double(i)});
+  }
+  const Front front = Front::minimized(pts, cost, cost);
+  FrontArena<ValuePoint> arena;
+  for (auto _ : state) {
+    Front acc = front;
+    arena.combine_into(acc, front, AttackOp::Choose, cost, cost);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CombineFrontsArena)->Arg(16)->Arg(64)->Arg(256);
+
+// The same workload through the static-dispatch kernels (built-in kinds)
+// and through the DynamicDomain fallback (a custom Semiring with the very
+// same min-cost operations): the delta is the price of runtime dispatch.
+AugmentedAdt with_dynamic_min_cost(const AugmentedAdt& aadt) {
+  const Semiring dynamic = Semiring::custom(
+      "dynamic mincost", 0.0, std::numeric_limits<double>::infinity(),
+      [](double x, double y) { return x + y; },
+      [](double x, double y) { return x <= y; });
+  return AugmentedAdt(aadt.adt(), aadt.attribution(), dynamic, dynamic);
+}
+
+void BM_BottomUpStaticDispatch(benchmark::State& state) {
+  const AugmentedAdt tree = random_tree(state.range(0), 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottom_up_front(tree));
+  }
+}
+BENCHMARK(BM_BottomUpStaticDispatch)->Arg(150)->Arg(325);
+
+void BM_BottomUpDynamicDispatch(benchmark::State& state) {
+  const AugmentedAdt tree = with_dynamic_min_cost(random_tree(state.range(0),
+                                                              13));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bottom_up_front(tree));
+  }
+}
+BENCHMARK(BM_BottomUpDynamicDispatch)->Arg(150)->Arg(325);
+
+void BM_BddBuStaticDispatch(benchmark::State& state) {
+  const AugmentedAdt dag = random_dag(state.range(0), 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd_bu_front(dag));
+  }
+}
+BENCHMARK(BM_BddBuStaticDispatch)->Arg(100)->Arg(150);
+
+void BM_BddBuDynamicDispatch(benchmark::State& state) {
+  const AugmentedAdt dag = with_dynamic_min_cost(random_dag(state.range(0),
+                                                            17));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bdd_bu_front(dag));
+  }
+}
+BENCHMARK(BM_BddBuDynamicDispatch)->Arg(100)->Arg(150);
+
+void BM_NaiveStaticDispatch(benchmark::State& state) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_front(dag));
+  }
+}
+BENCHMARK(BM_NaiveStaticDispatch);
+
+void BM_NaiveDynamicDispatch(benchmark::State& state) {
+  const AugmentedAdt dag = with_dynamic_min_cost(catalog::money_theft_dag());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_front(dag));
+  }
+}
+BENCHMARK(BM_NaiveDynamicDispatch);
 
 void BM_BottomUpMoneyTheft(benchmark::State& state) {
   const AugmentedAdt tree = catalog::money_theft_tree();

@@ -1,0 +1,93 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace adtp {
+
+namespace {
+
+void run_item(const AugmentedAdt* model, const AnalysisOptions& options,
+              BatchItem& item) {
+  Stopwatch watch;
+  try {
+    if (model == nullptr) throw Error("analyze_batch: null model pointer");
+    item.result = analyze(*model, options);
+    item.ok = true;
+  } catch (const std::exception& e) {
+    item.ok = false;
+    item.error = e.what();
+  } catch (...) {
+    // Custom Semiring hooks can throw anything; never let it escape a
+    // worker thread (std::terminate would take the whole batch down).
+    item.ok = false;
+    item.error = "analyze_batch: non-standard exception";
+  }
+  item.seconds = watch.seconds();
+}
+
+}  // namespace
+
+BatchReport analyze_batch(std::span<const AugmentedAdt* const> models,
+                          const AnalysisOptions& options, unsigned n_threads) {
+  BatchReport report;
+  report.items.resize(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) report.items[i].index = i;
+
+  if (n_threads == 0) {
+    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  n_threads = static_cast<unsigned>(
+      std::min<std::size_t>(n_threads, std::max<std::size_t>(1, models.size())));
+  report.threads_used = n_threads;
+
+  Stopwatch watch;
+  if (n_threads == 1) {
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      run_item(models[i], options, report.items[i]);
+    }
+  } else {
+    // Self-balancing pool: each worker claims the next unprocessed index.
+    // Items are disjoint slots of a pre-sized vector, so no locking.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= models.size()) break;
+        run_item(models[i], options, report.items[i]);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads - 1);
+    try {
+      for (unsigned t = 0; t + 1 < n_threads; ++t) pool.emplace_back(worker);
+    } catch (const std::system_error&) {
+      // Thread creation failed (resource limit): the workers that did
+      // start, plus the calling thread, still drain the whole queue.
+    }
+    worker();  // the calling thread participates
+    for (std::thread& t : pool) t.join();
+    report.threads_used = static_cast<unsigned>(pool.size()) + 1;
+  }
+  report.seconds = watch.seconds();
+
+  for (const BatchItem& item : report.items) {
+    if (!item.ok) ++report.failures;
+  }
+  return report;
+}
+
+BatchReport analyze_batch(const std::vector<AugmentedAdt>& models,
+                          const AnalysisOptions& options, unsigned n_threads) {
+  std::vector<const AugmentedAdt*> pointers;
+  pointers.reserve(models.size());
+  for (const AugmentedAdt& model : models) pointers.push_back(&model);
+  return analyze_batch(std::span<const AugmentedAdt* const>(pointers), options,
+                       n_threads);
+}
+
+}  // namespace adtp

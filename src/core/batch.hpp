@@ -1,0 +1,67 @@
+/// \file batch.hpp
+/// \brief Multi-threaded batch analysis of many AADTs (the many-scenarios
+///        workload).
+///
+/// analyze_batch() runs analyze() over a span of models on a small
+/// fixed-size thread pool: workers pull the next unclaimed index from a
+/// shared atomic counter, so load balances itself without work stealing.
+/// Each item gets its own wall-clock timing and error capture - one model
+/// blowing a resource guard (LimitError) or failing validation never
+/// affects its batch neighbours.
+///
+/// Determinism: item i's result is identical to calling analyze(*models[i],
+/// options) sequentially; only the execution order across items varies
+/// with n_threads.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+
+namespace adtp {
+
+/// Outcome of one batch item. Exactly one of ok/error is meaningful:
+/// when ok is false, \p error holds the exception message and \p result
+/// is default-constructed.
+struct BatchItem {
+  /// Position in the input span. Redundant with the item's slot in
+  /// BatchReport::items, but kept so items stay traceable when callers
+  /// copy them out, sort by time, or collect only the failures.
+  std::size_t index = 0;
+  bool ok = false;
+  AnalysisResult result;  ///< valid iff ok
+  std::string error;      ///< exception what() iff !ok
+  double seconds = 0;     ///< wall-clock for this item (even on failure)
+};
+
+/// Outcome of a whole batch run.
+struct BatchReport {
+  std::vector<BatchItem> items;  ///< one per input, in input order
+  std::size_t failures = 0;      ///< number of items with !ok
+  unsigned threads_used = 1;
+  double seconds = 0;  ///< wall-clock for the whole batch
+
+  /// Completed (ok) models per second of batch wall-clock.
+  [[nodiscard]] double trees_per_second() const {
+    if (seconds <= 0) return 0.0;
+    return static_cast<double>(items.size() - failures) / seconds;
+  }
+};
+
+/// Analyzes every model in \p models with \p options on \p n_threads
+/// worker threads (0 = std::thread::hardware_concurrency(), clamped to the
+/// batch size). Null pointers in the span are reported as failed items.
+[[nodiscard]] BatchReport analyze_batch(
+    std::span<const AugmentedAdt* const> models,
+    const AnalysisOptions& options = {}, unsigned n_threads = 0);
+
+/// Convenience overload over owned models.
+[[nodiscard]] BatchReport analyze_batch(const std::vector<AugmentedAdt>& models,
+                                        const AnalysisOptions& options = {},
+                                        unsigned n_threads = 0);
+
+}  // namespace adtp

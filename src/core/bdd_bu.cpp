@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "bdd/build.hpp"
+#include "core/domains.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -11,16 +12,17 @@ namespace adtp {
 
 namespace {
 
-/// Shared implementation of Algorithm 3 over a built BDD, generic in the
-/// point payload. \p max_front_size reports the largest intermediate front.
-template <typename P>
-BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
-                        bdd::Ref root, const bdd::VarOrder& order,
-                        std::size_t* max_front_size,
-                        std::size_t max_front_points = 0) {
+/// The per-domain-pair kernel of Algorithm 3 over a built BDD, generic in
+/// the point payload; instantiated once per policy pair by
+/// dispatch_domains(). \p max_front_size reports the largest intermediate
+/// front.
+template <typename P, typename Dd, typename Da>
+BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
+                               bdd::Ref root, const bdd::VarOrder& order,
+                               std::size_t* max_front_size,
+                               std::size_t max_front_points, const Dd& dd,
+                               const Da& da) {
   const Adt& adt = aadt.adt();
-  const Semiring& dd = aadt.defender_domain();
-  const Semiring& da = aadt.attacker_domain();
   const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
   const std::size_t num_d = adt.num_defenses();
   const std::size_t num_a = adt.num_attacks();
@@ -43,6 +45,7 @@ BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
   std::unordered_map<bdd::Ref, BasicFront<P>> fronts;
   fronts.reserve(manager.size(root));
 
+  FrontArena<P> arena;
   std::size_t max_p = 0;
 
   // reachable() yields ascending node indices, which is a topological
@@ -86,19 +89,21 @@ BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
       fronts.emplace(w, BasicFront<P>::singleton(std::move(p)));
     } else {
       // Alg. 3 lines 10-14: defense variable. Either skip the defense
-      // (low front) or buy it (high front shifted by beta_D).
+      // (low front) or buy it (high front shifted by beta_D). Shifting by
+      // a constant via tensor_D preserves the staircase order, so the
+      // union is a sorted merge - no re-sort.
       const double beta = aadt.defense_value(adt.defense_index(leaf));
-      std::vector<P> merged = low.points();
-      merged.reserve(low.size() + high.size());
-      for (const P& q : high.points()) {
-        P shifted = q;
-        shifted.def = dd.combine(beta, q.def);
-        if constexpr (std::is_same_v<P, WitnessPoint>) {
-          shifted.defense.set(adt.defense_index(leaf));
-        }
-        merged.push_back(std::move(shifted));
-      }
-      auto front = BasicFront<P>::minimized(std::move(merged), dd, da);
+      auto front = arena.merged_transformed(
+          low, high,
+          [&](const P& q) {
+            P shifted = q;
+            shifted.def = dd.combine(beta, q.def);
+            if constexpr (std::is_same_v<P, WitnessPoint>) {
+              shifted.defense.set(adt.defense_index(leaf));
+            }
+            return shifted;
+          },
+          dd, da);
       if (max_front_points != 0 && front.size() > max_front_points) {
         throw LimitError("bdd_bu: intermediate front exceeds " +
                          std::to_string(max_front_points) + " points");
@@ -113,6 +118,19 @@ BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
     *max_front_size = max_p;
   }
   return std::move(fronts.at(root));
+}
+
+template <typename P>
+BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
+                        bdd::Ref root, const bdd::VarOrder& order,
+                        std::size_t* max_front_size,
+                        std::size_t max_front_points = 0) {
+  return dispatch_domains(
+      aadt.defender_domain(), aadt.attacker_domain(),
+      [&](const auto& dd, const auto& da) {
+        return propagate_kernel<P>(aadt, manager, root, order, max_front_size,
+                                   max_front_points, dd, da);
+      });
 }
 
 bdd::VarOrder resolve_order(const AugmentedAdt& aadt,

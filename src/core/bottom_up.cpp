@@ -2,6 +2,7 @@
 
 #include <type_traits>
 
+#include "core/domains.hpp"
 #include "util/error.hpp"
 
 namespace adtp {
@@ -22,11 +23,12 @@ AttackOp attack_op(GateType gate, Agent agent) {
 
 namespace {
 
-template <typename P>
-P attack_leaf_point(const AugmentedAdt& aadt, NodeId id) {
+template <typename P, typename Dd, typename Da>
+P attack_leaf_point(const AugmentedAdt& aadt, NodeId id, const Dd& dd,
+                    const Da&) {
   const std::size_t index = aadt.adt().attack_index(id);
   P p;
-  p.def = aadt.defender_domain().one();
+  p.def = dd.one();
   p.att = aadt.attack_value(index);
   if constexpr (std::is_same_v<P, WitnessPoint>) {
     p.defense = BitVec(aadt.adt().num_defenses());
@@ -36,17 +38,18 @@ P attack_leaf_point(const AugmentedAdt& aadt, NodeId id) {
   return p;
 }
 
-template <typename P>
-std::vector<P> defense_leaf_points(const AugmentedAdt& aadt, NodeId id) {
+template <typename P, typename Dd, typename Da>
+std::vector<P> defense_leaf_points(const AugmentedAdt& aadt, NodeId id,
+                                   const Dd& dd, const Da& da) {
   const std::size_t index = aadt.adt().defense_index(id);
   // Inactive: costs nothing, and "defeating" it is free for the attacker.
   P off;
-  off.def = aadt.defender_domain().one();
-  off.att = aadt.attacker_domain().one();
+  off.def = dd.one();
+  off.att = da.one();
   // Active: costs beta_D, and a bare BDS cannot be defeated.
   P on;
   on.def = aadt.defense_value(index);
-  on.att = aadt.attacker_domain().zero();
+  on.att = da.zero();
   if constexpr (std::is_same_v<P, WitnessPoint>) {
     off.defense = BitVec(aadt.adt().num_defenses());
     off.attack = BitVec(aadt.adt().num_attacks());
@@ -57,28 +60,25 @@ std::vector<P> defense_leaf_points(const AugmentedAdt& aadt, NodeId id) {
   return {std::move(off), std::move(on)};
 }
 
-template <typename P>
-std::vector<BasicFront<P>> bottom_up_all(const AugmentedAdt& aadt,
-                                         const BottomUpOptions& options) {
+/// The per-domain-pair kernel of Algorithm 1; instantiated once per policy
+/// pair by dispatch_domains(), so combine/prefer inline with no dispatch
+/// in the merge loops. The FrontArena recycles buffers across all merges.
+template <typename P, typename Dd, typename Da>
+std::vector<BasicFront<P>> bottom_up_kernel(const AugmentedAdt& aadt,
+                                            const BottomUpOptions& options,
+                                            const Dd& dd, const Da& da) {
   const Adt& adt = aadt.adt();
-  if (!adt.is_tree()) {
-    throw ModelError(
-        "bottom_up: the ADT is DAG-shaped (a node has multiple parents); "
-        "the Bottom-Up algorithm is only sound for trees - use "
-        "bdd_bu_front() or transform the model with unfold_to_tree()");
-  }
-  const Semiring& dd = aadt.defender_domain();
-  const Semiring& da = aadt.attacker_domain();
-
+  FrontArena<P> arena;
   std::vector<BasicFront<P>> fronts(adt.size());
   for (NodeId v : adt.topological_order()) {
     const Node& n = adt.node(v);
     if (n.type == GateType::BasicStep) {
       if (n.agent == Agent::Attacker) {
-        fronts[v] = BasicFront<P>::singleton(attack_leaf_point<P>(aadt, v));
+        fronts[v] =
+            BasicFront<P>::singleton(attack_leaf_point<P>(aadt, v, dd, da));
       } else {
-        fronts[v] = BasicFront<P>::minimized(defense_leaf_points<P>(aadt, v),
-                                             dd, da);
+        fronts[v] = BasicFront<P>::minimized(
+            defense_leaf_points<P>(aadt, v, dd, da), dd, da);
       }
       continue;
     }
@@ -87,7 +87,7 @@ std::vector<BasicFront<P>> bottom_up_all(const AugmentedAdt& aadt,
     const AttackOp op = attack_op(n.type, n.agent);
     BasicFront<P> acc = fronts[n.children[0]];
     for (std::size_t i = 1; i < n.children.size(); ++i) {
-      acc = combine_fronts(acc, fronts[n.children[i]], op, dd, da);
+      arena.combine_into(acc, fronts[n.children[i]], op, dd, da);
       if (options.max_front_points != 0 &&
           acc.size() > options.max_front_points) {
         throw LimitError("bottom_up: intermediate front exceeds " +
@@ -98,6 +98,22 @@ std::vector<BasicFront<P>> bottom_up_all(const AugmentedAdt& aadt,
     fronts[v] = std::move(acc);
   }
   return fronts;
+}
+
+template <typename P>
+std::vector<BasicFront<P>> bottom_up_all(const AugmentedAdt& aadt,
+                                         const BottomUpOptions& options) {
+  if (!aadt.adt().is_tree()) {
+    throw ModelError(
+        "bottom_up: the ADT is DAG-shaped (a node has multiple parents); "
+        "the Bottom-Up algorithm is only sound for trees - use "
+        "bdd_bu_front() or transform the model with unfold_to_tree()");
+  }
+  return dispatch_domains(
+      aadt.defender_domain(), aadt.attacker_domain(),
+      [&](const auto& dd, const auto& da) {
+        return bottom_up_kernel<P>(aadt, options, dd, da);
+      });
 }
 
 }  // namespace

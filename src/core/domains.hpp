@@ -1,0 +1,189 @@
+/// \file domains.hpp
+/// \brief Compile-time attribute-domain policies and double dispatch.
+///
+/// The runtime Semiring (semiring.hpp) stays the public façade: it is what
+/// models carry and what the text format parses. The hot loops of the
+/// analysis algorithms, however, should not pay a switch-on-kind (or a
+/// std::function call for custom domains) per combine/prefer. This header
+/// provides one empty policy struct per Table I row whose operations are
+/// static, inlinable members, plus:
+///
+///  - DynamicDomain: a pointer-sized adapter that forwards to a runtime
+///    Semiring; the fallback for Semiring::custom() domains.
+///  - dispatch_domains(dd, da, f): double dispatch that invokes \p f with
+///    the policy pair matching the two Semirings, instantiating the
+///    callable's kernel once per distinct operation pair.
+///
+/// Any type with combine/prefer/strictly_prefer/equivalent/choose/one/zero
+/// is a valid domain policy; in particular `const Semiring&` itself
+/// satisfies the interface, so templated kernels accept either.
+///
+/// To bound code size, dispatch canonicalizes kinds with identical
+/// operations: MinTimeSeq shares MinCostDomain's (+, <=) and MinTimePar
+/// shares MinSkillDomain's (max, <=), so the five built-in kinds produce
+/// 3 x 3 static kernel instantiations instead of 25. A pair involving any
+/// Custom domain falls back to (DynamicDomain, DynamicDomain).
+
+#pragma once
+
+#include <limits>
+#include <utility>
+
+#include "core/semiring.hpp"
+
+namespace adtp {
+
+namespace detail {
+inline constexpr double kDomainInf = std::numeric_limits<double>::infinity();
+}  // namespace detail
+
+/// ([0,inf], min, +, inf, 0, <=): the Table I min-cost row.
+///
+/// kMonotoneCombine marks that combine is monotone w.r.t. prefer (a
+/// Definition 4 axiom that holds by construction for the built-ins);
+/// FrontArena's sort-skipping fast paths are gated on it, so domains
+/// without the marker (DynamicDomain, the runtime Semiring) always take
+/// the sorting path and stay staircase-valid even if a custom combine
+/// quietly violates the axiom.
+struct MinCostDomain {
+  static constexpr SemiringKind kKind = SemiringKind::MinCost;
+  static constexpr bool kMonotoneCombine = true;
+  static constexpr double one() noexcept { return 0.0; }
+  static constexpr double zero() noexcept { return detail::kDomainInf; }
+  static constexpr double combine(double x, double y) noexcept { return x + y; }
+  static constexpr bool prefer(double x, double y) noexcept { return x <= y; }
+  static constexpr bool strictly_prefer(double x, double y) noexcept {
+    return x < y;
+  }
+  static constexpr bool equivalent(double x, double y) noexcept {
+    return x == y;
+  }
+  static constexpr double choose(double x, double y) noexcept {
+    return x <= y ? x : y;
+  }
+};
+
+/// ([0,inf], min, +, inf, 0, <=): sequential time; operations identical to
+/// MinCostDomain (dispatch canonicalizes the two).
+struct MinTimeSeqDomain : MinCostDomain {
+  static constexpr SemiringKind kKind = SemiringKind::MinTimeSeq;
+};
+
+/// ([0,inf], min, max, inf, 0, <=): the Table I min-skill row.
+struct MinSkillDomain {
+  static constexpr SemiringKind kKind = SemiringKind::MinSkill;
+  static constexpr bool kMonotoneCombine = true;
+  static constexpr double one() noexcept { return 0.0; }
+  static constexpr double zero() noexcept { return detail::kDomainInf; }
+  static constexpr double combine(double x, double y) noexcept {
+    return x < y ? y : x;
+  }
+  static constexpr bool prefer(double x, double y) noexcept { return x <= y; }
+  static constexpr bool strictly_prefer(double x, double y) noexcept {
+    return x < y;
+  }
+  static constexpr bool equivalent(double x, double y) noexcept {
+    return x == y;
+  }
+  static constexpr double choose(double x, double y) noexcept {
+    return x <= y ? x : y;
+  }
+};
+
+/// ([0,inf], min, max, inf, 0, <=): parallel time; operations identical to
+/// MinSkillDomain (dispatch canonicalizes the two).
+struct MinTimeParDomain : MinSkillDomain {
+  static constexpr SemiringKind kKind = SemiringKind::MinTimePar;
+};
+
+/// ([0,1], max, *, 0, 1, >=): success probability; higher is better.
+struct ProbabilityDomain {
+  static constexpr SemiringKind kKind = SemiringKind::Probability;
+  static constexpr bool kMonotoneCombine = true;
+  static constexpr double one() noexcept { return 1.0; }
+  static constexpr double zero() noexcept { return 0.0; }
+  static constexpr double combine(double x, double y) noexcept { return x * y; }
+  static constexpr bool prefer(double x, double y) noexcept { return x >= y; }
+  static constexpr bool strictly_prefer(double x, double y) noexcept {
+    return x > y;
+  }
+  static constexpr bool equivalent(double x, double y) noexcept {
+    return x == y;
+  }
+  static constexpr double choose(double x, double y) noexcept {
+    return x >= y ? x : y;
+  }
+};
+
+/// Pointer-sized adapter that presents a runtime Semiring through the
+/// domain-policy interface; the dispatch fallback for custom domains. The
+/// referenced Semiring must outlive the adapter.
+class DynamicDomain {
+ public:
+  explicit DynamicDomain(const Semiring& semiring) noexcept
+      : semiring_(&semiring) {}
+
+  [[nodiscard]] double one() const noexcept { return semiring_->one(); }
+  [[nodiscard]] double zero() const noexcept { return semiring_->zero(); }
+  [[nodiscard]] double combine(double x, double y) const {
+    return semiring_->combine(x, y);
+  }
+  [[nodiscard]] bool prefer(double x, double y) const {
+    return semiring_->prefer(x, y);
+  }
+  [[nodiscard]] bool strictly_prefer(double x, double y) const {
+    return semiring_->strictly_prefer(x, y);
+  }
+  [[nodiscard]] bool equivalent(double x, double y) const {
+    return semiring_->equivalent(x, y);
+  }
+  [[nodiscard]] double choose(double x, double y) const {
+    return semiring_->choose(x, y);
+  }
+
+  [[nodiscard]] const Semiring& semiring() const noexcept {
+    return *semiring_;
+  }
+
+ private:
+  const Semiring* semiring_;
+};
+
+/// Single-domain dispatch: invokes \p f with the policy matching \p s
+/// (DynamicDomain for custom kinds). For kernels that depend on only one
+/// domain - e.g. the Naive enumeration, which is generic in the attacker
+/// domain alone - this avoids instantiating per pair.
+template <typename F>
+decltype(auto) dispatch_domain(const Semiring& s, F&& f) {
+  switch (s.kind()) {
+    case SemiringKind::MinCost:
+    case SemiringKind::MinTimeSeq:
+      return f(MinCostDomain{});
+    case SemiringKind::MinTimePar:
+    case SemiringKind::MinSkill:
+      return f(MinSkillDomain{});
+    case SemiringKind::Probability:
+      return f(ProbabilityDomain{});
+    case SemiringKind::Custom:
+      break;
+  }
+  return f(DynamicDomain(s));
+}
+
+/// Double dispatch over the (defender, attacker) domain pair: invokes \p f
+/// with static policy structs when both Semirings are built-in kinds, and
+/// with DynamicDomain adapters when either is custom. \p f must be callable
+/// for every policy pair (a generic lambda) and return the same type for
+/// all of them.
+template <typename F>
+decltype(auto) dispatch_domains(const Semiring& dd, const Semiring& da,
+                                F&& f) {
+  if (dd.kind() == SemiringKind::Custom || da.kind() == SemiringKind::Custom) {
+    return f(DynamicDomain(dd), DynamicDomain(da));
+  }
+  return dispatch_domain(dd, [&](const auto& pd) {
+    return dispatch_domain(da, [&](const auto& pa) { return f(pd, pa); });
+  });
+}
+
+}  // namespace adtp

@@ -1,20 +1,26 @@
 #include "core/hybrid.hpp"
 
-#include <functional>
-
 #include "adt/modules.hpp"
 #include "adt/transform.hpp"
 #include "core/bottom_up.hpp"
+#include "core/domains.hpp"
 
 namespace adtp {
 
 namespace {
 
+/// The per-domain-pair hybrid walker; instantiated by dispatch_domains()
+/// so tree-style combines run on the static policies (blobs delegate to
+/// bdd_bu_front, which dispatches on the sub-AADT itself).
+template <typename Dd, typename Da>
 struct HybridState {
   const AugmentedAdt& aadt;
   const HybridOptions& options;
-  ModuleInfo modules;
-  HybridReport report;
+  const ModuleInfo& modules;
+  const Dd& dd;
+  const Da& da;
+  HybridReport& report;
+  FrontArena<ValuePoint> arena;
 
   /// True iff gate \p v can be combined tree-style: every child is a
   /// single-parent module and the children's descendant sets are pairwise
@@ -40,8 +46,6 @@ struct HybridState {
 
   Front leaf_front(NodeId v) {
     const Adt& adt = aadt.adt();
-    const Semiring& dd = aadt.defender_domain();
-    const Semiring& da = aadt.attacker_domain();
     if (adt.agent(v) == Agent::Attacker) {
       return Front::singleton(
           ValuePoint{dd.one(), aadt.attack_value(adt.attack_index(v))});
@@ -66,13 +70,12 @@ struct HybridState {
     if (adt.type(v) == GateType::BasicStep) return leaf_front(v);
     if (!children_are_independent(v)) return blob_front(v);
 
-    const Semiring& dd = aadt.defender_domain();
-    const Semiring& da = aadt.attacker_domain();
     const AttackOp op = attack_op(adt.type(v), adt.agent(v));
     const auto& children = adt.children(v);
     Front acc = front(children[0]);
     for (std::size_t i = 1; i < children.size(); ++i) {
-      acc = combine_fronts(acc, front(children[i]), op, dd, da);
+      const Front child = front(children[i]);
+      arena.combine_into(acc, child, op, dd, da);
     }
     ++report.tree_combines;
     return acc;
@@ -87,9 +90,15 @@ Front hybrid_front(const AugmentedAdt& aadt, const HybridOptions& options) {
 
 HybridReport hybrid_analyze(const AugmentedAdt& aadt,
                             const HybridOptions& options) {
-  HybridState state{aadt, options, compute_modules(aadt.adt()), {}};
-  state.report.front = state.front(aadt.adt().root());
-  return std::move(state.report);
+  const ModuleInfo modules = compute_modules(aadt.adt());
+  HybridReport report;
+  report.front = dispatch_domains(
+      aadt.defender_domain(), aadt.attacker_domain(),
+      [&](const auto& dd, const auto& da) {
+        HybridState state{aadt, options, modules, dd, da, report, {}};
+        return state.front(aadt.adt().root());
+      });
+  return report;
 }
 
 }  // namespace adtp

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "core/domains.hpp"
 #include "util/error.hpp"
 
 namespace adtp {
@@ -85,13 +86,13 @@ void check_limits(const AugmentedAdt& aadt, const NaiveOptions& options) {
   }
 }
 
-}  // namespace
-
-std::vector<FeasibleEvent> enumerate_feasible_events(
-    const AugmentedAdt& aadt, const NaiveOptions& options) {
-  check_limits(aadt, options);
+/// The per-attacker-domain kernel of Algorithm 2's enumeration: the subset
+/// DP and the 2^|A| response scans run with inlined combine/prefer.
+template <typename Da>
+std::vector<FeasibleEvent> enumerate_kernel(const AugmentedAdt& aadt,
+                                            const NaiveOptions& options,
+                                            const Da& da) {
   const Adt& adt = aadt.adt();
-  const Semiring& da = aadt.attacker_domain();
   const std::size_t num_d = adt.num_defenses();
   const std::size_t num_a = adt.num_attacks();
   const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
@@ -165,7 +166,22 @@ std::vector<FeasibleEvent> enumerate_feasible_events(
   return events;
 }
 
+}  // namespace
+
+std::vector<FeasibleEvent> enumerate_feasible_events(
+    const AugmentedAdt& aadt, const NaiveOptions& options) {
+  check_limits(aadt, options);
+  // The enumeration depends on the attacker domain only; single-domain
+  // dispatch avoids instantiating it per (defender, attacker) pair.
+  return dispatch_domain(aadt.attacker_domain(), [&](const auto& da) {
+    return enumerate_kernel(aadt, options, da);
+  });
+}
+
 Front naive_front(const AugmentedAdt& aadt, const NaiveOptions& options) {
+  // The enumeration is the exponential part; instantiate it per attacker
+  // domain only. The final minimize over 2^|D| events is comparatively
+  // cheap, so the runtime Semirings suffice there.
   const auto events = enumerate_feasible_events(aadt, options);
   std::vector<ValuePoint> points;
   points.reserve(events.size());

@@ -13,14 +13,29 @@
 /// two metric values, WitnessPoint additionally carries a witness event
 /// (which defense/attack sets realize the point), supporting strategy
 /// extraction.
+///
+/// All operations are additionally generic over the *domain policies*
+/// (domains.hpp): any type exposing combine/prefer/strictly_prefer/
+/// equivalent/choose/one/zero over doubles works, which includes both the
+/// static per-kind structs and the runtime Semiring itself. The analysis
+/// algorithms instantiate the static policies via dispatch_domains() so
+/// the per-merge hot loops are branch-free.
+///
+/// FrontArena supports the accumulate-combine pattern of the algorithms:
+/// it recycles the cross-product and output buffers across the thousands
+/// of merges of a single analysis instead of allocating per merge, and it
+/// skips the full re-sort whenever the product of two staircases is
+/// already ordered (either operand a singleton - the common leaf case).
 
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "core/domains.hpp"
 #include "core/semiring.hpp"
 #include "util/bitvec.hpp"
 #include "util/error.hpp"
@@ -43,9 +58,9 @@ struct WitnessPoint {
 };
 
 /// True iff \p p dominates \p q per Definition 9 (non-strict).
-template <typename P>
-[[nodiscard]] bool dominates(const P& p, const P& q, const Semiring& dd,
-                             const Semiring& da) {
+template <typename P, typename Dd, typename Da>
+[[nodiscard]] bool dominates(const P& p, const P& q, const Dd& dd,
+                             const Da& da) {
   return dd.prefer(p.def, q.def) && da.prefer(q.att, p.att);
 }
 
@@ -57,74 +72,100 @@ enum class AttackOp : std::uint8_t { Combine, Choose };
   return op == AttackOp::Combine ? "tensor_A" : "oplus_A";
 }
 
-/// A Pareto front over payload type \p P (ValuePoint or WitnessPoint).
-template <typename P>
-class BasicFront {
- public:
-  BasicFront() = default;
-
-  /// Builds the Pareto-minimal front of arbitrary \p points.
-  static BasicFront minimized(std::vector<P> points, const Semiring& dd,
-                              const Semiring& da);
-
-  /// A front with a single point.
-  static BasicFront singleton(P point);
-
-  [[nodiscard]] const std::vector<P>& points() const noexcept {
-    return points_;
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
-  [[nodiscard]] const P& front_point() const { return points_.at(0); }
-
-  /// The union of two fronts, re-minimized.
-  [[nodiscard]] BasicFront merged_with(const BasicFront& other,
-                                       const Semiring& dd,
-                                       const Semiring& da) const;
-
-  /// True iff both fronts contain equivalent value pairs in order
-  /// (witnesses are ignored).
-  [[nodiscard]] bool same_values(const BasicFront& other, const Semiring& dd,
-                                 const Semiring& da) const;
-
-  /// As same_values(), but tolerating relative floating-point error up to
-  /// \p rel_tol; needed when algorithms combine the same values in
-  /// different orders (double arithmetic is only associative up to ULPs).
-  [[nodiscard]] bool approx_same_values(const BasicFront& other,
-                                        double rel_tol = 1e-9) const;
-
-  /// Renders as "{(d1, a1), (d2, a2), ...}".
-  [[nodiscard]] std::string to_string() const;
-
- private:
-  std::vector<P> points_;
-};
-
-using Front = BasicFront<ValuePoint>;
-using WitnessFront = BasicFront<WitnessPoint>;
-
-/// Combines two child fronts per the Bottom-Up step (Alg. 1 lines 7-8):
-/// the defender coordinate always uses tensor_D; the attacker coordinate
-/// uses tensor_A or oplus_A per \p op (Table II); the result is
-/// re-minimized (sound by Lemma 2). Witness payloads are maintained:
-/// defense witnesses union; attack witnesses union under Combine and adopt
-/// the chosen side under Choose.
-template <typename P>
-[[nodiscard]] BasicFront<P> combine_fronts(const BasicFront<P>& lhs,
-                                           const BasicFront<P>& rhs,
-                                           AttackOp op, const Semiring& dd,
-                                           const Semiring& da);
-
-/// Reference O(n^2) Pareto minimization used by tests to validate the
-/// staircase implementation.
-template <typename P>
-[[nodiscard]] std::vector<P> pareto_min_bruteforce(const std::vector<P>& pts,
-                                                   const Semiring& dd,
-                                                   const Semiring& da);
-
-// ---- implementation ------------------------------------------------------
+// ---- staircase primitives ------------------------------------------------
 
 namespace detail {
+
+/// True iff the domain policy declares its combine monotone w.r.t. its
+/// prefer (domains.hpp's kMonotoneCombine). DynamicDomain and the runtime
+/// Semiring carry no marker, so custom domains never enable the
+/// sort-skipping fast paths even when their (unchecked) axioms would
+/// permit it.
+template <typename D, typename = void>
+struct is_monotone_domain : std::false_type {};
+template <typename D>
+struct is_monotone_domain<D, std::void_t<decltype(D::kMonotoneCombine)>>
+    : std::bool_constant<D::kMonotoneCombine> {};
+
+/// Strict weak order of the staircase: best defender value first; ties put
+/// the most attacker-adverse response first (so a single forward sweep
+/// keeps exactly the Pareto-minimal points).
+template <typename Dd, typename Da>
+struct FrontLess {
+  const Dd& dd;
+  const Da& da;
+
+  template <typename P>
+  bool operator()(const P& a, const P& b) const {
+    if (!dd.equivalent(a.def, b.def)) return dd.strictly_prefer(a.def, b.def);
+    if (!da.equivalent(a.att, b.att)) return da.strictly_prefer(b.att, a.att);
+    return false;
+  }
+};
+
+/// Appends \p p to the staircase \p out, preserving Pareto-minimality.
+/// Precondition: points arrive with non-strictly worsening defender values
+/// (any attacker tie order). Keeps p iff it is strictly more adverse than
+/// the last kept point; when p matches the last point's defender value and
+/// is strictly more adverse, it *dominates* the last point and replaces it.
+template <typename P, typename Dd, typename Da>
+void staircase_push(std::vector<P>& out, P&& p, const Dd& dd, const Da& da) {
+  if (!out.empty()) {
+    P& last = out.back();
+    if (!da.strictly_prefer(last.att, p.att)) return;  // last dominates p
+    if (dd.equivalent(last.def, p.def)) {              // p dominates last
+      last = std::move(p);
+      return;
+    }
+  }
+  out.push_back(std::move(p));
+}
+
+/// Sorts \p points and compacts them to the Pareto-minimal staircase
+/// without allocating.
+template <typename P, typename Dd, typename Da>
+void pareto_minimize_in_place(std::vector<P>& points, const Dd& dd,
+                              const Da& da) {
+  std::sort(points.begin(), points.end(), FrontLess<Dd, Da>{dd, da});
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (kept != 0) {
+      P& last = points[kept - 1];
+      if (!da.strictly_prefer(last.att, points[i].att)) continue;
+      if (dd.equivalent(last.def, points[i].def)) {
+        last = std::move(points[i]);
+        continue;
+      }
+    }
+    if (kept != i) points[kept] = std::move(points[i]);
+    ++kept;
+  }
+  points.resize(kept);
+}
+
+/// Merges two already-minimized staircases into \p out (cleared first) in
+/// O(|a| + |b|) - the sorted-merge fast path that replaces concatenate +
+/// sort + sweep for front unions.
+template <typename P, typename Dd, typename Da>
+void pareto_merge_staircases(const std::vector<P>& a, const std::vector<P>& b,
+                             std::vector<P>& out, const Dd& dd, const Da& da) {
+  out.clear();
+  out.reserve(a.size() + b.size());
+  const FrontLess<Dd, Da> less{dd, da};
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (less(b[j], a[i])) {
+      staircase_push(out, P(b[j]), dd, da);
+      ++j;
+    } else {
+      staircase_push(out, P(a[i]), dd, da);
+      ++i;
+    }
+  }
+  for (; i < a.size(); ++i) staircase_push(out, P(a[i]), dd, da);
+  for (; j < b.size(); ++j) staircase_push(out, P(b[j]), dd, da);
+}
 
 // Payload hooks: value-only points have no extra state.
 inline void merge_defense_witness(ValuePoint&, const ValuePoint&) {}
@@ -144,115 +185,240 @@ inline void adopt_attack_witness(WitnessPoint& into,
   into.attack = from.attack;
 }
 
-}  // namespace detail
-
-template <typename P>
-BasicFront<P> BasicFront<P>::minimized(std::vector<P> points,
-                                       const Semiring& dd,
-                                       const Semiring& da) {
-  // Staircase sweep: sort by defender value (best first; ties put the most
-  // attacker-adverse response first), then keep a point iff its response
-  // is strictly more adverse than everything already kept.
-  std::sort(points.begin(), points.end(), [&](const P& a, const P& b) {
-    if (!dd.equivalent(a.def, b.def)) return dd.strictly_prefer(a.def, b.def);
-    if (!da.equivalent(a.att, b.att)) return da.strictly_prefer(b.att, a.att);
-    return false;
-  });
-  BasicFront out;
-  bool have = false;
-  double most_adverse = 0;
-  for (P& p : points) {
-    if (!have || da.strictly_prefer(most_adverse, p.att)) {
-      most_adverse = p.att;
-      have = true;
-      out.points_.push_back(std::move(p));
-    }
-  }
-  return out;
-}
-
-template <typename P>
-BasicFront<P> BasicFront<P>::singleton(P point) {
-  BasicFront out;
-  out.points_.push_back(std::move(point));
-  return out;
-}
-
-template <typename P>
-BasicFront<P> BasicFront<P>::merged_with(const BasicFront& other,
-                                         const Semiring& dd,
-                                         const Semiring& da) const {
-  std::vector<P> all = points_;
-  all.insert(all.end(), other.points_.begin(), other.points_.end());
-  return minimized(std::move(all), dd, da);
-}
-
-template <typename P>
-bool BasicFront<P>::same_values(const BasicFront& other, const Semiring& dd,
-                                const Semiring& da) const {
-  if (points_.size() != other.points_.size()) return false;
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (!dd.equivalent(points_[i].def, other.points_[i].def)) return false;
-    if (!da.equivalent(points_[i].att, other.points_[i].att)) return false;
-  }
-  return true;
-}
-
-template <typename P>
-bool BasicFront<P>::approx_same_values(const BasicFront& other,
-                                       double rel_tol) const {
-  if (points_.size() != other.points_.size()) return false;
-  auto close = [rel_tol](double x, double y) {
-    if (x == y) return true;  // covers equal infinities
-    const double scale = std::max({1.0, std::abs(x), std::abs(y)});
-    return std::abs(x - y) <= rel_tol * scale;
-  };
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (!close(points_[i].def, other.points_[i].def)) return false;
-    if (!close(points_[i].att, other.points_[i].att)) return false;
-  }
-  return true;
-}
-
-template <typename P>
-std::string BasicFront<P>::to_string() const {
-  std::string out = "{";
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    if (i != 0) out += ", ";
-    out += "(" + format_value(points_[i].def) + ", " +
-           format_value(points_[i].att) + ")";
-  }
-  out += "}";
-  return out;
-}
-
-template <typename P>
-BasicFront<P> combine_fronts(const BasicFront<P>& lhs, const BasicFront<P>& rhs,
-                             AttackOp op, const Semiring& dd,
-                             const Semiring& da) {
-  std::vector<P> out;
+/// Fills \p out with the pairwise (tensor_D, op_A) products of the two
+/// fronts' points, in lhs-major order.
+template <typename P, typename Dd, typename Da>
+void product_points(const std::vector<P>& lhs, const std::vector<P>& rhs,
+                    AttackOp op, const Dd& dd, const Da& da,
+                    std::vector<P>& out) {
+  out.clear();
   out.reserve(lhs.size() * rhs.size());
-  for (const P& p : lhs.points()) {
-    for (const P& q : rhs.points()) {
+  for (const P& p : lhs) {
+    for (const P& q : rhs) {
       P r = p;
       r.def = dd.combine(p.def, q.def);
-      detail::merge_defense_witness(r, q);
+      merge_defense_witness(r, q);
       if (op == AttackOp::Combine) {
         r.att = da.combine(p.att, q.att);
-        detail::merge_attack_witness(r, q);
+        merge_attack_witness(r, q);
       } else if (da.strictly_prefer(q.att, p.att)) {
         r.att = q.att;
-        detail::adopt_attack_witness(r, q);
+        adopt_attack_witness(r, q);
       }
       out.push_back(std::move(r));
     }
   }
-  return BasicFront<P>::minimized(std::move(out), dd, da);
 }
 
+}  // namespace detail
+
+// ---- fronts --------------------------------------------------------------
+
+/// A Pareto front over payload type \p P (ValuePoint or WitnessPoint).
 template <typename P>
-std::vector<P> pareto_min_bruteforce(const std::vector<P>& pts,
-                                     const Semiring& dd, const Semiring& da) {
+class BasicFront {
+ public:
+  BasicFront() = default;
+
+  /// Builds the Pareto-minimal front of arbitrary \p points.
+  template <typename Dd, typename Da>
+  static BasicFront minimized(std::vector<P> points, const Dd& dd,
+                              const Da& da) {
+    detail::pareto_minimize_in_place(points, dd, da);
+    return from_staircase(std::move(points));
+  }
+
+  /// A front with a single point.
+  static BasicFront singleton(P point) {
+    BasicFront out;
+    out.points_.push_back(std::move(point));
+    return out;
+  }
+
+  /// Adopts \p points that are already a Pareto-minimal staircase (e.g.
+  /// produced by the detail:: staircase primitives). No validation is
+  /// performed; passing unsorted or dominated points breaks the front
+  /// invariant silently.
+  static BasicFront from_staircase(std::vector<P> points) {
+    BasicFront out;
+    out.points_ = std::move(points);
+    return out;
+  }
+
+  /// Moves the point storage out (for capacity recycling by FrontArena),
+  /// leaving this front empty.
+  [[nodiscard]] std::vector<P> take_points() {
+    std::vector<P> out = std::move(points_);
+    points_.clear();
+    return out;
+  }
+
+  [[nodiscard]] const std::vector<P>& points() const noexcept {
+    return points_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const P& front_point() const { return points_.at(0); }
+
+  /// The union of two fronts, re-minimized (O(n + m) staircase merge).
+  /// Precondition: both fronts are staircases under the *same* \p dd /
+  /// \p da passed here - which every front built by this API with those
+  /// domains is. Passing a different domain pair than the fronts were
+  /// minimized under breaks the merge's sortedness assumption.
+  template <typename Dd, typename Da>
+  [[nodiscard]] BasicFront merged_with(const BasicFront& other, const Dd& dd,
+                                       const Da& da) const {
+    std::vector<P> merged;
+    detail::pareto_merge_staircases(points_, other.points_, merged, dd, da);
+    return from_staircase(std::move(merged));
+  }
+
+  /// True iff both fronts contain equivalent value pairs in order
+  /// (witnesses are ignored).
+  template <typename Dd, typename Da>
+  [[nodiscard]] bool same_values(const BasicFront& other, const Dd& dd,
+                                 const Da& da) const {
+    if (points_.size() != other.points_.size()) return false;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (!dd.equivalent(points_[i].def, other.points_[i].def)) return false;
+      if (!da.equivalent(points_[i].att, other.points_[i].att)) return false;
+    }
+    return true;
+  }
+
+  /// As same_values(), but tolerating relative floating-point error up to
+  /// \p rel_tol; needed when algorithms combine the same values in
+  /// different orders (double arithmetic is only associative up to ULPs).
+  [[nodiscard]] bool approx_same_values(const BasicFront& other,
+                                        double rel_tol = 1e-9) const {
+    if (points_.size() != other.points_.size()) return false;
+    auto close = [rel_tol](double x, double y) {
+      if (x == y) return true;  // covers equal infinities
+      const double scale = std::max({1.0, std::abs(x), std::abs(y)});
+      return std::abs(x - y) <= rel_tol * scale;
+    };
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (!close(points_[i].def, other.points_[i].def)) return false;
+      if (!close(points_[i].att, other.points_[i].att)) return false;
+    }
+    return true;
+  }
+
+  /// Renders as "{(d1, a1), (d2, a2), ...}".
+  [[nodiscard]] std::string to_string() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += "(" + format_value(points_[i].def) + ", " +
+             format_value(points_[i].att) + ")";
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<P> points_;
+};
+
+using Front = BasicFront<ValuePoint>;
+using WitnessFront = BasicFront<WitnessPoint>;
+
+/// Combines two child fronts per the Bottom-Up step (Alg. 1 lines 7-8):
+/// the defender coordinate always uses tensor_D; the attacker coordinate
+/// uses tensor_A or oplus_A per \p op (Table II); the result is
+/// re-minimized (sound by Lemma 2). Witness payloads are maintained:
+/// defense witnesses union; attack witnesses union under Combine and adopt
+/// the chosen side under Choose.
+template <typename P, typename Dd, typename Da>
+[[nodiscard]] BasicFront<P> combine_fronts(const BasicFront<P>& lhs,
+                                           const BasicFront<P>& rhs,
+                                           AttackOp op, const Dd& dd,
+                                           const Da& da) {
+  std::vector<P> out;
+  detail::product_points(lhs.points(), rhs.points(), op, dd, da, out);
+  detail::pareto_minimize_in_place(out, dd, da);
+  return BasicFront<P>::from_staircase(std::move(out));
+}
+
+/// Reusable scratch space for the combine-heavy inner loops of the
+/// analysis algorithms. One arena serves one analysis run (it is not
+/// thread-safe); every combine reuses the arena's cross-product and output
+/// buffers instead of allocating, and the accumulator's old storage is
+/// recycled as the next output buffer.
+template <typename P>
+class FrontArena {
+ public:
+  /// Replaces \p acc with combine_fronts(acc, rhs, op, dd, da).
+  ///
+  /// Fast path: when either operand is a singleton, the cross product of
+  /// the two staircases is already sorted (tensor_D and the Table II
+  /// attacker ops are monotone w.r.t. prefer), so the re-sort is skipped
+  /// and only the linear dominance sweep runs. Taken only for domains
+  /// that declare kMonotoneCombine (the static built-ins); under Choose
+  /// the attacker coordinate uses prefer alone, so only the defender
+  /// combine must be monotone.
+  template <typename Dd, typename Da>
+  void combine_into(BasicFront<P>& acc, const BasicFront<P>& rhs, AttackOp op,
+                    const Dd& dd, const Da& da) {
+    detail::product_points(acc.points(), rhs.points(), op, dd, da, scratch_);
+    const bool rows_sorted =
+        detail::is_monotone_domain<Dd>::value &&
+        (op == AttackOp::Choose || detail::is_monotone_domain<Da>::value) &&
+        (acc.size() == 1 || rhs.size() == 1);
+    if (!rows_sorted) {
+      std::sort(scratch_.begin(), scratch_.end(),
+                detail::FrontLess<Dd, Da>{dd, da});
+    }
+    spare_.clear();
+    // No reserve to the cross-product size: the output buffer is adopted
+    // by acc and can outlive the arena (e.g. stored as a per-node front),
+    // so its capacity must stay proportional to the *kept* points.
+    for (P& p : scratch_) detail::staircase_push(spare_, std::move(p), dd, da);
+    std::vector<P> recycled = acc.take_points();
+    acc = BasicFront<P>::from_staircase(std::move(spare_));
+    spare_ = std::move(recycled);
+  }
+
+  /// Builds the minimized union of \p base with transform(q) for every
+  /// point q of \p other, where \p transform shifts the defender
+  /// coordinate via tensor_D (Algorithm 3's defense-variable step). For
+  /// domains marked kMonotoneCombine the shift is order-preserving, so
+  /// the union is a merge of two staircases and needs no sort; unmarked
+  /// domains (DynamicDomain, runtime Semiring) take the sorting path so
+  /// the result is a valid staircase even if a custom combine quietly
+  /// violates the monotonicity axiom.
+  template <typename Dd, typename Da, typename Transform>
+  [[nodiscard]] BasicFront<P> merged_transformed(const BasicFront<P>& base,
+                                                 const BasicFront<P>& other,
+                                                 Transform&& transform,
+                                                 const Dd& dd, const Da& da) {
+    scratch_.clear();
+    scratch_.reserve(other.size());
+    for (const P& q : other.points()) scratch_.push_back(transform(q));
+    std::vector<P> merged;
+    if constexpr (detail::is_monotone_domain<Dd>::value) {
+      detail::pareto_merge_staircases(base.points(), scratch_, merged, dd,
+                                      da);
+    } else {
+      merged.reserve(base.size() + scratch_.size());
+      merged.insert(merged.end(), base.points().begin(), base.points().end());
+      merged.insert(merged.end(), scratch_.begin(), scratch_.end());
+      detail::pareto_minimize_in_place(merged, dd, da);
+    }
+    return BasicFront<P>::from_staircase(std::move(merged));
+  }
+
+ private:
+  std::vector<P> scratch_;  ///< cross-product / transform buffer
+  std::vector<P> spare_;    ///< recycled output buffer
+};
+
+/// Reference O(n^2) Pareto minimization used by tests to validate the
+/// staircase implementation.
+template <typename P, typename Dd, typename Da>
+[[nodiscard]] std::vector<P> pareto_min_bruteforce(const std::vector<P>& pts,
+                                                   const Dd& dd,
+                                                   const Da& da) {
   std::vector<P> kept;
   for (std::size_t i = 0; i < pts.size(); ++i) {
     bool dominated = false;

@@ -95,8 +95,8 @@ Semiring Semiring::custom(std::string name, double one, double zero,
     throw ModelError("Semiring::custom: combine and prefer are required");
   }
   Semiring s(SemiringKind::Custom, std::move(name), one, zero);
-  s.custom_combine_ = std::move(combine);
-  s.custom_prefer_ = std::move(prefer);
+  s.custom_ = std::make_shared<const CustomOps>(
+      CustomOps{std::move(combine), std::move(prefer)});
   return s;
 }
 
@@ -111,7 +111,7 @@ double Semiring::combine(double x, double y) const {
     case SemiringKind::Probability:
       return x * y;
     case SemiringKind::Custom:
-      return custom_combine_(x, y);
+      return custom_->combine(x, y);
   }
   return zero_;
 }
@@ -126,7 +126,7 @@ bool Semiring::prefer(double x, double y) const {
     case SemiringKind::Probability:
       return x >= y;
     case SemiringKind::Custom:
-      return custom_prefer_(x, y);
+      return custom_->prefer(x, y);
   }
   return false;
 }

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -52,10 +53,21 @@ enum class SemiringKind : std::uint8_t {
 ///
 /// The five Table I domains are value types constructed from a
 /// SemiringKind; bespoke metrics are built with Semiring::custom(). The
-/// class is cheap to copy and all operations are branch-on-kind inline
-/// calls, so it is suitable for the hot loops of the analysis algorithms.
+/// custom hooks live behind a single shared_ptr, so copying a Semiring -
+/// built-in or custom - never copies std::function state; built-in copies
+/// are a kind tag, a name, two doubles and a null pointer.
+///
+/// Semiring is the public façade and the Custom fallback; the analysis
+/// hot loops run on the static policy structs of domains.hpp, selected by
+/// dispatch_domains().
 class Semiring {
  public:
+  /// The user hooks of a Custom domain (immutable once built; shared by
+  /// all copies of the Semiring).
+  struct CustomOps {
+    std::function<double(double, double)> combine;
+    std::function<bool(double, double)> prefer;
+  };
   /// Constructs one of the built-in Table I domains.
   explicit Semiring(SemiringKind kind);
 
@@ -69,6 +81,9 @@ class Semiring {
   /// Builds a custom domain. \p combine must be commutative, associative,
   /// monotone w.r.t. \p prefer, with unit \p one; \p zero must be maximal
   /// and \p one minimal w.r.t. \p prefer. check_axioms() can probe this.
+  /// The hooks are shared (not copied) by all copies of the Semiring, so
+  /// they must be stateless or thread-safe: analyze_batch() may invoke
+  /// them concurrently from several worker threads.
   static Semiring custom(std::string name, double one, double zero,
                          std::function<double(double, double)> combine,
                          std::function<bool(double, double)> prefer);
@@ -140,8 +155,7 @@ class Semiring {
   std::string name_;
   double one_;
   double zero_;
-  std::function<double(double, double)> custom_combine_;
-  std::function<bool(double, double)> custom_prefer_;
+  std::shared_ptr<const CustomOps> custom_;  ///< null for built-in kinds
 };
 
 }  // namespace adtp

@@ -1,0 +1,138 @@
+/// analyze_batch() is a pure orchestration layer: whatever the thread
+/// count, every item must carry exactly the result of a sequential
+/// analyze() call on that model, and one model failing (resource guard,
+/// null pointer) must not disturb its neighbours.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/batch.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+namespace {
+
+std::vector<AugmentedAdt> random_fleet(std::size_t count,
+                                       double share_probability,
+                                       std::uint64_t seed) {
+  std::vector<AugmentedAdt> fleet;
+  fleet.reserve(count);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    RandomAdtOptions options;
+    options.target_nodes = 40;
+    options.share_probability = share_probability;
+    options.max_defenses = 10;
+    fleet.push_back(generate_random_aadt(options, rng(), Semiring::min_cost(),
+                                         Semiring::min_cost()));
+  }
+  return fleet;
+}
+
+TEST(Batch, MatchesSequentialAnalyzePerTree) {
+  const auto fleet = random_fleet(12, 0.2, 3);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    const BatchReport report = analyze_batch(fleet, {}, threads);
+    ASSERT_EQ(report.items.size(), fleet.size());
+    EXPECT_EQ(report.failures, 0u);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      const BatchItem& item = report.items[i];
+      EXPECT_EQ(item.index, i);
+      ASSERT_TRUE(item.ok) << item.error;
+      const AnalysisResult sequential = analyze(fleet[i]);
+      EXPECT_EQ(item.result.used, sequential.used);
+      // Same algorithm on the same model: the fronts are byte-equal, not
+      // merely approximately equal.
+      EXPECT_TRUE(item.result.front.same_values(
+          sequential.front, fleet[i].defender_domain(),
+          fleet[i].attacker_domain()))
+          << "item " << i << ": " << item.result.front.to_string() << " vs "
+          << sequential.front.to_string();
+    }
+  }
+}
+
+TEST(Batch, ThreadCountDoesNotChangeResults) {
+  const auto fleet = random_fleet(8, 0.3, 11);
+  const BatchReport one = analyze_batch(fleet, {}, 1);
+  const BatchReport four = analyze_batch(fleet, {}, 4);
+  ASSERT_EQ(one.items.size(), four.items.size());
+  for (std::size_t i = 0; i < one.items.size(); ++i) {
+    ASSERT_TRUE(one.items[i].ok);
+    ASSERT_TRUE(four.items[i].ok);
+    EXPECT_EQ(one.items[i].result.used, four.items[i].result.used);
+    EXPECT_EQ(one.items[i].result.front.to_string(),
+              four.items[i].result.front.to_string());
+  }
+}
+
+TEST(Batch, ErrorsAreIsolatedPerItem) {
+  // Middle item blows the naive enumeration guard; its neighbours and the
+  // batch as a whole must still succeed.
+  std::vector<AugmentedAdt> fleet;
+  fleet.push_back(catalog::fig3_example());
+  fleet.push_back(catalog::money_theft_dag());
+  fleet.push_back(catalog::fig5_example());
+
+  AnalysisOptions options;
+  options.algorithm = Algorithm::Naive;
+  // fig3 needs 5 bits (|A| = 3, |D| = 2), fig5 needs 4; money_theft needs
+  // 13 and trips the guard.
+  options.naive.max_bits = 5;
+
+  const BatchReport report = analyze_batch(fleet, options, 2);
+  ASSERT_EQ(report.items.size(), 3u);
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_TRUE(report.items[0].ok) << report.items[0].error;
+  EXPECT_FALSE(report.items[1].ok);
+  EXPECT_NE(report.items[1].error.find("enumeration guard"),
+            std::string::npos);
+  EXPECT_TRUE(report.items[2].ok) << report.items[2].error;
+  EXPECT_EQ(report.items[0].result.front.to_string(), "{(0, 10), (15, 15)}");
+  EXPECT_EQ(report.items[2].result.front.to_string(),
+            "{(0, 5), (4, 10), (12, inf)}");
+}
+
+TEST(Batch, NullModelsAreReportedNotFatal) {
+  const AugmentedAdt model = catalog::fig3_example();
+  std::vector<const AugmentedAdt*> pointers = {&model, nullptr, &model};
+  const BatchReport report = analyze_batch(
+      std::span<const AugmentedAdt* const>(pointers), {}, 3);
+  ASSERT_EQ(report.items.size(), 3u);
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_TRUE(report.items[0].ok);
+  EXPECT_FALSE(report.items[1].ok);
+  EXPECT_TRUE(report.items[2].ok);
+}
+
+TEST(Batch, EmptyBatch) {
+  const BatchReport report =
+      analyze_batch(std::span<const AugmentedAdt* const>{}, {}, 4);
+  EXPECT_TRUE(report.items.empty());
+  EXPECT_EQ(report.failures, 0u);
+}
+
+TEST(Batch, ZeroThreadsMeansHardwareConcurrency) {
+  const auto fleet = random_fleet(3, 0.0, 17);
+  const BatchReport report = analyze_batch(fleet, {}, 0);
+  EXPECT_GE(report.threads_used, 1u);
+  EXPECT_LE(report.threads_used, 3u);
+  EXPECT_EQ(report.failures, 0u);
+}
+
+TEST(Batch, PerItemTimingIsPopulated) {
+  const auto fleet = random_fleet(4, 0.2, 23);
+  const BatchReport report = analyze_batch(fleet, {}, 2);
+  for (const BatchItem& item : report.items) {
+    EXPECT_GE(item.seconds, 0.0);
+  }
+  EXPECT_GT(report.seconds, 0.0);
+  EXPECT_GT(report.trees_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace adtp

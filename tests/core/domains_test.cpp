@@ -1,0 +1,176 @@
+/// The static policy structs of domains.hpp must agree exactly with their
+/// runtime Semiring counterparts - they are the same Table I rows, only
+/// dispatched at compile time - and dispatch_domains() must select a
+/// policy pair whose operations match the two Semirings for every
+/// combination of built-in kinds (plus the DynamicDomain fallback).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+#include <vector>
+
+#include "core/domains.hpp"
+#include "core/semiring.hpp"
+#include "util/rng.hpp"
+
+namespace adtp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Draws a value sweep suitable for \p kind: [0, 1] for probability,
+/// [0, inf] with the identities for the rest.
+std::vector<double> sweep_values(SemiringKind kind, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> values;
+  if (kind == SemiringKind::Probability) {
+    values = {0.0, 1.0, 0.5};
+    for (int i = 0; i < 40; ++i) values.push_back(rng.uniform());
+  } else {
+    values = {0.0, kInf, 1.0};
+    for (int i = 0; i < 40; ++i) {
+      values.push_back(static_cast<double>(rng.range(0, 10000)) / 8.0);
+    }
+  }
+  return values;
+}
+
+template <typename Domain>
+void expect_agrees_with_runtime(const Domain& domain, SemiringKind kind) {
+  const Semiring semiring(kind);
+  EXPECT_EQ(Domain::kKind, kind);
+  EXPECT_EQ(domain.one(), semiring.one());
+  EXPECT_EQ(domain.zero(), semiring.zero());
+
+  const auto values = sweep_values(kind, 7 + static_cast<std::uint64_t>(kind));
+  for (double x : values) {
+    for (double y : values) {
+      EXPECT_EQ(domain.combine(x, y), semiring.combine(x, y))
+          << to_string(kind) << " combine(" << x << ", " << y << ")";
+      EXPECT_EQ(domain.prefer(x, y), semiring.prefer(x, y))
+          << to_string(kind) << " prefer(" << x << ", " << y << ")";
+      EXPECT_EQ(domain.strictly_prefer(x, y), semiring.strictly_prefer(x, y))
+          << to_string(kind) << " strictly_prefer(" << x << ", " << y << ")";
+      EXPECT_EQ(domain.equivalent(x, y), semiring.equivalent(x, y))
+          << to_string(kind) << " equivalent(" << x << ", " << y << ")";
+      EXPECT_EQ(domain.choose(x, y), semiring.choose(x, y))
+          << to_string(kind) << " choose(" << x << ", " << y << ")";
+    }
+  }
+}
+
+TEST(Domains, MinCostAgreesWithRuntime) {
+  expect_agrees_with_runtime(MinCostDomain{}, SemiringKind::MinCost);
+}
+
+TEST(Domains, MinTimeSeqAgreesWithRuntime) {
+  expect_agrees_with_runtime(MinTimeSeqDomain{}, SemiringKind::MinTimeSeq);
+}
+
+TEST(Domains, MinTimeParAgreesWithRuntime) {
+  expect_agrees_with_runtime(MinTimeParDomain{}, SemiringKind::MinTimePar);
+}
+
+TEST(Domains, MinSkillAgreesWithRuntime) {
+  expect_agrees_with_runtime(MinSkillDomain{}, SemiringKind::MinSkill);
+}
+
+TEST(Domains, ProbabilityAgreesWithRuntime) {
+  expect_agrees_with_runtime(ProbabilityDomain{}, SemiringKind::Probability);
+}
+
+TEST(Domains, DynamicDomainForwardsToSemiring) {
+  const Semiring custom = Semiring::custom(
+      "lex", 0.0, kInf, [](double x, double y) { return x + 2 * y; },
+      [](double x, double y) { return x <= y; });
+  const DynamicDomain domain(custom);
+  EXPECT_EQ(domain.one(), 0.0);
+  EXPECT_EQ(domain.zero(), kInf);
+  EXPECT_EQ(domain.combine(3, 4), 11);
+  EXPECT_TRUE(domain.prefer(1, 2));
+  EXPECT_FALSE(domain.prefer(2, 1));
+  EXPECT_TRUE(domain.strictly_prefer(1, 2));
+  EXPECT_TRUE(domain.equivalent(2, 2));
+  EXPECT_EQ(domain.choose(5, 2), 2);
+  EXPECT_EQ(&domain.semiring(), &custom);
+}
+
+/// dispatch_domains must hand every built-in pair a static policy pair
+/// whose operations coincide with the runtime Semirings on a random
+/// sweep; a custom domain on either side must fall back to DynamicDomain.
+TEST(Domains, DispatchMatchesRuntimeOnAllBuiltInPairs) {
+  const SemiringKind kinds[] = {
+      SemiringKind::MinCost, SemiringKind::MinTimeSeq,
+      SemiringKind::MinTimePar, SemiringKind::MinSkill,
+      SemiringKind::Probability};
+  for (SemiringKind dk : kinds) {
+    for (SemiringKind ak : kinds) {
+      const Semiring dd(dk);
+      const Semiring da(ak);
+      const bool visited = dispatch_domains(
+          dd, da, [&](const auto& sdd, const auto& sda) {
+            const auto dvals = sweep_values(dk, 11);
+            for (double x : dvals) {
+              for (double y : dvals) {
+                EXPECT_EQ(sdd.combine(x, y), dd.combine(x, y))
+                    << "defender " << to_string(dk);
+                EXPECT_EQ(sdd.prefer(x, y), dd.prefer(x, y))
+                    << "defender " << to_string(dk);
+              }
+            }
+            const auto avals = sweep_values(ak, 13);
+            for (double x : avals) {
+              for (double y : avals) {
+                EXPECT_EQ(sda.combine(x, y), da.combine(x, y))
+                    << "attacker " << to_string(ak);
+                EXPECT_EQ(sda.prefer(x, y), da.prefer(x, y))
+                    << "attacker " << to_string(ak);
+              }
+            }
+            // Built-in pairs must not hit the erased fallback.
+            constexpr bool dd_dynamic =
+                std::is_same_v<std::decay_t<decltype(sdd)>, DynamicDomain>;
+            constexpr bool da_dynamic =
+                std::is_same_v<std::decay_t<decltype(sda)>, DynamicDomain>;
+            EXPECT_FALSE(dd_dynamic);
+            EXPECT_FALSE(da_dynamic);
+            return true;
+          });
+      EXPECT_TRUE(visited);
+    }
+  }
+}
+
+TEST(Domains, DispatchFallsBackToDynamicForCustom) {
+  const Semiring custom = Semiring::custom(
+      "sum", 0.0, kInf, [](double x, double y) { return x + y; },
+      [](double x, double y) { return x <= y; });
+  const Semiring cost = Semiring::min_cost();
+
+  int dynamic_sides = dispatch_domains(
+      custom, cost, [](const auto& sdd, const auto& sda) {
+        return int(std::is_same_v<std::decay_t<decltype(sdd)>, DynamicDomain>) +
+               int(std::is_same_v<std::decay_t<decltype(sda)>, DynamicDomain>);
+      });
+  EXPECT_EQ(dynamic_sides, 2);
+
+  dynamic_sides = dispatch_domains(
+      cost, custom, [](const auto& sdd, const auto& sda) {
+        return int(std::is_same_v<std::decay_t<decltype(sdd)>, DynamicDomain>) +
+               int(std::is_same_v<std::decay_t<decltype(sda)>, DynamicDomain>);
+      });
+  EXPECT_EQ(dynamic_sides, 2);
+}
+
+/// The Semiring itself satisfies the domain-policy interface, so generic
+/// front code accepts it interchangeably with the static structs.
+TEST(Domains, SemiringIsAValidPolicy) {
+  const Semiring cost = Semiring::min_cost();
+  EXPECT_EQ(cost.combine(2, 3), MinCostDomain::combine(2, 3));
+  EXPECT_EQ(cost.choose(2, 3), MinCostDomain::choose(2, 3));
+}
+
+}  // namespace
+}  // namespace adtp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "util/rng.hpp"
 
@@ -207,6 +208,194 @@ TEST(Front, NoKeptPointDominatedProperty) {
 TEST(AttackOp, Names) {
   EXPECT_STREQ(to_string(AttackOp::Combine), "tensor_A");
   EXPECT_STREQ(to_string(AttackOp::Choose), "oplus_A");
+}
+
+/// Cycles through domains with additive, collapsing (max), and
+/// reversed-order operations, so the staircase fast paths are exercised
+/// where their soundness argument is subtle: a max combine collapses
+/// distinct values into equal-def runs, and the probability order
+/// reverses the staircase direction.
+const Semiring& domain_for(int i) {
+  static const Semiring kSkill = Semiring::min_skill();
+  switch (i % 3) {
+    case 0:
+      return kCost;
+    case 1:
+      return kSkill;
+    default:
+      return kProb;
+  }
+}
+
+double random_metric(Rng& rng, const Semiring& domain) {
+  return domain.kind() == SemiringKind::Probability
+             ? static_cast<double>(rng.below(31)) / 30.0
+             : static_cast<double>(rng.below(30));
+}
+
+Front random_front(Rng& rng, std::size_t max_points, const Semiring& da) {
+  std::vector<ValuePoint> pts;
+  const std::size_t n = 1 + rng.below(max_points);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(ValuePoint{static_cast<double>(rng.below(30)),
+                             random_metric(rng, da)});
+  }
+  return Front::minimized(std::move(pts), kCost, da);
+}
+
+TEST(FrontArena, CombineIntoMatchesCombineFronts) {
+  // The arena path (buffer reuse + singleton fast path that skips the
+  // re-sort) must agree with the allocating reference on random fronts of
+  // every size mix, for both Table II attacker ops, across every
+  // (defender, attacker) mix of additive, collapsing, and reversed-order
+  // domains. Trials run through dispatch_domains so the *static* policy
+  // pairs - the ones that enable the no-sort fast path - are what is
+  // exercised.
+  Rng rng(41);
+  FrontArena<ValuePoint> arena;
+  for (int trial = 0; trial < 450; ++trial) {
+    const Semiring& dsem = domain_for(trial / 3);
+    const Semiring& asem = domain_for(trial);
+    dispatch_domains(dsem, asem, [&](const auto& dd, const auto& da) {
+      auto rand_front = [&](std::size_t max_points) {
+        std::vector<ValuePoint> pts;
+        const std::size_t n = 1 + rng.below(max_points);
+        for (std::size_t i = 0; i < n; ++i) {
+          pts.push_back(ValuePoint{random_metric(rng, dsem),
+                                   random_metric(rng, asem)});
+        }
+        return Front::minimized(std::move(pts), dd, da);
+      };
+      // Some trials force a singleton on one side (the no-sort path).
+      const Front lhs = rand_front(trial % 4 == 1 ? 1 : 8);
+      const Front rhs = rand_front(trial % 4 == 3 ? 1 : 8);
+      const AttackOp op =
+          trial % 2 == 0 ? AttackOp::Combine : AttackOp::Choose;
+
+      const Front expected = combine_fronts(lhs, rhs, op, dd, da);
+      Front acc = lhs;
+      arena.combine_into(acc, rhs, op, dd, da);
+      EXPECT_TRUE(acc.same_values(expected, dd, da))
+          << "trial " << trial << ": " << acc.to_string() << " vs "
+          << expected.to_string();
+      return 0;
+    });
+  }
+}
+
+TEST(FrontArena, CombineIntoSelfAliasIsSafe) {
+  FrontArena<ValuePoint> arena;
+  const Front base = make_front({{0, 5}, {4, 10}, {7, 20}});
+  const Front expected =
+      combine_fronts(base, base, AttackOp::Combine, kCost, kCost);
+  Front acc = base;
+  arena.combine_into(acc, acc, AttackOp::Combine, kCost, kCost);
+  EXPECT_TRUE(acc.same_values(expected, kCost, kCost));
+}
+
+TEST(FrontArena, MergedTransformedMatchesShiftAndMerge) {
+  // The sorted-merge path of Algorithm 3's defense step: shift one front's
+  // defender coordinate by a constant via tensor_D and union with the
+  // other, across every (defender, attacker) domain mix - collapsing max
+  // defenders produce equal-def runs the merge must compact, and
+  // probability defenders reverse the staircase direction.
+  Rng rng(43);
+  FrontArena<ValuePoint> arena;
+  for (int trial = 0; trial < 450; ++trial) {
+    const Semiring& dsem = domain_for(trial / 3);
+    const Semiring& asem = domain_for(trial);
+    dispatch_domains(dsem, asem, [&](const auto& dd, const auto& da) {
+      auto rand_front = [&]() {
+        std::vector<ValuePoint> pts;
+        const std::size_t n = 1 + rng.below(8);
+        for (std::size_t i = 0; i < n; ++i) {
+          pts.push_back(ValuePoint{random_metric(rng, dsem),
+                                   random_metric(rng, asem)});
+        }
+        return Front::minimized(std::move(pts), dd, da);
+      };
+      const Front low = rand_front();
+      const Front high = rand_front();
+      const double beta = random_metric(rng, dsem);
+
+      std::vector<ValuePoint> reference = low.points();
+      for (const ValuePoint& q : high.points()) {
+        reference.push_back(ValuePoint{dd.combine(beta, q.def), q.att});
+      }
+      const Front expected = Front::minimized(std::move(reference), dd, da);
+
+      const Front merged = arena.merged_transformed(
+          low, high,
+          [&](const ValuePoint& q) {
+            return ValuePoint{dd.combine(beta, q.def), q.att};
+          },
+          dd, da);
+      EXPECT_TRUE(merged.same_values(expected, dd, da))
+          << "trial " << trial << ": " << merged.to_string() << " vs "
+          << expected.to_string();
+      return 0;
+    });
+  }
+}
+
+TEST(FrontArena, MergedTransformedSortsForUnmarkedDomains) {
+  // Regression: a custom (unmarked) defender domain whose combine
+  // violates the monotonicity axiom must still get a valid staircase -
+  // the fast merge is reserved for domains marked kMonotoneCombine.
+  const Semiring weird = Semiring::custom(
+      "absdiff", 0.0, std::numeric_limits<double>::infinity(),
+      [](double x, double y) { return std::abs(x - y); },
+      [](double x, double y) { return x <= y; });
+  FrontArena<ValuePoint> arena;
+  const Front low =
+      Front::minimized({{1, 9}, {5, 12}, {9, 20}}, weird, kCost);
+  const Front high = low;
+  const double beta = 6;
+
+  std::vector<ValuePoint> reference = low.points();
+  for (const ValuePoint& q : high.points()) {
+    reference.push_back(ValuePoint{weird.combine(beta, q.def), q.att});
+  }
+  const Front expected =
+      Front::minimized(std::move(reference), weird, kCost);
+
+  const Front merged = arena.merged_transformed(
+      low, high,
+      [&](const ValuePoint& q) {
+        return ValuePoint{weird.combine(beta, q.def), q.att};
+      },
+      weird, kCost);
+  EXPECT_TRUE(merged.same_values(expected, weird, kCost))
+      << merged.to_string() << " vs " << expected.to_string();
+}
+
+TEST(Front, MergedWithMatchesMinimizedUnionRandomized) {
+  // merged_with is now an O(n+m) staircase merge; it must agree with
+  // concatenate-and-minimize on random fronts. Odd trials use the
+  // probability attacker domain, whose order (and thus the staircase
+  // direction) is reversed.
+  Rng rng(47);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Semiring& da = trial % 2 == 1 ? kProb : kCost;
+    const Front a = random_front(rng, 10, da);
+    const Front b = random_front(rng, 10, da);
+    std::vector<ValuePoint> all = a.points();
+    all.insert(all.end(), b.points().begin(), b.points().end());
+    const Front expected = Front::minimized(std::move(all), kCost, da);
+    const Front merged = a.merged_with(b, kCost, da);
+    EXPECT_TRUE(merged.same_values(expected, kCost, da))
+        << "trial " << trial << ": " << merged.to_string() << " vs "
+        << expected.to_string();
+  }
+}
+
+TEST(Front, TakePointsLeavesEmptyFront) {
+  Front front = make_front({{0, 5}, {4, 10}});
+  std::vector<ValuePoint> points = front.take_points();
+  EXPECT_EQ(points.size(), 2u);
+  EXPECT_TRUE(front.empty());
+  EXPECT_TRUE(Front::from_staircase(std::move(points))
+                  .same_values(make_front({{0, 5}, {4, 10}}), kCost, kCost));
 }
 
 }  // namespace
