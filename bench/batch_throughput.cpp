@@ -1,36 +1,125 @@
-/// Batch-analysis throughput: how many random models per second the
-/// analyzer sustains at 1, 2, 4, and 8 worker threads - the many-scenarios
-/// workload that analyze_batch() exists for. Reports trees/sec and the
-/// speedup over single-threaded for the same fleet (scaling is bounded by
-/// the machine's core count; on a single-core host all rows converge).
+/// Batch-serving throughput: how many models per second the serving layer
+/// sustains at 1, 2, 4, and 8 worker threads - the many-scenarios workload
+/// analyze_batch() exists for. For every thread count the fleet is served
+/// twice against a shared FrontCache: a cold pass (every front computed)
+/// and a warm pass (every repeated (model, attribution) pair memoized), so
+/// the table shows both the compute rate and the serving rate. The stream
+/// column is the mean completion latency of the cold pass - how long after
+/// batch start the average item became available to the on_item consumer.
+///
+/// With --json/--csv the same rows are written machine-readably (the CI
+/// bench-smoke artifact; BENCH_*.json accumulates the perf trajectory).
 ///
 /// Usage: bench_batch_throughput [--count N] [--nodes N] [--dag P]
-///                               [--seed S] [--repeats R]
+///                               [--seed S] [--repeats R] [--cache N]
+///                               [--json PATH] [--csv PATH]
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/batch.hpp"
+#include "core/front_cache.hpp"
 #include "gen/random_adt.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 using namespace adtp;
+
+namespace {
+
+struct Row {
+  unsigned threads = 0;
+  double cold_seconds = 0;
+  double warm_seconds = 0;
+  double trees_per_second = 0;  ///< cold pass, completed models only
+  double items_per_second = 0;  ///< cold pass, all items
+  double speedup = 0;           ///< cold rate vs the 1-thread cold rate
+  double hit_rate = 0;          ///< warm pass cache hits / items
+  double mean_stream_latency = 0;  ///< cold pass, seconds after batch start
+  std::size_t failures = 0;        ///< cold pass
+};
+
+[[nodiscard]] bool write_json(const std::string& path, std::size_t count,
+                              std::size_t nodes, double dag,
+                              std::size_t cache_capacity,
+                              const std::vector<Row>& rows) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("batch_throughput");
+  json.key("count").value(static_cast<std::uint64_t>(count));
+  json.key("nodes").value(static_cast<std::uint64_t>(nodes));
+  json.key("dag_probability").value(dag);
+  json.key("cache_capacity").value(static_cast<std::uint64_t>(cache_capacity));
+  json.key("rows").begin_array();
+  for (const Row& row : rows) {
+    json.begin_object();
+    json.key("threads").value(static_cast<std::uint64_t>(row.threads));
+    json.key("cold_seconds").value(row.cold_seconds);
+    json.key("warm_seconds").value(row.warm_seconds);
+    json.key("trees_per_second").value(row.trees_per_second);
+    json.key("items_per_second").value(row.items_per_second);
+    json.key("speedup").value(row.speedup);
+    json.key("cache_hit_rate").value(row.hit_rate);
+    json.key("mean_stream_latency_seconds").value(row.mean_stream_latency);
+    json.key("failures").value(static_cast<std::uint64_t>(row.failures));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  if (!out.good()) {
+    std::cerr << "FAILED to write " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+[[nodiscard]] bool write_csv(const std::string& path,
+                             const std::vector<Row>& rows) {
+  std::ofstream out(path);
+  out << "threads,cold_seconds,warm_seconds,trees_per_second,"
+         "items_per_second,speedup,cache_hit_rate,"
+         "mean_stream_latency_seconds,failures\n";
+  for (const Row& row : rows) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "%u,%.6f,%.6f,%.1f,%.1f,%.2f,%.3f,%.6f,%zu\n",
+                  row.threads, row.cold_seconds, row.warm_seconds,
+                  row.trees_per_second, row.items_per_second, row.speedup,
+                  row.hit_rate, row.mean_stream_latency, row.failures);
+    out << line;
+  }
+  if (!out.good()) {
+    std::cerr << "FAILED to write " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t count = bench::arg_size_t(argc, argv, "--count", 64);
   const std::size_t nodes = bench::arg_size_t(argc, argv, "--nodes", 100);
   const std::size_t repeats = bench::arg_size_t(argc, argv, "--repeats", 3);
+  const std::size_t cache_capacity =
+      bench::arg_size_t(argc, argv, "--cache", 256);
   const double dag_probability =
       bench::arg_value(argc, argv, "--dag")
           ? std::stod(*bench::arg_value(argc, argv, "--dag"))
           : 0.2;
   const std::uint64_t seed = bench::arg_size_t(argc, argv, "--seed", 1);
 
-  bench::banner("batch throughput (" + std::to_string(count) + " models, ~" +
-                std::to_string(nodes) + " nodes)");
+  bench::banner("batch serving throughput (" + std::to_string(count) +
+                " models, ~" + std::to_string(nodes) + " nodes, cache " +
+                std::to_string(cache_capacity) + ")");
 
   std::vector<AugmentedAdt> fleet;
   fleet.reserve(count);
@@ -48,28 +137,86 @@ int main(int argc, char** argv) {
   analysis.bdd.node_limit = 8u << 20;
   analysis.bdd.max_front_points = 200000;
 
+  FrontCache cache(cache_capacity);
+  std::vector<Row> rows;
   double base_rate = 0;
-  TextTable table({"threads", "median secs", "trees/sec", "speedup",
+  TextTable table({"threads", "cold secs", "warm secs", "trees/sec",
+                   "items/sec", "speedup", "hit rate", "stream lat",
                    "failures"});
   for (unsigned threads : {1u, 2u, 4u, 8u}) {
-    std::vector<double> times;
-    BatchReport last;
+    Row row;
+    row.threads = threads;
+
+    // Cold passes (median over repeats): the cache is cleared before each
+    // run, so every front is computed. The on_item callback timestamps
+    // each completion to measure streaming latency.
+    BatchOptions batch;
+    batch.n_threads = threads;
+    batch.cache = &cache;
+    double latency_sum = 0;
+    Stopwatch stream_watch;
+    batch.on_item = [&latency_sum, &stream_watch](const BatchItem&) {
+      latency_sum += stream_watch.seconds();
+    };
+    std::vector<double> cold_times;
+    BatchReport cold;
     for (std::size_t r = 0; r < repeats; ++r) {
-      last = analyze_batch(fleet, analysis, threads);
-      times.push_back(last.seconds);
+      cache.clear();
+      stream_watch.reset();
+      cold = analyze_batch(fleet, analysis, batch);
+      cold_times.push_back(cold.seconds);
     }
-    const double secs = bench::median(times);
-    // Completed models only, matching BatchReport::trees_per_second.
-    const double completed = static_cast<double>(count - last.failures);
-    const double rate = secs > 0 ? completed / secs : 0;
-    if (threads == 1) base_rate = rate;
+    row.cold_seconds = bench::median(cold_times);
+    row.failures = cold.failures;
+    const double completed = static_cast<double>(count - cold.failures);
+    row.trees_per_second =
+        row.cold_seconds > 0 ? completed / row.cold_seconds : 0;
+    row.items_per_second =
+        row.cold_seconds > 0 ? static_cast<double>(count) / row.cold_seconds
+                             : 0;
+    row.mean_stream_latency =
+        count > 0 && repeats > 0
+            ? latency_sum / static_cast<double>(count * repeats)
+            : 0;
+
+    // Warm passes: every repeated pair is served from the cache.
+    batch.on_item = nullptr;
+    std::vector<double> warm_times;
+    BatchReport warm;
+    for (std::size_t r = 0; r < repeats; ++r) {
+      warm = analyze_batch(fleet, analysis, batch);
+      warm_times.push_back(warm.seconds);
+    }
+    row.warm_seconds = bench::median(warm_times);
+    row.hit_rate = warm.items.empty()
+                       ? 0
+                       : static_cast<double>(warm.cache_hits) /
+                             static_cast<double>(warm.items.size());
+
+    if (threads == 1) base_rate = row.trees_per_second;
+    row.speedup = base_rate > 0 ? row.trees_per_second / base_rate : 0;
+
     char speedup[32];
-    std::snprintf(speedup, sizeof(speedup), "%.2fx",
-                  base_rate > 0 ? rate / base_rate : 0.0);
-    table.add_row({std::to_string(threads), format_seconds(secs),
-                   std::to_string(static_cast<std::size_t>(rate)), speedup,
-                   std::to_string(last.failures)});
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", row.speedup);
+    char hit[32];
+    std::snprintf(hit, sizeof(hit), "%.0f%%", 100.0 * row.hit_rate);
+    table.add_row({std::to_string(threads), format_seconds(row.cold_seconds),
+                   format_seconds(row.warm_seconds),
+                   std::to_string(static_cast<std::size_t>(row.trees_per_second)),
+                   std::to_string(static_cast<std::size_t>(row.items_per_second)),
+                   speedup, hit, format_seconds(row.mean_stream_latency),
+                   std::to_string(row.failures)});
+    rows.push_back(row);
   }
   std::cout << table.to_text();
-  return 0;
+
+  bool io_ok = true;
+  if (const auto path = bench::arg_value(argc, argv, "--json")) {
+    io_ok &= write_json(*path, count, nodes, dag_probability, cache_capacity,
+                        rows);
+  }
+  if (const auto path = bench::arg_value(argc, argv, "--csv")) {
+    io_ok &= write_csv(*path, rows);
+  }
+  return io_ok ? 0 : 1;
 }

@@ -1,0 +1,32 @@
+/// \file example_args.hpp
+/// \brief Tiny "--name value" argument helpers shared by the fleet-style
+///        examples (random_fleet, serving_loop). adt_cli has richer
+///        subcommand parsing of its own; the benches use
+///        bench/bench_common.hpp.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace adtp::examples {
+
+inline std::size_t flag(int argc, char** argv, const std::string& name,
+                        std::size_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == "--" + name) {
+      return static_cast<std::size_t>(std::stoull(argv[i + 1]));
+    }
+  }
+  return fallback;
+}
+
+inline double flag_d(int argc, char** argv, const std::string& name,
+                     double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == "--" + name) return std::stod(argv[i + 1]);
+  }
+  return fallback;
+}
+
+}  // namespace adtp::examples

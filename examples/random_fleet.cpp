@@ -12,33 +12,14 @@
 
 #include "core/analyzer.hpp"
 #include "core/batch.hpp"
+#include "example_args.hpp"
 #include "gen/random_adt.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 using namespace adtp;
-
-namespace {
-
-std::size_t flag(int argc, char** argv, const std::string& name,
-                 std::size_t fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (argv[i] == "--" + name) {
-      return static_cast<std::size_t>(std::stoull(argv[i + 1]));
-    }
-  }
-  return fallback;
-}
-
-double flag_d(int argc, char** argv, const std::string& name,
-              double fallback) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (argv[i] == "--" + name) return std::stod(argv[i + 1]);
-  }
-  return fallback;
-}
-
-}  // namespace
+using examples::flag;
+using examples::flag_d;
 
 int main(int argc, char** argv) {
   const std::size_t count = flag(argc, argv, "count", 12);
@@ -65,7 +46,21 @@ int main(int argc, char** argv) {
   AnalysisOptions analysis;
   analysis.bdd.node_limit = 8u << 20;
   analysis.bdd.max_front_points = 200000;
-  const BatchReport batch = analyze_batch(fleet, analysis, threads);
+
+  // Serve the fleet through the job API: shared analysis options here,
+  // but per-item options are one assignment away (see serving_loop for
+  // the full treatment with deadlines, cancellation, and a FrontCache).
+  BatchOptions serving;
+  serving.n_threads = threads;
+  std::size_t completed = 0;
+  serving.on_item = [&completed, count](const BatchItem&) {
+    // Streaming progress: items arrive as they finish, not when the
+    // whole batch drains.
+    ++completed;
+    std::cerr << "\ranalyzed " << completed << "/" << count << std::flush;
+  };
+  const BatchReport batch = analyze_batch(fleet, analysis, serving);
+  std::cerr << "\r";
 
   TextTable table({"#", "nodes", "|A|", "|D|", "shape", "algorithm",
                    "front size", "front head", "time"});
@@ -105,6 +100,7 @@ int main(int argc, char** argv) {
   std::cout << "\n" << batch.items.size() - batch.failures << "/"
             << batch.items.size() << " analyzed on " << batch.threads_used
             << " thread(s) in " << format_seconds(batch.seconds) << " ("
-            << batch.trees_per_second() << " trees/sec)\n";
+            << batch.trees_per_second() << " ok-trees/sec, "
+            << batch.items_per_second() << " items/sec)\n";
   return 0;
 }

@@ -37,7 +37,7 @@ AnalysisResult analyze(const AugmentedAdt& aadt,
       result.front = naive_front(aadt, options.naive);
       break;
     case Algorithm::BottomUp:
-      result.front = bottom_up_front(aadt);
+      result.front = bottom_up_front(aadt, options.bottom_up);
       break;
     case Algorithm::BddBu:
       result.front = bdd_bu_front(aadt, options.bdd);

@@ -29,6 +29,7 @@ enum class Algorithm : std::uint8_t {
 struct AnalysisOptions {
   Algorithm algorithm = Algorithm::Auto;
   NaiveOptions naive;
+  BottomUpOptions bottom_up;
   BddBuOptions bdd;
   HybridOptions hybrid;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "util/timer.hpp"
@@ -11,13 +12,118 @@ namespace adtp {
 
 namespace {
 
-void run_item(const AugmentedAdt* model, const AnalysisOptions& options,
-              BatchItem& item) {
+/// State shared by the workers of one analyze_batch() call.
+struct BatchContext {
+  std::span<const BatchJob> jobs;
+  const BatchOptions& options;
+  BatchReport& report;
+  Deadline deadline;  ///< batch-wide; disabled when deadline_seconds <= 0
+
+  std::atomic<std::size_t> next{0};  ///< next unclaimed item index
+  /// Serializes completion bookkeeping and the on_item callback; also
+  /// guards report.completion_order and report.callback_error.
+  std::mutex stream_mutex;
+  bool callback_failed = false;  ///< guarded by stream_mutex
+
+  /// Latched when the batch deadline / cancel token actually affected an
+  /// item (skip or in-flight abort). The report flags come from these,
+  /// never from re-sampling the clock after the batch drained - a batch
+  /// whose last item finished just inside the budget reports false even
+  /// if the join crosses the line.
+  std::atomic<bool> saw_deadline{false};
+  std::atomic<bool> saw_cancel{false};
+
+  BatchContext(std::span<const BatchJob> jobs_, const BatchOptions& options_,
+               BatchReport& report_)
+      : jobs(jobs_),
+        options(options_),
+        report(report_),
+        deadline(options_.deadline_seconds) {}
+};
+
+bool batch_cancelled(const BatchContext& ctx) {
+  return ctx.options.cancel != nullptr && ctx.options.cancel->cancelled();
+}
+
+/// Copies the job's options and threads the batch-wide guards and the
+/// worker's persistent arena into every per-algorithm slot that has not
+/// been explicitly set by the caller. Precedence: a job that carries its
+/// own deadline/cancel pointer keeps it for the in-flight phase (an
+/// explicit per-item guard is a deliberate override); the batch-wide
+/// guards still gate that item's *start* via the between-item checks.
+AnalysisOptions instrument_options(const BatchContext& ctx,
+                                   const AnalysisOptions& base,
+                                   FrontArena<ValuePoint>& arena) {
+  AnalysisOptions opts = base;
+  const Deadline* deadline =
+      ctx.options.deadline_seconds > 0 ? &ctx.deadline : nullptr;
+  const CancelToken* cancel = ctx.options.cancel;
+  auto inject = [&](const Deadline*& d, const CancelToken*& c) {
+    if (d == nullptr) d = deadline;
+    if (c == nullptr) c = cancel;
+  };
+  inject(opts.naive.deadline, opts.naive.cancel);
+  inject(opts.bottom_up.deadline, opts.bottom_up.cancel);
+  inject(opts.bdd.deadline, opts.bdd.cancel);
+  inject(opts.hybrid.bdd.deadline, opts.hybrid.bdd.cancel);
+  if (opts.bottom_up.arena == nullptr) opts.bottom_up.arena = &arena;
+  if (opts.bdd.arena == nullptr) opts.bdd.arena = &arena;
+  if (opts.hybrid.bdd.arena == nullptr) opts.hybrid.bdd.arena = &arena;
+  return opts;
+}
+
+void run_item(BatchContext& ctx, const BatchJob& job, BatchItem& item,
+              FrontArena<ValuePoint>& arena) {
   Stopwatch watch;
+  // Between-items checks: claimed-but-unstarted work is shed the moment
+  // the batch is cancelled or out of budget.
+  if (batch_cancelled(ctx)) {
+    ctx.saw_cancel.store(true, std::memory_order_relaxed);
+    item.skipped = true;
+    item.error = "analyze_batch: batch cancelled";
+    item.seconds = watch.seconds();
+    return;
+  }
+  if (ctx.deadline.expired()) {
+    ctx.saw_deadline.store(true, std::memory_order_relaxed);
+    item.skipped = true;
+    item.error = "analyze_batch: batch deadline expired";
+    item.seconds = watch.seconds();
+    return;
+  }
   try {
-    if (model == nullptr) throw Error("analyze_batch: null model pointer");
-    item.result = analyze(*model, options);
-    item.ok = true;
+    if (job.model == nullptr) throw Error("analyze_batch: null model pointer");
+    const AnalysisOptions opts = instrument_options(ctx, job.options, arena);
+    FrontCache* cache = ctx.options.cache;
+    if (cache != nullptr && cacheable(*job.model)) {
+      const FrontCacheKey key = front_cache_key(*job.model, opts);
+      if (auto hit = cache->lookup(key)) {
+        item.result = std::move(*hit);
+        item.cached = true;
+        item.ok = true;
+      } else {
+        item.result = analyze(*job.model, opts);
+        item.ok = true;
+        cache->insert(key, item.result);
+      }
+    } else {
+      item.result = analyze(*job.model, opts);
+      item.ok = true;
+    }
+  } catch (const CancelledError& e) {
+    // Attribute to the batch token only if it is the one that fired (the
+    // job may carry its own).
+    if (batch_cancelled(ctx)) {
+      ctx.saw_cancel.store(true, std::memory_order_relaxed);
+    }
+    item.ok = false;
+    item.error = e.what();
+  } catch (const DeadlineError& e) {
+    if (ctx.options.deadline_seconds > 0 && ctx.deadline.expired()) {
+      ctx.saw_deadline.store(true, std::memory_order_relaxed);
+    }
+    item.ok = false;
+    item.error = e.what();
   } catch (const std::exception& e) {
     item.ok = false;
     item.error = e.what();
@@ -30,64 +136,123 @@ void run_item(const AugmentedAdt* model, const AnalysisOptions& options,
   item.seconds = watch.seconds();
 }
 
+/// Records the item's completion and streams it to the caller. One mutex
+/// makes completion_order exactly the callback invocation order.
+void finish_item(BatchContext& ctx, const BatchItem& item) {
+  const std::lock_guard<std::mutex> lock(ctx.stream_mutex);
+  ctx.report.completion_order.push_back(item.index);
+  if (ctx.options.on_item && !ctx.callback_failed) {
+    try {
+      ctx.options.on_item(item);
+    } catch (const std::exception& e) {
+      ctx.callback_failed = true;
+      ctx.report.callback_error = e.what();
+    } catch (...) {
+      ctx.callback_failed = true;
+      ctx.report.callback_error = "analyze_batch: non-standard exception";
+    }
+  }
+}
+
+void worker(BatchContext& ctx) {
+  // One arena per worker thread, alive for the whole batch: combine
+  // buffers recycle across every item this worker processes, not just
+  // within one analysis.
+  FrontArena<ValuePoint> arena;
+  while (true) {
+    const std::size_t i = ctx.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= ctx.jobs.size()) break;
+    BatchItem& item = ctx.report.items[i];
+    run_item(ctx, ctx.jobs[i], item, arena);
+    finish_item(ctx, item);
+  }
+}
+
 }  // namespace
 
-BatchReport analyze_batch(std::span<const AugmentedAdt* const> models,
-                          const AnalysisOptions& options, unsigned n_threads) {
+BatchReport analyze_batch(std::span<const BatchJob> jobs,
+                          const BatchOptions& options) {
   BatchReport report;
-  report.items.resize(models.size());
-  for (std::size_t i = 0; i < models.size(); ++i) report.items[i].index = i;
+  report.items.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) report.items[i].index = i;
+  report.completion_order.reserve(jobs.size());
 
+  unsigned n_threads = options.n_threads;
   if (n_threads == 0) {
     n_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   n_threads = static_cast<unsigned>(
-      std::min<std::size_t>(n_threads, std::max<std::size_t>(1, models.size())));
+      std::min<std::size_t>(n_threads, std::max<std::size_t>(1, jobs.size())));
   report.threads_used = n_threads;
 
   Stopwatch watch;
+  BatchContext ctx(jobs, options, report);
   if (n_threads == 1) {
-    for (std::size_t i = 0; i < models.size(); ++i) {
-      run_item(models[i], options, report.items[i]);
-    }
+    worker(ctx);
   } else {
     // Self-balancing pool: each worker claims the next unprocessed index.
-    // Items are disjoint slots of a pre-sized vector, so no locking.
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-      while (true) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= models.size()) break;
-        run_item(models[i], options, report.items[i]);
-      }
-    };
+    // Items are disjoint slots of a pre-sized vector, so only the
+    // completion stream needs a lock.
     std::vector<std::thread> pool;
     pool.reserve(n_threads - 1);
     try {
-      for (unsigned t = 0; t + 1 < n_threads; ++t) pool.emplace_back(worker);
+      for (unsigned t = 0; t + 1 < n_threads; ++t) {
+        pool.emplace_back([&ctx]() { worker(ctx); });
+      }
     } catch (const std::system_error&) {
       // Thread creation failed (resource limit): the workers that did
       // start, plus the calling thread, still drain the whole queue.
     }
-    worker();  // the calling thread participates
+    worker(ctx);  // the calling thread participates
     for (std::thread& t : pool) t.join();
     report.threads_used = static_cast<unsigned>(pool.size()) + 1;
   }
   report.seconds = watch.seconds();
+  report.deadline_expired =
+      ctx.saw_deadline.load(std::memory_order_relaxed);
+  report.cancelled = ctx.saw_cancel.load(std::memory_order_relaxed);
 
   for (const BatchItem& item : report.items) {
     if (!item.ok) ++report.failures;
+    if (item.skipped) ++report.skipped;
+    if (item.cached) ++report.cache_hits;
   }
   return report;
 }
 
+BatchReport analyze_batch(const std::vector<BatchJob>& jobs,
+                          const BatchOptions& options) {
+  return analyze_batch(std::span<const BatchJob>(jobs), options);
+}
+
+BatchReport analyze_batch(const std::vector<AugmentedAdt>& models,
+                          const AnalysisOptions& analysis,
+                          const BatchOptions& options) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(models.size());
+  for (const AugmentedAdt& model : models) {
+    jobs.push_back(BatchJob{&model, analysis});
+  }
+  return analyze_batch(std::span<const BatchJob>(jobs), options);
+}
+
+BatchReport analyze_batch(std::span<const AugmentedAdt* const> models,
+                          const AnalysisOptions& options, unsigned n_threads) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(models.size());
+  for (const AugmentedAdt* model : models) {
+    jobs.push_back(BatchJob{model, options});
+  }
+  BatchOptions batch;
+  batch.n_threads = n_threads;
+  return analyze_batch(std::span<const BatchJob>(jobs), batch);
+}
+
 BatchReport analyze_batch(const std::vector<AugmentedAdt>& models,
                           const AnalysisOptions& options, unsigned n_threads) {
-  std::vector<const AugmentedAdt*> pointers;
-  pointers.reserve(models.size());
-  for (const AugmentedAdt& model : models) pointers.push_back(&model);
-  return analyze_batch(std::span<const AugmentedAdt* const>(pointers), options,
-                       n_threads);
+  BatchOptions batch;
+  batch.n_threads = n_threads;
+  return analyze_batch(models, options, batch);
 }
 
 }  // namespace adtp

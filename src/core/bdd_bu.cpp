@@ -20,8 +20,9 @@ template <typename P, typename Dd, typename Da>
 BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
                                bdd::Ref root, const bdd::VarOrder& order,
                                std::size_t* max_front_size,
-                               std::size_t max_front_points, const Dd& dd,
+                               const BddBuOptions& options, const Dd& dd,
                                const Da& da) {
+  const std::size_t max_front_points = options.max_front_points;
   const Adt& adt = aadt.adt();
   const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
   const std::size_t num_d = adt.num_defenses();
@@ -45,7 +46,13 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
   std::unordered_map<bdd::Ref, BasicFront<P>> fronts;
   fronts.reserve(manager.size(root));
 
-  FrontArena<P> arena;
+  // Value-front runs may borrow a caller-provided arena (persistent across
+  // batch items on one worker thread); witness runs keep a private one.
+  FrontArena<P> local_arena;
+  FrontArena<P>* arena = &local_arena;
+  if constexpr (std::is_same_v<P, ValuePoint>) {
+    if (options.arena != nullptr) arena = options.arena;
+  }
   std::size_t max_p = 0;
 
   // reachable() yields ascending node indices, which is a topological
@@ -53,6 +60,7 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
   // shared nodes are computed exactly once (the memoization that gives
   // O(|W| p^2)).
   for (bdd::Ref w : manager.reachable(root)) {
+    check_interrupt(options.deadline, options.cancel, "bdd_bu");
     if (manager.is_terminal(w)) {
       const double att = (w == attacker_target) ? da.one() : da.zero();
       fronts.emplace(w, BasicFront<P>::singleton(make_point(dd.one(), att)));
@@ -93,7 +101,7 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
       // a constant via tensor_D preserves the staircase order, so the
       // union is a sorted merge - no re-sort.
       const double beta = aadt.defense_value(adt.defense_index(leaf));
-      auto front = arena.merged_transformed(
+      auto front = arena->merged_transformed(
           low, high,
           [&](const P& q) {
             P shifted = q;
@@ -124,12 +132,12 @@ template <typename P>
 BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
                         bdd::Ref root, const bdd::VarOrder& order,
                         std::size_t* max_front_size,
-                        std::size_t max_front_points = 0) {
+                        const BddBuOptions& options = {}) {
   return dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {
         return propagate_kernel<P>(aadt, manager, root, order, max_front_size,
-                                   max_front_points, dd, da);
+                                   options, dd, da);
       });
 }
 
@@ -150,10 +158,10 @@ WitnessFront bdd_bu_front_witness(const AugmentedAdt& aadt,
                                   const BddBuOptions& options) {
   const bdd::VarOrder order = resolve_order(aadt, options);
   bdd::Manager manager(order.num_vars(), options.node_limit);
+  check_interrupt(options.deadline, options.cancel, "bdd_bu");
   const bdd::Ref root =
       bdd::build_structure_function(manager, aadt.adt(), order);
-  return propagate<WitnessPoint>(aadt, manager, root, order, nullptr,
-                                 options.max_front_points);
+  return propagate<WitnessPoint>(aadt, manager, root, order, nullptr, options);
 }
 
 BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
@@ -162,6 +170,7 @@ BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
   bdd::Manager manager(order.num_vars(), options.node_limit);
 
   BddBuReport report;
+  check_interrupt(options.deadline, options.cancel, "bdd_bu");
   Stopwatch build_watch;
   const bdd::Ref root =
       bdd::build_structure_function(manager, aadt.adt(), order);
@@ -171,8 +180,7 @@ BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
 
   Stopwatch prop_watch;
   report.front = propagate<ValuePoint>(aadt, manager, root, order,
-                                       &report.max_front_size,
-                                       options.max_front_points);
+                                       &report.max_front_size, options);
   report.propagate_seconds = prop_watch.seconds();
   return report;
 }

@@ -19,6 +19,8 @@
 #include "bdd/order.hpp"
 #include "core/attribution.hpp"
 #include "core/pareto.hpp"
+#include "util/cancel.hpp"
+#include "util/timer.hpp"
 
 namespace adtp {
 
@@ -38,6 +40,19 @@ struct BddBuOptions {
 
   /// Explicit variable order; overrides order_heuristic when set.
   std::optional<bdd::VarOrder> order;
+
+  /// Optional wall-clock guard, checked once per propagated BDD node;
+  /// throws LimitError. (The translation phase is guarded by node_limit.)
+  const Deadline* deadline = nullptr;
+
+  /// Optional cooperative cancellation, checked once per propagated BDD
+  /// node; throws CancelledError. analyze_batch() injects its token here.
+  const CancelToken* cancel = nullptr;
+
+  /// Optional external combine scratch space, reused across analyses (the
+  /// value-front path only; witness runs keep a private arena). Not
+  /// thread-safe: at most one analysis may use an arena at a time.
+  FrontArena<ValuePoint>* arena = nullptr;
 };
 
 /// Detailed outcome of a BDDBU run, for benches and reports.

@@ -68,9 +68,17 @@ std::vector<BasicFront<P>> bottom_up_kernel(const AugmentedAdt& aadt,
                                             const BottomUpOptions& options,
                                             const Dd& dd, const Da& da) {
   const Adt& adt = aadt.adt();
-  FrontArena<P> arena;
+  // Value-front runs may borrow a caller-provided arena (analyze_batch
+  // hands every worker thread one that persists across batch items, so
+  // buffer recycling spans the batch); witness runs keep a private one.
+  FrontArena<P> local_arena;
+  FrontArena<P>* arena = &local_arena;
+  if constexpr (std::is_same_v<P, ValuePoint>) {
+    if (options.arena != nullptr) arena = options.arena;
+  }
   std::vector<BasicFront<P>> fronts(adt.size());
   for (NodeId v : adt.topological_order()) {
+    check_interrupt(options.deadline, options.cancel, "bottom_up");
     const Node& n = adt.node(v);
     if (n.type == GateType::BasicStep) {
       if (n.agent == Agent::Attacker) {
@@ -87,7 +95,7 @@ std::vector<BasicFront<P>> bottom_up_kernel(const AugmentedAdt& aadt,
     const AttackOp op = attack_op(n.type, n.agent);
     BasicFront<P> acc = fronts[n.children[0]];
     for (std::size_t i = 1; i < n.children.size(); ++i) {
-      arena.combine_into(acc, fronts[n.children[i]], op, dd, da);
+      arena->combine_into(acc, fronts[n.children[i]], op, dd, da);
       if (options.max_front_points != 0 &&
           acc.size() > options.max_front_points) {
         throw LimitError("bottom_up: intermediate front exceeds " +

@@ -18,6 +18,8 @@
 
 #include "core/attribution.hpp"
 #include "core/pareto.hpp"
+#include "util/cancel.hpp"
+#include "util/timer.hpp"
 
 namespace adtp {
 
@@ -29,6 +31,20 @@ struct BottomUpOptions {
   /// Aborts with LimitError when any intermediate front exceeds this many
   /// points (fronts are worst-case exponential, Fig. 4). 0 = unlimited.
   std::size_t max_front_points = 0;
+
+  /// Optional wall-clock guard, checked once per gate; throws LimitError.
+  const Deadline* deadline = nullptr;
+
+  /// Optional cooperative cancellation, checked once per gate; throws
+  /// CancelledError. analyze_batch() injects its batch-wide token here.
+  const CancelToken* cancel = nullptr;
+
+  /// Optional external combine scratch space, reused across analyses (the
+  /// value-front path only; witness runs keep a private arena). Not
+  /// thread-safe: at most one analysis may use an arena at a time.
+  /// analyze_batch() hands each worker thread its own persistent arena so
+  /// buffer recycling spans the whole batch.
+  FrontArena<ValuePoint>* arena = nullptr;
 };
 
 /// Algorithm 1 at the root. Requires aadt.adt().is_tree(); throws

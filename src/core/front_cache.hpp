@@ -1,0 +1,119 @@
+/// \file front_cache.hpp
+/// \brief A bounded, thread-safe LRU cache of analysis results, keyed on
+///        model content rather than object identity.
+///
+/// Serving workloads re-analyze the same (model, attribution) pairs over
+/// and over - parameter sweeps where only one attribution varies, fleets
+/// with duplicated scenarios, interactive ADTool-style editing. A
+/// FrontCache memoizes the full AnalysisResult for repeated pairs; lookup
+/// keys are content hashes, so two independently built but structurally
+/// identical models (same gates, agents, child wiring, leaf values and
+/// domains - names are deliberately ignored) share an entry.
+///
+/// The key has three 64-bit components, compared exactly (a hash collision
+/// on all three simultaneously is the only way to get a wrong hit; with
+/// FNV-1a over 192 bits that is negligible, and the cache is advisory -
+/// callers who cannot tolerate it leave the cache off):
+///  - structure: the ADT's shape (gate types, agents, child lists, root),
+///  - attribution: both domain kinds plus the dense per-leaf values,
+///  - options: every AnalysisOptions field that can change the result or
+///    whether a guard fires (algorithm choice, BDD order, all limits).
+///    Deadline/cancel/arena pointers are excluded: they never change a
+///    *completed* result. A hit may therefore be served where a fresh run
+///    would have timed out - a strict improvement, not an inconsistency.
+///
+/// Custom semirings are uncacheable (their hooks are opaque function
+/// objects that cannot be content-hashed); cacheable() reports this and
+/// analyze_batch() silently bypasses the cache for such models. Only
+/// successful results are cached - failures are cheap to rediscover and
+/// often depend on guards.
+///
+/// The cache does not persist across processes; see ROADMAP.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/analyzer.hpp"
+
+namespace adtp {
+
+/// Content-derived cache key; see file comment for what each hash covers.
+struct FrontCacheKey {
+  std::uint64_t structure = 0;
+  std::uint64_t attribution = 0;
+  std::uint64_t options = 0;
+
+  bool operator==(const FrontCacheKey&) const = default;
+};
+
+/// True iff results for \p aadt can be cached (no Custom domain).
+[[nodiscard]] bool cacheable(const AugmentedAdt& aadt);
+
+/// Builds the cache key for an analysis of \p aadt under \p options.
+/// Precondition: cacheable(aadt); throws Error otherwise.
+[[nodiscard]] FrontCacheKey front_cache_key(const AugmentedAdt& aadt,
+                                            const AnalysisOptions& options);
+
+/// Bounded LRU cache of AnalysisResults. All methods are thread-safe (one
+/// mutex; the critical sections copy a Front at worst, never analyze).
+class FrontCache {
+ public:
+  /// \p capacity is the maximum number of entries; 0 disables the cache
+  /// (every lookup misses, inserts are dropped).
+  explicit FrontCache(std::size_t capacity = 256);
+
+  /// Returns the cached result and refreshes its recency, or nullopt.
+  [[nodiscard]] std::optional<AnalysisResult> lookup(const FrontCacheKey& key);
+
+  /// Inserts (or refreshes) \p result under \p key, evicting the least
+  /// recently used entry when over capacity.
+  void insert(const FrontCacheKey& key, const AnalysisResult& result);
+
+  /// Cumulative counters since construction or the last clear().
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;  ///< current size
+
+    [[nodiscard]] double hit_rate() const noexcept {
+      const std::uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total);
+    }
+  };
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drops every entry and resets the counters.
+  void clear();
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const FrontCacheKey& k) const noexcept;
+  };
+  /// Results are held behind shared_ptr so the mutex only ever guards
+  /// pointer and list-node operations; the deep Front copy handed to the
+  /// caller happens outside the lock (workers on the warm path would
+  /// otherwise serialize on multi-thousand-point copies).
+  using Entry =
+      std::pair<FrontCacheKey, std::shared_ptr<const AnalysisResult>>;
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< most recent first
+  std::unordered_map<FrontCacheKey, std::list<Entry>::iterator, KeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace adtp

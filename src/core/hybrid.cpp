@@ -20,7 +20,7 @@ struct HybridState {
   const Dd& dd;
   const Da& da;
   HybridReport& report;
-  FrontArena<ValuePoint> arena;
+  FrontArena<ValuePoint>* arena;
 
   /// True iff gate \p v can be combined tree-style: every child is a
   /// single-parent module and the children's descendant sets are pairwise
@@ -66,6 +66,9 @@ struct HybridState {
   }
 
   Front front(NodeId v) {
+    // The per-blob guards live in options.bdd and are honored inside
+    // bdd_bu_front; this check covers the tree-style walk between blobs.
+    check_interrupt(options.bdd.deadline, options.bdd.cancel, "hybrid");
     const Adt& adt = aadt.adt();
     if (adt.type(v) == GateType::BasicStep) return leaf_front(v);
     if (!children_are_independent(v)) return blob_front(v);
@@ -75,7 +78,7 @@ struct HybridState {
     Front acc = front(children[0]);
     for (std::size_t i = 1; i < children.size(); ++i) {
       const Front child = front(children[i]);
-      arena.combine_into(acc, child, op, dd, da);
+      arena->combine_into(acc, child, op, dd, da);
     }
     ++report.tree_combines;
     return acc;
@@ -92,10 +95,15 @@ HybridReport hybrid_analyze(const AugmentedAdt& aadt,
                             const HybridOptions& options) {
   const ModuleInfo modules = compute_modules(aadt.adt());
   HybridReport report;
+  // The tree-style combines and the per-blob BDDBU runs interleave on one
+  // thread, so sharing one caller-provided arena between them is safe.
+  FrontArena<ValuePoint> local_arena;
+  FrontArena<ValuePoint>* arena =
+      options.bdd.arena != nullptr ? options.bdd.arena : &local_arena;
   report.front = dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {
-        HybridState state{aadt, options, modules, dd, da, report, {}};
+        HybridState state{aadt, options, modules, dd, da, report, arena};
         return state.front(aadt.adt().root());
       });
   return report;

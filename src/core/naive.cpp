@@ -132,9 +132,7 @@ std::vector<FeasibleEvent> enumerate_kernel(const AugmentedAdt& aadt,
 
   for (std::uint64_t delta = 0; delta < (std::uint64_t{1} << num_d);
        ++delta) {
-    if (options.deadline != nullptr && options.deadline->expired()) {
-      throw LimitError("naive: deadline expired");
-    }
+    check_interrupt(options.deadline, options.cancel, "naive");
     // Algorithm 2 lines 4-11: the attacker's optimal response.
     bool found = false;
     double best = da.zero();

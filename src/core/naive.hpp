@@ -15,6 +15,7 @@
 
 #include "core/attribution.hpp"
 #include "core/pareto.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace adtp {
@@ -27,6 +28,11 @@ struct NaiveOptions {
   /// Optional wall-clock guard: when set and expired mid-run, throws
   /// LimitError (the paper similarly caps runs at 10^4 seconds).
   const Deadline* deadline = nullptr;
+
+  /// Optional cooperative cancellation: when set mid-run, throws
+  /// CancelledError. Checked once per enumerated defense vector, like the
+  /// deadline. analyze_batch() injects its batch-wide token here.
+  const CancelToken* cancel = nullptr;
 };
 
 /// One row of the feasible-event set S (Definition 8): a defense vector

@@ -341,10 +341,14 @@ template <typename P, typename Dd, typename Da>
 }
 
 /// Reusable scratch space for the combine-heavy inner loops of the
-/// analysis algorithms. One arena serves one analysis run (it is not
-/// thread-safe); every combine reuses the arena's cross-product and output
-/// buffers instead of allocating, and the accumulator's old storage is
-/// recycled as the next output buffer.
+/// analysis algorithms. One arena serves one analysis at a time (it is
+/// not thread-safe); every combine reuses the arena's cross-product and
+/// output buffers instead of allocating, and the accumulator's old
+/// storage is recycled as the next output buffer. An arena may be reused
+/// across *sequential* analyses - results never depend on prior arena
+/// state, only capacity carries over - which is how analyze_batch()
+/// recycles buffers across all items served by one worker thread (see
+/// BottomUpOptions/BddBuOptions::arena).
 template <typename P>
 class FrontArena {
  public:

@@ -1,0 +1,68 @@
+/// \file cancel.hpp
+/// \brief Cooperative cancellation for long-running analyses.
+///
+/// A CancelToken is a thread-safe flag shared between an owner (who calls
+/// cancel()) and any number of workers (who poll cancelled() inside their
+/// hot loops and throw CancelledError when it is set). Cancellation is
+/// cooperative: nothing is interrupted preemptively; the analysis kernels
+/// check the token at their resource-guard points (once per enumerated
+/// defense vector, per propagated BDD node, per combined gate), so a stuck
+/// item stops within one inner-loop iteration instead of running its
+/// batch's clock out.
+///
+/// The token is intentionally one-shot per batch: analyze_batch() treats a
+/// set token as "abandon everything not yet finished". reset() exists so a
+/// caller can reuse one token across sequential batches; resetting while a
+/// batch is in flight races with the workers' checks and is unsupported.
+
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/timer.hpp"
+
+namespace adtp {
+
+/// A cooperative cancellation flag. Copy/move are deleted: workers hold
+/// pointers to one shared instance.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Safe to call from any thread, including an
+  /// analyze_batch() on_item callback.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms the token for a new run. Only valid while no worker is
+  /// polling it.
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The shared guard check of the analysis kernels: throws CancelledError
+/// when \p cancel (nullable) is set, DeadlineError (a LimitError) when
+/// \p deadline (nullable) has expired. \p who prefixes the message
+/// ("naive", "bdd_bu", ...). Cancellation wins over deadline expiry when
+/// both hold, so an explicitly cancelled batch reports "cancelled"
+/// consistently.
+inline void check_interrupt(const Deadline* deadline, const CancelToken* cancel,
+                            const char* who) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    throw CancelledError(std::string(who) + ": cancelled");
+  }
+  if (deadline != nullptr && deadline->expired()) {
+    throw DeadlineError(std::string(who) + ": deadline expired");
+  }
+}
+
+}  // namespace adtp

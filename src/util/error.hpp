@@ -51,4 +51,20 @@ class LimitError : public Error {
   explicit LimitError(const std::string& what) : Error(what) {}
 };
 
+/// A wall-clock Deadline expired mid-computation. A LimitError (existing
+/// catch sites keep working), but distinguishable where it matters - e.g.
+/// analyze_batch attributes in-flight aborts to its batch deadline.
+class DeadlineError : public LimitError {
+ public:
+  explicit DeadlineError(const std::string& what) : LimitError(what) {}
+};
+
+/// A cooperative CancelToken was observed set mid-computation; the run was
+/// abandoned. Distinct from LimitError so callers can tell "you asked me
+/// to stop" from "a resource guard fired".
+class CancelledError : public Error {
+ public:
+  explicit CancelledError(const std::string& what) : Error(what) {}
+};
+
 }  // namespace adtp

@@ -1,0 +1,72 @@
+/// \file hash.hpp
+/// \brief Deterministic content hashing (FNV-1a, 64-bit).
+///
+/// Used by the FrontCache to key memoized analysis results on model
+/// content rather than object identity: two independently built but
+/// byte-identical models hash equal, so a cache shared across batches
+/// still hits. FNV-1a is not cryptographic - keys built from it must be
+/// compared field-by-field (the cache stores the full key, never only the
+/// hash), so a collision costs a lookup miss at worst.
+///
+/// The hasher is streaming and order-sensitive: feed fields in a fixed
+/// canonical order. Doubles are hashed by bit pattern with -0.0 folded
+/// onto +0.0 (the only pair of distinct patterns the analysis treats as
+/// equal values).
+
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace adtp {
+
+/// A streaming FNV-1a 64-bit hasher.
+class Fnv1a {
+ public:
+  Fnv1a() = default;
+
+  Fnv1a& bytes(const void* data, std::size_t size) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= p[i];
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  Fnv1a& u64(std::uint64_t v) noexcept { return bytes(&v, sizeof(v)); }
+  Fnv1a& u32(std::uint32_t v) noexcept { return bytes(&v, sizeof(v)); }
+  Fnv1a& u8(std::uint8_t v) noexcept { return bytes(&v, sizeof(v)); }
+  Fnv1a& size(std::size_t v) noexcept {
+    return u64(static_cast<std::uint64_t>(v));
+  }
+  Fnv1a& boolean(bool v) noexcept { return u8(v ? 1 : 0); }
+
+  /// Hashes the IEEE-754 bit pattern, folding -0.0 onto +0.0.
+  Fnv1a& f64(double v) noexcept {
+    return u64(std::bit_cast<std::uint64_t>(v == 0.0 ? 0.0 : v));
+  }
+
+  /// Hashes length then contents, so {"ab","c"} and {"a","bc"} differ.
+  Fnv1a& str(std::string_view s) noexcept {
+    size(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t state_ = kOffset;
+};
+
+/// Boost-style combiner for pre-computed 64-bit hashes.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t value) noexcept {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace adtp

@@ -1,0 +1,201 @@
+/// FrontCache is keyed on *content*: equal models must collide onto one
+/// entry however they were built, unequal attributions/options must not,
+/// and a warm cache must return byte-identical results across every
+/// built-in domain mix. The LRU bound and the stats counters are part of
+/// the contract - serving loops size the cache from them.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/batch.hpp"
+#include "core/front_cache.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+
+namespace adtp {
+namespace {
+
+AnalysisResult result_with_front(double def, double att) {
+  AnalysisResult result;
+  result.front = Front::singleton(ValuePoint{def, att});
+  return result;
+}
+
+TEST(FrontCacheKey, IdenticalContentHashesEqual) {
+  // Two independently constructed fig3 instances: same key.
+  const AugmentedAdt a = catalog::fig3_example();
+  const AugmentedAdt b = catalog::fig3_example();
+  EXPECT_EQ(front_cache_key(a, {}), front_cache_key(b, {}));
+}
+
+TEST(FrontCacheKey, AttributionChangesTheKey) {
+  const AugmentedAdt base = catalog::fig3_example();
+  Attribution attribution = base.attribution();
+  attribution.set("a1", 6);  // was 5
+  const AugmentedAdt changed(base.adt(), attribution, base.defender_domain(),
+                             base.attacker_domain());
+  const FrontCacheKey k1 = front_cache_key(base, {});
+  const FrontCacheKey k2 = front_cache_key(changed, {});
+  EXPECT_EQ(k1.structure, k2.structure);
+  EXPECT_NE(k1.attribution, k2.attribution);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(FrontCacheKey, DomainKindChangesTheKey) {
+  const AugmentedAdt cost = catalog::fig3_example();
+  // Same tree and values, min_time_seq attacker domain instead.
+  const AugmentedAdt time(cost.adt(), cost.attribution(),
+                          cost.defender_domain(), Semiring::min_time_seq());
+  EXPECT_NE(front_cache_key(cost, {}).attribution,
+            front_cache_key(time, {}).attribution);
+}
+
+TEST(FrontCacheKey, StructureChangesTheKey) {
+  const AugmentedAdt fig3 = catalog::fig3_example();
+  const AugmentedAdt fig5 = catalog::fig5_example();
+  EXPECT_NE(front_cache_key(fig3, {}).structure,
+            front_cache_key(fig5, {}).structure);
+}
+
+TEST(FrontCacheKey, OptionFieldsThatAffectTheResultChangeTheKey) {
+  const AugmentedAdt model = catalog::fig3_example();
+  AnalysisOptions a;
+  AnalysisOptions b;
+  b.algorithm = Algorithm::Naive;
+  EXPECT_NE(front_cache_key(model, a).options,
+            front_cache_key(model, b).options);
+
+  AnalysisOptions c;
+  c.bdd.order_seed = 99;
+  EXPECT_NE(front_cache_key(model, a).options,
+            front_cache_key(model, c).options);
+
+  AnalysisOptions d;
+  d.naive.max_bits = 5;  // guards participate: success-vs-LimitError
+  EXPECT_NE(front_cache_key(model, a).options,
+            front_cache_key(model, d).options);
+}
+
+TEST(FrontCacheKey, GuardPointersDoNotChangeTheKey) {
+  const AugmentedAdt model = catalog::fig3_example();
+  const Deadline deadline(10);
+  const CancelToken token;
+  AnalysisOptions a;
+  AnalysisOptions b;
+  b.naive.deadline = &deadline;
+  b.naive.cancel = &token;
+  b.bdd.deadline = &deadline;
+  EXPECT_EQ(front_cache_key(model, a), front_cache_key(model, b));
+}
+
+TEST(FrontCacheKey, CustomDomainsAreNotCacheable) {
+  const Semiring custom = Semiring::custom(
+      "sum", 0.0, std::numeric_limits<double>::infinity(),
+      [](double x, double y) { return x + y; },
+      [](double x, double y) { return x <= y; });
+  const AugmentedAdt base = catalog::fig3_example();
+  const AugmentedAdt model(base.adt(), base.attribution(), custom,
+                           Semiring::min_cost());
+  EXPECT_FALSE(cacheable(model));
+  EXPECT_TRUE(cacheable(base));
+  EXPECT_THROW((void)front_cache_key(model, {}), Error);
+}
+
+TEST(FrontCache, LruEvictsTheLeastRecentlyUsed) {
+  FrontCache cache(2);
+  const FrontCacheKey k1{1, 0, 0};
+  const FrontCacheKey k2{2, 0, 0};
+  const FrontCacheKey k3{3, 0, 0};
+  cache.insert(k1, result_with_front(1, 1));
+  cache.insert(k2, result_with_front(2, 2));
+  ASSERT_TRUE(cache.lookup(k1).has_value());  // refresh k1: k2 is now LRU
+  cache.insert(k3, result_with_front(3, 3));
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+  EXPECT_TRUE(cache.lookup(k3).has_value());
+
+  const FrontCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_NEAR(stats.hit_rate(), 0.75, 1e-12);
+}
+
+TEST(FrontCache, ReinsertRefreshesInsteadOfDuplicating) {
+  FrontCache cache(2);
+  const FrontCacheKey key{7, 7, 7};
+  cache.insert(key, result_with_front(1, 1));
+  cache.insert(key, result_with_front(2, 2));
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->front.front_point().def, 2);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(FrontCache, ZeroCapacityDisablesCaching) {
+  FrontCache cache(0);
+  const FrontCacheKey key{1, 2, 3};
+  cache.insert(key, result_with_front(1, 1));
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(FrontCache, ClearDropsEntriesAndCounters) {
+  FrontCache cache(4);
+  cache.insert(FrontCacheKey{1, 1, 1}, result_with_front(1, 1));
+  (void)cache.lookup(FrontCacheKey{1, 1, 1});
+  cache.clear();
+  const FrontCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+}
+
+TEST(FrontCache, WarmResultsBitMatchColdAcrossDomainMixes) {
+  // For every built-in defender x attacker domain pair: a duplicated
+  // fleet analyzed with a shared cache must produce byte-identical fronts
+  // on the warm (second) pass, at several thread counts.
+  const std::vector<Semiring> domains = {
+      Semiring::min_cost(), Semiring::min_time_par(), Semiring::probability()};
+  for (const Semiring& defender : domains) {
+    for (const Semiring& attacker : domains) {
+      RandomAdtOptions options;
+      options.target_nodes = 30;
+      options.share_probability = 0.3;
+      options.max_defenses = 8;
+      std::vector<AugmentedAdt> fleet;
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        fleet.push_back(
+            generate_random_aadt(options, seed, defender, attacker));
+      }
+
+      FrontCache cache(64);
+      BatchOptions batch;
+      batch.cache = &cache;
+      batch.n_threads = 2;
+      const BatchReport cold = analyze_batch(fleet, {}, batch);
+      ASSERT_EQ(cold.failures, 0u)
+          << defender.name() << "/" << attacker.name();
+      EXPECT_EQ(cold.cache_hits, 0u);
+
+      batch.n_threads = 4;
+      const BatchReport warm = analyze_batch(fleet, {}, batch);
+      ASSERT_EQ(warm.failures, 0u);
+      EXPECT_EQ(warm.cache_hits, fleet.size());
+      for (std::size_t i = 0; i < fleet.size(); ++i) {
+        EXPECT_TRUE(warm.items[i].cached);
+        EXPECT_EQ(warm.items[i].result.front.to_string(),
+                  cold.items[i].result.front.to_string())
+            << defender.name() << "/" << attacker.name() << " item " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtp
