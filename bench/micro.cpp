@@ -226,6 +226,114 @@ void BM_GenerateRandomAdt(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateRandomAdt)->Arg(50)->Arg(325);
 
+// ---- sort path vs k-way path on general (non-singleton) combines -------
+//
+// Both variants run on the static MinCostDomain policies (the only ones
+// eligible for the sort-free path), on the two shapes that dominate the
+// Fig. 4 family: the root fold of a 2^k-point staircase with a 2-point
+// defense front, and the combination of two long incomparable staircases.
+
+Front fig4_staircase(int n) {
+  std::vector<ValuePoint> pts;
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(ValuePoint{double(i), double(i)});
+  }
+  return Front::minimized(std::move(pts), MinCostDomain{}, MinCostDomain{});
+}
+
+void BM_CombineFig4StepSortPath(benchmark::State& state) {
+  const MinCostDomain dom;
+  const Front acc = fig4_staircase(state.range(0));
+  const Front step = Front::minimized(
+      {ValuePoint{0, double(state.range(0))},
+       ValuePoint{double(state.range(0)),
+                  std::numeric_limits<double>::infinity()}},
+      dom, dom);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        combine_fronts_sorted(acc, step, AttackOp::Combine, dom, dom));
+  }
+}
+BENCHMARK(BM_CombineFig4StepSortPath)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_CombineFig4StepKWay(benchmark::State& state) {
+  const MinCostDomain dom;
+  const Front acc = fig4_staircase(state.range(0));
+  const Front step = Front::minimized(
+      {ValuePoint{0, double(state.range(0))},
+       ValuePoint{double(state.range(0)),
+                  std::numeric_limits<double>::infinity()}},
+      dom, dom);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        combine_fronts_kway(acc, step, AttackOp::Combine, dom, dom));
+  }
+}
+BENCHMARK(BM_CombineFig4StepKWay)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_CombineStaircasePairSortPath(benchmark::State& state) {
+  const MinCostDomain dom;
+  const Front lhs = fig4_staircase(state.range(0));
+  const Front rhs = fig4_staircase(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        combine_fronts_sorted(lhs, rhs, AttackOp::Choose, dom, dom));
+  }
+}
+BENCHMARK(BM_CombineStaircasePairSortPath)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CombineStaircasePairKWay(benchmark::State& state) {
+  const MinCostDomain dom;
+  const Front lhs = fig4_staircase(state.range(0));
+  const Front rhs = fig4_staircase(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        combine_fronts_kway(lhs, rhs, AttackOp::Choose, dom, dom));
+  }
+}
+BENCHMARK(BM_CombineStaircasePairKWay)->Arg(64)->Arg(256)->Arg(1024);
+
+// ---- sharded naive enumeration ------------------------------------------
+
+/// A 2^14-delta model kept cheap on the attack side: 14 defenses, each
+/// inhibiting one of 6 shared attacks, under a defender-rooted OR (the
+/// Fig. 4 shape with a shared attack layer; a DAG, so only naive and
+/// BDDBU apply).
+AugmentedAdt sharded_naive_model() {
+  Adt adt;
+  Attribution beta;
+  std::vector<NodeId> attacks;
+  for (int j = 0; j < 6; ++j) {
+    const std::string name = "a" + std::to_string(j);
+    attacks.push_back(adt.add_basic(name, Agent::Attacker));
+    beta.set(name, j + 1.0);
+  }
+  std::vector<NodeId> gates;
+  for (int i = 0; i < 14; ++i) {
+    const std::string name = "d" + std::to_string(i);
+    const NodeId d = adt.add_basic(name, Agent::Defender);
+    beta.set(name, i + 1.0);
+    gates.push_back(
+        adt.add_inhibit("I" + std::to_string(i), d, attacks[i % 6]));
+  }
+  adt.set_root(adt.add_gate("top", GateType::Or, Agent::Defender,
+                            std::move(gates)));
+  adt.freeze();
+  return AugmentedAdt(std::move(adt), std::move(beta), Semiring::min_cost(),
+                      Semiring::min_cost());
+}
+
+void BM_NaiveSharded(benchmark::State& state) {
+  const AugmentedAdt model = sharded_naive_model();
+  NaiveOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive_front(model, options));
+  }
+}
+BENCHMARK(BM_NaiveSharded)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 void BM_Fig4BottomUp(benchmark::State& state) {
   const AugmentedAdt fig4 =
       catalog::fig4_exponential(static_cast<int>(state.range(0)));

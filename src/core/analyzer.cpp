@@ -33,9 +33,14 @@ AnalysisResult analyze(const AugmentedAdt& aadt,
   result.used = algorithm;
   Stopwatch watch;
   switch (algorithm) {
-    case Algorithm::Naive:
-      result.front = naive_front(aadt, options.naive);
+    case Algorithm::Naive: {
+      NaiveOptions naive = options.naive;
+      if (options.intra_model_threads != 0) {
+        naive.threads = options.intra_model_threads;
+      }
+      result.front = naive_front(aadt, naive);
       break;
+    }
     case Algorithm::BottomUp:
       result.front = bottom_up_front(aadt, options.bottom_up);
       break;

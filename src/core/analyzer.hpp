@@ -32,6 +32,17 @@ struct AnalysisOptions {
   BottomUpOptions bottom_up;
   BddBuOptions bdd;
   HybridOptions hybrid;
+
+  /// Worker threads *inside* one analysis: 0 (default) keeps every
+  /// per-algorithm setting as-is; any other value overrides the knobs of
+  /// the algorithms that can parallelize intra-model - currently
+  /// naive.threads (the sharded 2^|D| enumeration; the bottom-up/BDD
+  /// propagations are sequential). Results are identical for every value,
+  /// so the FrontCache key deliberately ignores it. analyze_batch() sets
+  /// it on items when the batch has more workers than jobs, donating the
+  /// idle threads to the in-flight analyses instead of letting an
+  /// oversized item straggle on one core.
+  unsigned intra_model_threads = 0;
 };
 
 struct AnalysisResult {

@@ -18,6 +18,10 @@ struct BatchContext {
   const BatchOptions& options;
   BatchReport& report;
   Deadline deadline;  ///< batch-wide; disabled when deadline_seconds <= 0
+  /// intra_model_threads donated to every item that did not set its own:
+  /// floor(requested batch threads / jobs) when the pool is wider than
+  /// the job list, else 1 (no override is injected then).
+  unsigned donated_threads = 1;
 
   std::atomic<std::size_t> next{0};  ///< next unclaimed item index
   /// Serializes completion bookkeeping and the on_item callback; also
@@ -69,6 +73,14 @@ AnalysisOptions instrument_options(const BatchContext& ctx,
   if (opts.bottom_up.arena == nullptr) opts.bottom_up.arena = &arena;
   if (opts.bdd.arena == nullptr) opts.bdd.arena = &arena;
   if (opts.hybrid.bdd.arena == nullptr) opts.hybrid.bdd.arena = &arena;
+  // Idle-worker donation: a pool wider than the job list hands the
+  // surplus to each analysis as intra-model shards. An explicit per-item
+  // intra_model_threads or naive.threads is a deliberate setting and is
+  // kept.
+  if (ctx.donated_threads > 1 && opts.intra_model_threads == 0 &&
+      opts.naive.threads == 1) {
+    opts.intra_model_threads = ctx.donated_threads;
+  }
   return opts;
 }
 
@@ -177,16 +189,23 @@ BatchReport analyze_batch(std::span<const BatchJob> jobs,
   for (std::size_t i = 0; i < jobs.size(); ++i) report.items[i].index = i;
   report.completion_order.reserve(jobs.size());
 
-  unsigned n_threads = options.n_threads;
-  if (n_threads == 0) {
-    n_threads = std::max(1u, std::thread::hardware_concurrency());
+  unsigned requested = options.n_threads;
+  if (requested == 0) {
+    requested = std::max(1u, std::thread::hardware_concurrency());
   }
-  n_threads = static_cast<unsigned>(
-      std::min<std::size_t>(n_threads, std::max<std::size_t>(1, jobs.size())));
+  // Workers are clamped to the job count; the surplus of the *requested*
+  // width is what donation hands back as intra-model shards.
+  const unsigned n_threads = static_cast<unsigned>(
+      std::min<std::size_t>(requested, std::max<std::size_t>(1, jobs.size())));
   report.threads_used = n_threads;
 
   Stopwatch watch;
   BatchContext ctx(jobs, options, report);
+  if (options.donate_intra_model && !jobs.empty()) {
+    ctx.donated_threads = std::max(
+        1u, static_cast<unsigned>(requested / jobs.size()));
+  }
+  report.donated_intra_model_threads = ctx.donated_threads;
   if (n_threads == 1) {
     worker(ctx);
   } else {

@@ -105,6 +105,17 @@ struct BatchOptions {
   /// Optional shared result cache; nullptr disables caching. Models with
   /// Custom semiring domains bypass the cache (see front_cache.hpp).
   FrontCache* cache = nullptr;
+
+  /// When true (default), a batch with more worker threads than jobs
+  /// donates the surplus to the in-flight analyses: each item's
+  /// AnalysisOptions::intra_model_threads is set to
+  /// floor(threads / jobs), so an oversized item (e.g. a huge naive
+  /// enumeration) shards internally instead of straggling on one core
+  /// while the rest of the pool idles. Items that set
+  /// intra_model_threads (or naive.threads) themselves keep their own
+  /// value; results are unaffected either way (intra-model parallelism
+  /// is deterministic).
+  bool donate_intra_model = true;
 };
 
 /// Outcome of a whole batch run.
@@ -128,6 +139,9 @@ struct BatchReport {
   /// callbacks are suppressed once set.
   std::string callback_error;
   unsigned threads_used = 1;
+  /// intra_model_threads injected into items that did not set their own
+  /// (1 = no donation happened; see BatchOptions::donate_intra_model).
+  unsigned donated_intra_model_threads = 1;
   double seconds = 0;  ///< wall-clock for the whole batch
 
   /// Completed (ok) models per second of batch wall-clock. Caveat: the

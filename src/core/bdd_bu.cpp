@@ -178,10 +178,19 @@ BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
   report.bdd_size = manager.size(root);
   report.manager_nodes = manager.num_nodes();
 
+  // Front-operation stats live on the arena; pin one locally when the
+  // caller did not provide theirs, and attribute by snapshot so a
+  // batch-shared arena reports only this run's work.
+  FrontArena<ValuePoint> local_arena;
+  BddBuOptions opts = options;
+  if (opts.arena == nullptr) opts.arena = &local_arena;
+  const CombineStats before = opts.arena->stats();
+
   Stopwatch prop_watch;
   report.front = propagate<ValuePoint>(aadt, manager, root, order,
-                                       &report.max_front_size, options);
+                                       &report.max_front_size, opts);
   report.propagate_seconds = prop_watch.seconds();
+  report.combine_stats = opts.arena->stats().since(before);
   return report;
 }
 

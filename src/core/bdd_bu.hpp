@@ -61,6 +61,9 @@ struct BddBuReport {
   std::size_t bdd_size = 0;       ///< |W|: nodes reachable from the root
   std::size_t manager_nodes = 0;  ///< total nodes allocated while building
   std::size_t max_front_size = 0; ///< the p of the O(|W| p^2) bound
+  /// Front-operation counters of the propagation (staircase merges at
+  /// defense variables; combines only when blobs delegate here).
+  CombineStats combine_stats;
   double build_seconds = 0;       ///< ADT -> ROBDD translation time
   double propagate_seconds = 0;   ///< front propagation time
 };

@@ -66,6 +66,7 @@ std::vector<P> defense_leaf_points(const AugmentedAdt& aadt, NodeId id,
 template <typename P, typename Dd, typename Da>
 std::vector<BasicFront<P>> bottom_up_kernel(const AugmentedAdt& aadt,
                                             const BottomUpOptions& options,
+                                            std::size_t* max_front_size,
                                             const Dd& dd, const Da& da) {
   const Adt& adt = aadt.adt();
   // Value-front runs may borrow a caller-provided arena (analyze_batch
@@ -76,6 +77,7 @@ std::vector<BasicFront<P>> bottom_up_kernel(const AugmentedAdt& aadt,
   if constexpr (std::is_same_v<P, ValuePoint>) {
     if (options.arena != nullptr) arena = options.arena;
   }
+  std::size_t max_p = 0;
   std::vector<BasicFront<P>> fronts(adt.size());
   for (NodeId v : adt.topological_order()) {
     check_interrupt(options.deadline, options.cancel, "bottom_up");
@@ -103,14 +105,17 @@ std::vector<BasicFront<P>> bottom_up_kernel(const AugmentedAdt& aadt,
                          " points at node '" + n.name + "'");
       }
     }
+    max_p = std::max(max_p, acc.size());
     fronts[v] = std::move(acc);
   }
+  if (max_front_size != nullptr) *max_front_size = max_p;
   return fronts;
 }
 
 template <typename P>
 std::vector<BasicFront<P>> bottom_up_all(const AugmentedAdt& aadt,
-                                         const BottomUpOptions& options) {
+                                         const BottomUpOptions& options,
+                                         std::size_t* max_front_size = nullptr) {
   if (!aadt.adt().is_tree()) {
     throw ModelError(
         "bottom_up: the ADT is DAG-shaped (a node has multiple parents); "
@@ -120,7 +125,7 @@ std::vector<BasicFront<P>> bottom_up_all(const AugmentedAdt& aadt,
   return dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {
-        return bottom_up_kernel<P>(aadt, options, dd, da);
+        return bottom_up_kernel<P>(aadt, options, max_front_size, dd, da);
       });
 }
 
@@ -130,6 +135,24 @@ Front bottom_up_front(const AugmentedAdt& aadt,
                       const BottomUpOptions& options) {
   auto fronts = bottom_up_all<ValuePoint>(aadt, options);
   return std::move(fronts[aadt.adt().root()]);
+}
+
+BottomUpReport bottom_up_analyze(const AugmentedAdt& aadt,
+                                 const BottomUpOptions& options) {
+  BottomUpReport report;
+  // Stats live on the arena; pin one locally when the caller did not
+  // provide theirs, and attribute by snapshot so a batch-shared arena
+  // reports only this run's work.
+  FrontArena<ValuePoint> local_arena;
+  BottomUpOptions opts = options;
+  if (opts.arena == nullptr) opts.arena = &local_arena;
+  const CombineStats before = opts.arena->stats();
+  Stopwatch watch;
+  auto fronts = bottom_up_all<ValuePoint>(aadt, opts, &report.max_front_size);
+  report.seconds = watch.seconds();
+  report.combine_stats = opts.arena->stats().since(before);
+  report.front = std::move(fronts[aadt.adt().root()]);
+  return report;
 }
 
 WitnessFront bottom_up_front_witness(const AugmentedAdt& aadt,

@@ -47,10 +47,25 @@ struct BottomUpOptions {
   FrontArena<ValuePoint>* arena = nullptr;
 };
 
+/// Diagnostics of a Bottom-Up run, for benches and reports.
+struct BottomUpReport {
+  Front front;
+  std::size_t max_front_size = 0;  ///< largest intermediate front
+  /// Combine-path counters for this run (which merges took the sort-free
+  /// k-way path, and how many product points they examined).
+  CombineStats combine_stats;
+  double seconds = 0;  ///< wall-clock of the propagation
+};
+
 /// Algorithm 1 at the root. Requires aadt.adt().is_tree(); throws
 /// ModelError otherwise (use bdd_bu_front() or unfold_to_tree()).
 [[nodiscard]] Front bottom_up_front(const AugmentedAdt& aadt,
                                     const BottomUpOptions& options = {});
+
+/// As bottom_up_front(), returning combine-path diagnostics alongside the
+/// front.
+[[nodiscard]] BottomUpReport bottom_up_analyze(
+    const AugmentedAdt& aadt, const BottomUpOptions& options = {});
 
 /// As bottom_up_front(), with witness events attached to every point.
 [[nodiscard]] WitnessFront bottom_up_front_witness(

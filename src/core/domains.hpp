@@ -27,6 +27,7 @@
 #pragma once
 
 #include <limits>
+#include <type_traits>
 #include <utility>
 
 #include "core/semiring.hpp"
@@ -36,6 +37,25 @@ namespace adtp {
 namespace detail {
 inline constexpr double kDomainInf = std::numeric_limits<double>::infinity();
 }  // namespace detail
+
+/// Detects a policy's kMonotoneCombine marker: true iff the domain declares
+/// its combine monotone w.r.t. its prefer (a Definition 4 axiom that holds
+/// by construction for the Table I built-ins). DynamicDomain and the
+/// runtime Semiring carry no marker, so custom domains never qualify even
+/// when their (unchecked) axioms would permit it.
+///
+/// This is the k-way-eligibility trait of the combine engine: a monotone
+/// combine guarantees that every row of a staircase cross product is itself
+/// a staircase, which is what the sort-free merge paths in pareto.hpp
+/// (pareto.hpp's staircase_combine_eligible) rely on.
+template <typename D, typename = void>
+struct has_monotone_combine : std::false_type {};
+template <typename D>
+struct has_monotone_combine<D, std::void_t<decltype(D::kMonotoneCombine)>>
+    : std::bool_constant<D::kMonotoneCombine> {};
+
+template <typename D>
+inline constexpr bool is_monotone_combine_v = has_monotone_combine<D>::value;
 
 /// ([0,inf], min, +, inf, 0, <=): the Table I min-cost row.
 ///

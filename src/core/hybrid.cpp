@@ -100,12 +100,17 @@ HybridReport hybrid_analyze(const AugmentedAdt& aadt,
   FrontArena<ValuePoint> local_arena;
   FrontArena<ValuePoint>* arena =
       options.bdd.arena != nullptr ? options.bdd.arena : &local_arena;
+  const CombineStats before = arena->stats();
   report.front = dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {
         HybridState state{aadt, options, modules, dd, da, report, arena};
         return state.front(aadt.adt().root());
       });
+  // Blob runs pass options.bdd.arena into bdd_bu_front too, so when the
+  // caller shared one arena these counters include the blob merges; with
+  // a local arena they cover the tree-style combines only.
+  report.combine_stats = arena->stats().since(before);
   return report;
 }
 

@@ -29,6 +29,11 @@ struct HybridReport {
   std::size_t blob_count = 0;      ///< sub-DAGs handed to BDDBU
   std::size_t largest_blob = 0;    ///< node count of the largest such blob
   std::size_t tree_combines = 0;   ///< gates combined tree-style
+  /// Front-operation counters of the hybrid walk: the tree-style
+  /// combines, plus the blob merges when the per-blob BDDBU runs share
+  /// the caller's arena (options.bdd.arena set); with no caller arena the
+  /// blobs keep private scratch and only tree combines are counted.
+  CombineStats combine_stats;
 };
 
 /// Computes the Pareto front of an arbitrary ADT by modular decomposition.

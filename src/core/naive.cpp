@@ -1,7 +1,11 @@
 #include "core/naive.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
+#include <exception>
+#include <thread>
 
 #include "core/domains.hpp"
 #include "util/error.hpp"
@@ -86,54 +90,128 @@ void check_limits(const AugmentedAdt& aadt, const NaiveOptions& options) {
   }
 }
 
-/// The per-attacker-domain kernel of Algorithm 2's enumeration: the subset
-/// DP and the 2^|A| response scans run with inlined combine/prefer.
+/// beta-hat_A for attack masks. Tabulated by subset dynamic programming
+/// while the table stays small (2^22 doubles = 32 MiB); above that,
+/// computed per mask. Built once, then shared read-only across shards.
 template <typename Da>
-std::vector<FeasibleEvent> enumerate_kernel(const AugmentedAdt& aadt,
-                                            const NaiveOptions& options,
-                                            const Da& da) {
-  const Adt& adt = aadt.adt();
-  const std::size_t num_d = adt.num_defenses();
-  const std::size_t num_a = adt.num_attacks();
-  const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
-
-  MaskEvaluator eval(adt);
-
-  // beta-hat_A for every attack mask, by subset dynamic programming; keeps
-  // the hot loop free of per-mask recombination. Tabulated only while the
-  // table stays small (2^22 doubles = 32 MiB); above that, computed per
-  // mask.
-  const bool tabulate = num_a <= 22;
-  std::vector<double> attack_value;
-  if (tabulate) {
-    attack_value.resize(std::size_t{1} << num_a);
-    attack_value[0] = da.one();
-    for (std::uint64_t alpha = 1; alpha < attack_value.size(); ++alpha) {
-      const std::uint64_t low = alpha & (~alpha + 1);  // lowest set bit
-      const auto low_index = static_cast<std::size_t>(std::countr_zero(low));
-      attack_value[alpha] =
-          da.combine(attack_value[alpha ^ low], aadt.attack_value(low_index));
+class AttackValues {
+ public:
+  AttackValues(const AugmentedAdt& aadt, const Da& da)
+      : aadt_(&aadt), da_(&da) {
+    const std::size_t num_a = aadt.adt().num_attacks();
+    if (num_a <= 22) {
+      table_.resize(std::size_t{1} << num_a);
+      table_[0] = da.one();
+      for (std::uint64_t alpha = 1; alpha < table_.size(); ++alpha) {
+        const std::uint64_t low = alpha & (~alpha + 1);  // lowest set bit
+        const auto low_index = static_cast<std::size_t>(std::countr_zero(low));
+        table_[alpha] =
+            da.combine(table_[alpha ^ low], aadt.attack_value(low_index));
+      }
     }
   }
-  auto value_of_alpha = [&](std::uint64_t alpha) {
-    if (tabulate) return attack_value[alpha];
-    double v = da.one();
+
+  [[nodiscard]] double operator()(std::uint64_t alpha) const {
+    if (!table_.empty()) return table_[alpha];
+    double v = da_->one();
     std::uint64_t rest = alpha;
     while (rest != 0) {
       const auto i = static_cast<std::size_t>(std::countr_zero(rest));
-      v = da.combine(v, aadt.attack_value(i));
+      v = da_->combine(v, aadt_->attack_value(i));
       rest &= rest - 1;
     }
     return v;
+  }
+
+ private:
+  const AugmentedAdt* aadt_;
+  const Da* da_;
+  std::vector<double> table_;
+};
+
+/// Sharding floor: a shard must amortize its thread's create/join cost
+/// (~tens of microseconds), so each worker gets at least this many root
+/// evaluations (delta/alpha pairs, each a full structure-function walk).
+/// Below the floor the enumeration runs on fewer threads - possibly one -
+/// which keeps small models in a wide donated batch from paying more for
+/// spawning than for enumerating.
+constexpr double kMinEvalsPerShard = 16384;
+
+/// The number of shard workers actually used: 0 resolves to
+/// hardware_concurrency; the count is clamped so no shard is empty and no
+/// shard falls under the work floor.
+unsigned resolve_threads(unsigned requested, std::uint64_t num_deltas,
+                         std::size_t num_attacks) {
+  std::uint64_t threads =
+      requested == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                     : requested;
+  threads = std::min<std::uint64_t>(threads, std::max<std::uint64_t>(
+                                                 1, num_deltas));
+  // Work estimate in double: 2^(|D| + |A|) overflows uint64 only when it
+  // is unenumerable anyway.
+  const double evals = std::ldexp(static_cast<double>(num_deltas),
+                                  static_cast<int>(num_attacks));
+  const double fair = std::max(1.0, evals / kMinEvalsPerShard);
+  if (fair < static_cast<double>(threads)) {
+    threads = static_cast<std::uint64_t>(fair);
+  }
+  return static_cast<unsigned>(threads);
+}
+
+/// Runs fn(shard, begin, end) over a contiguous partition of [0, total)
+/// on \p threads workers; the calling thread runs shard 0, and any shard
+/// whose thread cannot be created (resource exhaustion) also runs on the
+/// calling thread. All shards are joined before the first exception - by
+/// shard index, so the choice is deterministic - is rethrown.
+template <typename Fn>
+void run_sharded(unsigned threads, std::uint64_t total, Fn&& fn) {
+  const std::uint64_t base = total / threads;
+  const std::uint64_t rem = total % threads;
+  auto bound = [base, rem](std::uint64_t s) {
+    return base * s + std::min<std::uint64_t>(s, rem);
   };
+  std::vector<std::exception_ptr> errors(threads);
+  auto run_shard = [&](unsigned s) {
+    try {
+      fn(s, bound(s), bound(s + 1));
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  std::vector<unsigned> displaced;
+  pool.reserve(threads - 1);
+  for (unsigned s = 1; s < threads; ++s) {
+    try {
+      pool.emplace_back(run_shard, s);
+    } catch (const std::system_error&) {
+      displaced.push_back(s);
+    }
+  }
+  run_shard(0);
+  for (unsigned s : displaced) run_shard(s);
+  for (std::thread& t : pool) t.join();
+  for (unsigned s = 0; s < threads; ++s) {
+    if (errors[s]) std::rethrow_exception(errors[s]);
+  }
+}
 
-  std::vector<FeasibleEvent> events;
-  events.reserve(std::size_t{1} << num_d);
+/// Algorithm 2 lines 4-11 for every delta in [begin, end): the 2^|A|
+/// response scan with inlined combine/prefer, reporting each delta's
+/// optimal response to \p emit(delta, found, best_value, best_alpha).
+/// One MaskEvaluator per call, so concurrent shards never share mutable
+/// state; \p values is read-only.
+template <typename Da, typename Emit>
+void scan_deltas(const AugmentedAdt& aadt, const NaiveOptions& options,
+                 const Da& da, const AttackValues<Da>& values,
+                 std::uint64_t begin, std::uint64_t end, Emit&& emit) {
+  const Adt& adt = aadt.adt();
+  const std::size_t num_a = adt.num_attacks();
+  const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
+  MaskEvaluator eval(adt);
 
-  for (std::uint64_t delta = 0; delta < (std::uint64_t{1} << num_d);
-       ++delta) {
+  for (std::uint64_t delta = begin; delta < end; ++delta) {
     check_interrupt(options.deadline, options.cancel, "naive");
-    // Algorithm 2 lines 4-11: the attacker's optimal response.
     bool found = false;
     double best = da.zero();
     std::uint64_t best_alpha = 0;
@@ -142,26 +220,107 @@ std::vector<FeasibleEvent> enumerate_kernel(const AugmentedAdt& aadt,
       const bool value = eval.root_value(delta, alpha);
       const bool success = root_is_attack ? value : !value;
       if (!success) continue;
-      const double candidate = value_of_alpha(alpha);
+      const double candidate = values(alpha);
       if (!found || da.strictly_prefer(candidate, best)) {
         found = true;
         best = candidate;
         best_alpha = alpha;
       }
     }
-
-    FeasibleEvent ev;
-    ev.defense = mask_to_bitvec(delta, num_d);
-    ev.defense_value = aadt.defense_vector_value(ev.defense);
-    if (found) {
-      ev.response = mask_to_bitvec(best_alpha, num_a);
-      ev.attack_value = best;
-    } else {
-      ev.attack_value = da.zero();  // 1_oplus_A: no successful attack
-    }
-    events.push_back(std::move(ev));
+    emit(delta, found, best, best_alpha);
   }
+}
+
+/// The sharded kernel of enumerate_feasible_events: shards fill disjoint
+/// slices of the delta-ordered output vector, so the result is identical
+/// for every thread count.
+template <typename Da>
+std::vector<FeasibleEvent> enumerate_kernel(const AugmentedAdt& aadt,
+                                            const NaiveOptions& options,
+                                            const Da& da) {
+  const std::size_t num_d = aadt.adt().num_defenses();
+  const std::size_t num_a = aadt.adt().num_attacks();
+  const std::uint64_t total = std::uint64_t{1} << num_d;
+  const unsigned threads =
+      resolve_threads(options.threads, total, aadt.adt().num_attacks());
+
+  const AttackValues<Da> values(aadt, da);
+  std::vector<FeasibleEvent> events(total);
+  run_sharded(threads, total, [&](unsigned, std::uint64_t begin,
+                                  std::uint64_t end) {
+    scan_deltas(aadt, options, da, values, begin, end,
+                [&](std::uint64_t delta, bool found, double best,
+                    std::uint64_t best_alpha) {
+                  FeasibleEvent& ev = events[delta];
+                  ev.defense = mask_to_bitvec(delta, num_d);
+                  ev.defense_value = aadt.defense_vector_value(ev.defense);
+                  if (found) {
+                    ev.response = mask_to_bitvec(best_alpha, num_a);
+                    ev.attack_value = best;
+                  } else {
+                    ev.attack_value = da.zero();  // 1_oplus_A: no attack
+                  }
+                });
+  });
   return events;
+}
+
+/// The sharded kernel of naive_front: each shard minimizes its own slice
+/// of the delta space into a staircase (memory stays proportional to the
+/// partial fronts, not the 2^|D| event set), and the per-shard fronts are
+/// reduced pairwise in shard order. Minimization only *selects* among
+/// per-delta values computed independently of the sharding, so the result
+/// is identical for every thread count.
+template <typename Dd, typename Da>
+Front front_kernel(const AugmentedAdt& aadt, const NaiveOptions& options,
+                   const Dd& dd, const Da& da) {
+  const std::uint64_t total = std::uint64_t{1} << aadt.adt().num_defenses();
+  const unsigned threads =
+      resolve_threads(options.threads, total, aadt.adt().num_attacks());
+
+  const AttackValues<Da> values(aadt, da);
+  std::vector<std::vector<ValuePoint>> shards(threads);
+  run_sharded(threads, total, [&](unsigned shard, std::uint64_t begin,
+                                  std::uint64_t end) {
+    // Shard memory is bounded: raw points are compacted to the running
+    // partial front at geometric capacity checkpoints (minimizing a
+    // partially-minimized buffer is sound - the sort re-establishes the
+    // staircase order), so a shard holds O(max(front, 2^16)) points, not
+    // its whole delta slice.
+    constexpr std::size_t kCompactFloor = std::size_t{1} << 16;
+    std::vector<ValuePoint>& points = shards[shard];
+    points.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(end - begin, kCompactFloor)));
+    scan_deltas(aadt, options, da, values, begin, end,
+                [&](std::uint64_t delta, bool found, double best,
+                    std::uint64_t) {
+                  // beta-hat_D(delta), in the same ascending-index combine
+                  // order as AugmentedAdt::defense_vector_value.
+                  double def = dd.one();
+                  std::uint64_t rest = delta;
+                  while (rest != 0) {
+                    const auto i =
+                        static_cast<std::size_t>(std::countr_zero(rest));
+                    def = dd.combine(def, aadt.defense_value(i));
+                    rest &= rest - 1;
+                  }
+                  points.push_back(
+                      ValuePoint{def, found ? best : da.zero()});
+                  if (points.size() == points.capacity() &&
+                      points.size() >= kCompactFloor) {
+                    detail::pareto_minimize_in_place(points, dd, da);
+                  }
+                });
+    detail::pareto_minimize_in_place(points, dd, da);
+  });
+
+  std::vector<ValuePoint> front = std::move(shards[0]);
+  std::vector<ValuePoint> merged;
+  for (unsigned s = 1; s < threads; ++s) {
+    detail::pareto_merge_staircases(front, shards[s], merged, dd, da);
+    front.swap(merged);
+  }
+  return Front::from_staircase(std::move(front));
 }
 
 }  // namespace
@@ -177,21 +336,19 @@ std::vector<FeasibleEvent> enumerate_feasible_events(
 }
 
 Front naive_front(const AugmentedAdt& aadt, const NaiveOptions& options) {
-  // The enumeration is the exponential part; instantiate it per attacker
-  // domain only. The final minimize over 2^|D| events is comparatively
-  // cheap, so the runtime Semirings suffice there.
-  const auto events = enumerate_feasible_events(aadt, options);
-  std::vector<ValuePoint> points;
-  points.reserve(events.size());
-  for (const auto& ev : events) {
-    points.push_back(ValuePoint{ev.defense_value, ev.attack_value});
-  }
-  return Front::minimized(std::move(points), aadt.defender_domain(),
-                          aadt.attacker_domain());
+  check_limits(aadt, options);
+  // Unlike enumerate_feasible_events, the front path minimizes inside the
+  // shards, so both domains are needed as inlinable policies.
+  return dispatch_domains(aadt.defender_domain(), aadt.attacker_domain(),
+                          [&](const auto& dd, const auto& da) {
+                            return front_kernel(aadt, options, dd, da);
+                          });
 }
 
 WitnessFront naive_front_witness(const AugmentedAdt& aadt,
                                  const NaiveOptions& options) {
+  // Built from the (sharding-invariant) event vector and minimized in one
+  // pass, so witnesses too are identical for every thread count.
   const auto events = enumerate_feasible_events(aadt, options);
   const std::size_t num_a = aadt.adt().num_attacks();
   std::vector<WitnessPoint> points;

@@ -7,6 +7,15 @@
 /// Exact for arbitrary DAG-shaped ADTs but exponential in |D| + |A|; it is
 /// the correctness oracle for the other algorithms and the baseline of the
 /// paper's experiments.
+///
+/// Intra-model parallelism: the 2^|D| delta space is embarrassingly
+/// parallel, so NaiveOptions::threads shards it across a worker pool.
+/// Results are *identical* for every thread count: the per-delta values
+/// are computed independently of the sharding, enumerate_feasible_events
+/// writes disjoint slices of one delta-ordered vector, and the front paths
+/// minimize per-shard staircases that are then reduced pairwise in shard
+/// order - dominance minimization only selects among the same value pairs,
+/// so no floating-point recombination depends on the shard layout.
 
 #pragma once
 
@@ -33,6 +42,16 @@ struct NaiveOptions {
   /// CancelledError. Checked once per enumerated defense vector, like the
   /// deadline. analyze_batch() injects its batch-wide token here.
   const CancelToken* cancel = nullptr;
+
+  /// Worker threads sharding the 2^|D| delta enumeration: 1 (default)
+  /// runs sequentially on the calling thread, 0 resolves to
+  /// std::thread::hardware_concurrency(), N > 1 uses N workers (the
+  /// calling thread is one of them). Always clamped to the number of
+  /// deltas. The result is identical for every value (see the file
+  /// comment), so this knob deliberately does not participate in the
+  /// FrontCache key; analyze_batch() raises it for oversized items when
+  /// workers would otherwise sit idle.
+  unsigned threads = 1;
 };
 
 /// One row of the feasible-event set S (Definition 8): a defense vector

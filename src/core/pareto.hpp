@@ -22,15 +22,20 @@
 /// the per-merge hot loops are branch-free.
 ///
 /// FrontArena supports the accumulate-combine pattern of the algorithms:
-/// it recycles the cross-product and output buffers across the thousands
-/// of merges of a single analysis instead of allocating per merge, and it
-/// skips the full re-sort whenever the product of two staircases is
-/// already ordered (either operand a singleton - the common leaf case).
+/// it recycles the combine scratch buffers across the thousands of merges
+/// of a single analysis instead of allocating per merge. For domain pairs
+/// whose combines are monotone w.r.t. prefer (staircase_combine_eligible -
+/// all the static built-ins) the combine step is *sort-free*: the rows of
+/// the cross product are themselves staircases, so a k-way tournament
+/// merge with upper-envelope row pruning produces the minimized result
+/// without ever materializing or sorting the product. Non-monotone/custom
+/// domains keep the materialize + sort + sweep path.
 
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -72,20 +77,29 @@ enum class AttackOp : std::uint8_t { Combine, Choose };
   return op == AttackOp::Combine ? "tensor_A" : "oplus_A";
 }
 
+/// True iff the (defender, attacker) policy pair admits the sort-free
+/// staircase combine paths for \p op: when the defender combine is
+/// monotone (and, under AttackOp::Combine, the attacker combine too -
+/// Choose uses prefer alone), every row of a staircase cross product is
+/// itself a staircase, so the product can be minimized by a k-way merge
+/// instead of a full sort. Gated on domains.hpp's kMonotoneCombine
+/// marker, so DynamicDomain and the runtime Semiring always report false
+/// and take the sorting path.
+template <typename Dd, typename Da>
+[[nodiscard]] constexpr bool staircase_combine_eligible(AttackOp op) {
+  return is_monotone_combine_v<Dd> &&
+         (op == AttackOp::Choose || is_monotone_combine_v<Da>);
+}
+
 // ---- staircase primitives ------------------------------------------------
 
 namespace detail {
 
-/// True iff the domain policy declares its combine monotone w.r.t. its
-/// prefer (domains.hpp's kMonotoneCombine). DynamicDomain and the runtime
-/// Semiring carry no marker, so custom domains never enable the
-/// sort-skipping fast paths even when their (unchecked) axioms would
-/// permit it.
-template <typename D, typename = void>
-struct is_monotone_domain : std::false_type {};
+/// Kept as an alias of domains.hpp's public k-way-eligibility trait (the
+/// detection moved there so dispatch code can consult it without pulling
+/// in the front machinery).
 template <typename D>
-struct is_monotone_domain<D, std::void_t<decltype(D::kMonotoneCombine)>>
-    : std::bool_constant<D::kMonotoneCombine> {};
+using is_monotone_domain = has_monotone_combine<D>;
 
 /// Strict weak order of the staircase: best defender value first; ties put
 /// the most attacker-adverse response first (so a single forward sweep
@@ -185,29 +199,164 @@ inline void adopt_attack_witness(WitnessPoint& into,
   into.attack = from.attack;
 }
 
+/// The (tensor_D, op_A) product of two points, witness payloads included:
+/// defense witnesses union; attack witnesses union under Combine and adopt
+/// the attacker-preferred side under Choose (ties keep \p p's).
+template <typename P, typename Dd, typename Da>
+[[nodiscard]] P product_point(const P& p, const P& q, AttackOp op,
+                              const Dd& dd, const Da& da) {
+  P r = p;
+  r.def = dd.combine(p.def, q.def);
+  merge_defense_witness(r, q);
+  if (op == AttackOp::Combine) {
+    r.att = da.combine(p.att, q.att);
+    merge_attack_witness(r, q);
+  } else if (da.strictly_prefer(q.att, p.att)) {
+    r.att = q.att;
+    adopt_attack_witness(r, q);
+  }
+  return r;
+}
+
+/// The value pair of product_point(p, q, op) without materializing the
+/// payload - the key computation of the k-way merge's tournament.
+template <typename P, typename Dd, typename Da>
+void product_values(const P& p, const P& q, AttackOp op, const Dd& dd,
+                    const Da& da, double& def, double& att) {
+  def = dd.combine(p.def, q.def);
+  if (op == AttackOp::Combine) {
+    att = da.combine(p.att, q.att);
+  } else {
+    att = da.strictly_prefer(q.att, p.att) ? q.att : p.att;
+  }
+}
+
+/// Upfront reservation cap for cross-product buffers: past this, growth is
+/// left to push_back's geometric policy so a pathological combine commits
+/// memory only as it actually materializes points.
+inline constexpr std::size_t kProductReserveCap = std::size_t{1} << 16;
+
 /// Fills \p out with the pairwise (tensor_D, op_A) products of the two
-/// fronts' points, in lhs-major order.
+/// fronts' points, in lhs-major order. The output IS the full
+/// |lhs| x |rhs| cross product; the reservation is merely capped (see
+/// kProductReserveCap) so tiny-output giant combines do not pre-commit the
+/// whole product in one jump.
 template <typename P, typename Dd, typename Da>
 void product_points(const std::vector<P>& lhs, const std::vector<P>& rhs,
                     AttackOp op, const Dd& dd, const Da& da,
                     std::vector<P>& out) {
   out.clear();
-  out.reserve(lhs.size() * rhs.size());
+  out.reserve(std::min(lhs.size() * rhs.size(), kProductReserveCap));
   for (const P& p : lhs) {
     for (const P& q : rhs) {
-      P r = p;
-      r.def = dd.combine(p.def, q.def);
-      merge_defense_witness(r, q);
-      if (op == AttackOp::Combine) {
-        r.att = da.combine(p.att, q.att);
-        merge_attack_witness(r, q);
-      } else if (da.strictly_prefer(q.att, p.att)) {
-        r.att = q.att;
-        adopt_attack_witness(r, q);
-      }
-      out.push_back(std::move(r));
+      out.push_back(product_point(p, q, op, dd, da));
     }
   }
+}
+
+/// One pending element of the k-way merge: the product of row \p row of
+/// the smaller operand with column \p col of the larger one, keyed by its
+/// combined value pair so the tournament never touches point payloads
+/// (witness bitvecs are materialized only for kept points).
+struct KWayEntry {
+  double def = 0;
+  double att = 0;
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+};
+
+/// Sort-free combine of two staircases (the general, non-singleton hot
+/// path): each of the k = min(|lhs|, |rhs|) rows of the cross product is
+/// itself a staircase (this is what staircase_combine_eligible certifies),
+/// so a k-way tournament merge emits the products with non-strictly
+/// worsening defender values - exactly staircase_push's precondition - and
+/// the linear dominance sweep yields the minimized front in
+/// O(|lhs||rhs| log k) worst case without materializing or sorting the
+/// product.
+///
+/// Upper-envelope pruning usually does far better: a row's most adverse
+/// value is its last product, and the output tail is the most adverse
+/// point kept so far with a defender value at least as good as every
+/// pending product - so once the tail is at least as adverse as a row's
+/// final value, the whole remaining row is dominated and drops out of the
+/// tournament. On staircase families (Fig. 4) this collapses the
+/// enumeration to O((|lhs| + |rhs|) log k) products examined.
+///
+/// \p heap and \p row_tails are caller scratch (recycled by FrontArena);
+/// \p out receives the minimized staircase. Returns the number of product
+/// points actually examined (popped from the tournament).
+///
+/// Precondition: staircase_combine_eligible<Dd, Da>(op); both inputs are
+/// staircases under (dd, da). \p out must not alias either input; the
+/// inputs may alias each other.
+template <typename P, typename Dd, typename Da>
+std::size_t combine_kway(const std::vector<P>& lhs, const std::vector<P>& rhs,
+                         AttackOp op, const Dd& dd, const Da& da,
+                         std::vector<KWayEntry>& heap,
+                         std::vector<double>& row_tails, std::vector<P>& out) {
+  out.clear();
+  if (lhs.empty() || rhs.empty()) return 0;
+  // Rows iterate over the smaller operand so the tournament holds
+  // min(|lhs|, |rhs|) entries; the product keeps its (lhs, rhs) operand
+  // roles either way (tensor ops are commutative on values, and witness
+  // adoption keeps lhs's payload on attacker-value ties).
+  const bool rows_on_lhs = lhs.size() <= rhs.size();
+  const std::vector<P>& rows = rows_on_lhs ? lhs : rhs;
+  const std::vector<P>& cols = rows_on_lhs ? rhs : lhs;
+  const std::size_t k = rows.size();
+  const std::size_t m = cols.size();
+
+  auto entry_at = [&](std::uint32_t row, std::uint32_t col) {
+    KWayEntry e;
+    e.row = row;
+    e.col = col;
+    const P& p = rows_on_lhs ? rows[row] : cols[col];
+    const P& q = rows_on_lhs ? cols[col] : rows[row];
+    product_values(p, q, op, dd, da, e.def, e.att);
+    return e;
+  };
+
+  row_tails.resize(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    row_tails[i] = entry_at(i, static_cast<std::uint32_t>(m - 1)).att;
+  }
+
+  // Min-heap under the staircase order of the value pairs. std::push_heap
+  // keeps the comparator-maximal element last, so the comparator is the
+  // inverse of FrontLess.
+  const FrontLess<Dd, Da> less{dd, da};
+  auto heap_after = [&](const KWayEntry& a, const KWayEntry& b) {
+    return less(ValuePoint{b.def, b.att}, ValuePoint{a.def, a.att});
+  };
+
+  heap.clear();
+  heap.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) heap.push_back(entry_at(i, 0));
+  std::make_heap(heap.begin(), heap.end(), heap_after);
+
+  std::size_t examined = 0;
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_after);
+    const KWayEntry e = heap.back();
+    heap.pop_back();
+    ++examined;
+    if (!out.empty() && da.prefer(row_tails[e.row], out.back().att)) {
+      continue;  // whole remaining row dominated by the output tail
+    }
+    // staircase_push's reject test, hoisted so dominated products are
+    // never materialized (the payload copy is the expensive part for
+    // witness points).
+    if (out.empty() || da.strictly_prefer(out.back().att, e.att)) {
+      const P& p = rows_on_lhs ? rows[e.row] : cols[e.col];
+      const P& q = rows_on_lhs ? cols[e.col] : rows[e.row];
+      staircase_push(out, product_point(p, q, op, dd, da), dd, da);
+    }
+    if (e.col + 1 < m) {
+      heap.push_back(entry_at(e.row, e.col + 1));
+      std::push_heap(heap.begin(), heap.end(), heap_after);
+    }
+  }
+  return examined;
 }
 
 }  // namespace detail
@@ -323,21 +472,58 @@ class BasicFront {
 using Front = BasicFront<ValuePoint>;
 using WitnessFront = BasicFront<WitnessPoint>;
 
+/// The sorting reference path of the combine step: materializes the full
+/// cross product, sorts it, and sweeps. O(nm log nm); correct for *any*
+/// domain pair, monotone or not - this is the fallback for custom domains
+/// and the oracle the sort-free path is tested against.
+template <typename P, typename Dd, typename Da>
+[[nodiscard]] BasicFront<P> combine_fronts_sorted(const BasicFront<P>& lhs,
+                                                  const BasicFront<P>& rhs,
+                                                  AttackOp op, const Dd& dd,
+                                                  const Da& da) {
+  std::vector<P> out;
+  detail::product_points(lhs.points(), rhs.points(), op, dd, da, out);
+  detail::pareto_minimize_in_place(out, dd, da);
+  return BasicFront<P>::from_staircase(std::move(out));
+}
+
+/// The sort-free k-way staircase merge path of the combine step.
+/// Precondition: staircase_combine_eligible<Dd, Da>(op) - calling this
+/// with a non-monotone combine silently breaks the staircase invariant.
+template <typename P, typename Dd, typename Da>
+[[nodiscard]] BasicFront<P> combine_fronts_kway(const BasicFront<P>& lhs,
+                                                const BasicFront<P>& rhs,
+                                                AttackOp op, const Dd& dd,
+                                                const Da& da) {
+  std::vector<detail::KWayEntry> heap;
+  std::vector<double> row_tails;
+  std::vector<P> out;
+  detail::combine_kway(lhs.points(), rhs.points(), op, dd, da, heap,
+                       row_tails, out);
+  return BasicFront<P>::from_staircase(std::move(out));
+}
+
 /// Combines two child fronts per the Bottom-Up step (Alg. 1 lines 7-8):
 /// the defender coordinate always uses tensor_D; the attacker coordinate
 /// uses tensor_A or oplus_A per \p op (Table II); the result is
 /// re-minimized (sound by Lemma 2). Witness payloads are maintained:
 /// defense witnesses union; attack witnesses union under Combine and adopt
 /// the chosen side under Choose.
+///
+/// Dispatches to the sort-free k-way merge for domain pairs that certify
+/// staircase_combine_eligible and to the sorting path otherwise; the two
+/// agree on values (witness choice between equal-value products may
+/// differ, both being valid). Hot loops should prefer
+/// FrontArena::combine_into, which recycles the scratch buffers.
 template <typename P, typename Dd, typename Da>
 [[nodiscard]] BasicFront<P> combine_fronts(const BasicFront<P>& lhs,
                                            const BasicFront<P>& rhs,
                                            AttackOp op, const Dd& dd,
                                            const Da& da) {
-  std::vector<P> out;
-  detail::product_points(lhs.points(), rhs.points(), op, dd, da, out);
-  detail::pareto_minimize_in_place(out, dd, da);
-  return BasicFront<P>::from_staircase(std::move(out));
+  if (staircase_combine_eligible<Dd, Da>(op)) {
+    return combine_fronts_kway(lhs, rhs, op, dd, da);
+  }
+  return combine_fronts_sorted(lhs, rhs, op, dd, da);
 }
 
 /// Reusable scratch space for the combine-heavy inner loops of the
@@ -349,39 +535,76 @@ template <typename P, typename Dd, typename Da>
 /// state, only capacity carries over - which is how analyze_batch()
 /// recycles buffers across all items served by one worker thread (see
 /// BottomUpOptions/BddBuOptions::arena).
+/// Running totals of the combine work a FrontArena has served; benches
+/// and the per-algorithm reports read these to show which path the hot
+/// loop actually took and how effective upper-envelope pruning was.
+/// Snapshot-and-subtract to attribute work to one analysis when the arena
+/// is shared across a batch.
+struct CombineStats {
+  std::uint64_t kway_combines = 0;    ///< combines on the sort-free path
+  std::uint64_t sorted_combines = 0;  ///< combines that sorted the product
+  /// Two-staircase unions via merged_transformed (Algorithm 3's defense
+  /// step); already sort-free for monotone domains.
+  std::uint64_t staircase_merges = 0;
+  /// Product points examined: every point of the cross product on the
+  /// sorting path, only the tournament pops on the k-way path - the gap
+  /// between this and the full product is the pruning win.
+  std::uint64_t points_examined = 0;
+  std::uint64_t points_kept = 0;  ///< points surviving minimization
+
+  /// The work recorded since \p earlier (an older snapshot of the same
+  /// counter set).
+  [[nodiscard]] CombineStats since(const CombineStats& earlier) const {
+    CombineStats d;
+    d.kway_combines = kway_combines - earlier.kway_combines;
+    d.sorted_combines = sorted_combines - earlier.sorted_combines;
+    d.staircase_merges = staircase_merges - earlier.staircase_merges;
+    d.points_examined = points_examined - earlier.points_examined;
+    d.points_kept = points_kept - earlier.points_kept;
+    return d;
+  }
+};
+
 template <typename P>
 class FrontArena {
  public:
   /// Replaces \p acc with combine_fronts(acc, rhs, op, dd, da).
   ///
-  /// Fast path: when either operand is a singleton, the cross product of
-  /// the two staircases is already sorted (tensor_D and the Table II
-  /// attacker ops are monotone w.r.t. prefer), so the re-sort is skipped
-  /// and only the linear dominance sweep runs. Taken only for domains
-  /// that declare kMonotoneCombine (the static built-ins); under Choose
-  /// the attacker coordinate uses prefer alone, so only the defender
-  /// combine must be monotone.
+  /// Domain pairs certifying staircase_combine_eligible (the static
+  /// built-ins) take the sort-free k-way staircase merge, which never
+  /// materializes the cross product; unmarked domains (DynamicDomain, the
+  /// runtime Semiring) materialize, sort, and sweep.
   template <typename Dd, typename Da>
   void combine_into(BasicFront<P>& acc, const BasicFront<P>& rhs, AttackOp op,
                     const Dd& dd, const Da& da) {
-    detail::product_points(acc.points(), rhs.points(), op, dd, da, scratch_);
-    const bool rows_sorted =
-        detail::is_monotone_domain<Dd>::value &&
-        (op == AttackOp::Choose || detail::is_monotone_domain<Da>::value) &&
-        (acc.size() == 1 || rhs.size() == 1);
-    if (!rows_sorted) {
+    if (staircase_combine_eligible<Dd, Da>(op)) {
+      stats_.points_examined += detail::combine_kway(
+          acc.points(), rhs.points(), op, dd, da, heap_, row_tails_, spare_);
+      ++stats_.kway_combines;
+    } else {
+      detail::product_points(acc.points(), rhs.points(), op, dd, da, scratch_);
       std::sort(scratch_.begin(), scratch_.end(),
                 detail::FrontLess<Dd, Da>{dd, da});
+      spare_.clear();
+      // No reserve to the cross-product size: the output buffer is adopted
+      // by acc and can outlive the arena (e.g. stored as a per-node
+      // front), so its capacity must stay proportional to the *kept*
+      // points.
+      for (P& p : scratch_) {
+        detail::staircase_push(spare_, std::move(p), dd, da);
+      }
+      stats_.points_examined += scratch_.size();
+      ++stats_.sorted_combines;
+      trim_scratch(spare_.size());
     }
-    spare_.clear();
-    // No reserve to the cross-product size: the output buffer is adopted
-    // by acc and can outlive the arena (e.g. stored as a per-node front),
-    // so its capacity must stay proportional to the *kept* points.
-    for (P& p : scratch_) detail::staircase_push(spare_, std::move(p), dd, da);
+    stats_.points_kept += spare_.size();
     std::vector<P> recycled = acc.take_points();
     acc = BasicFront<P>::from_staircase(std::move(spare_));
     spare_ = std::move(recycled);
   }
+
+  [[nodiscard]] const CombineStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = CombineStats{}; }
 
   /// Builds the minimized union of \p base with transform(q) for every
   /// point q of \p other, where \p transform shifts the defender
@@ -400,7 +623,7 @@ class FrontArena {
     scratch_.reserve(other.size());
     for (const P& q : other.points()) scratch_.push_back(transform(q));
     std::vector<P> merged;
-    if constexpr (detail::is_monotone_domain<Dd>::value) {
+    if constexpr (is_monotone_combine_v<Dd>) {
       detail::pareto_merge_staircases(base.points(), scratch_, merged, dd,
                                       da);
     } else {
@@ -409,12 +632,31 @@ class FrontArena {
       merged.insert(merged.end(), scratch_.begin(), scratch_.end());
       detail::pareto_minimize_in_place(merged, dd, da);
     }
+    ++stats_.staircase_merges;
+    stats_.points_examined += base.size() + scratch_.size();
+    stats_.points_kept += merged.size();
     return BasicFront<P>::from_staircase(std::move(merged));
   }
 
  private:
+  /// Bounds the cross-product buffer's *retained* capacity at a multiple
+  /// of the points the combine actually kept: an arena that served one
+  /// giant custom-domain combine must not pin that product's memory for
+  /// the rest of its (batch-long) life. The 8x / 1024-entry hysteresis
+  /// keeps steady-state recycling allocation-free.
+  void trim_scratch(std::size_t kept) {
+    const std::size_t cap = scratch_.capacity();
+    if (cap > 1024 && cap / 8 > kept) {
+      scratch_.clear();
+      scratch_.shrink_to_fit();
+    }
+  }
+
   std::vector<P> scratch_;  ///< cross-product / transform buffer
   std::vector<P> spare_;    ///< recycled output buffer
+  std::vector<detail::KWayEntry> heap_;  ///< k-way tournament entries
+  std::vector<double> row_tails_;        ///< per-row most adverse value
+  CombineStats stats_;
 };
 
 /// Reference O(n^2) Pareto minimization used by tests to validate the

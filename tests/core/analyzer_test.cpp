@@ -49,6 +49,21 @@ TEST(Analyzer, OptionsForwardedToNaive) {
                LimitError);
 }
 
+TEST(Analyzer, IntraModelThreadsOverridesNaiveSharding) {
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  AnalysisOptions options;
+  options.algorithm = Algorithm::Naive;
+  const std::string expected = analyze(dag, options).front.to_string();
+  // The knob shards the naive enumeration; the result is unchanged.
+  options.intra_model_threads = 4;
+  EXPECT_EQ(analyze(dag, options).front.to_string(), expected);
+  // An explicit naive.threads coexists: intra_model_threads == 0 leaves
+  // the per-algorithm setting alone.
+  options.intra_model_threads = 0;
+  options.naive.threads = 3;
+  EXPECT_EQ(analyze(dag, options).front.to_string(), expected);
+}
+
 TEST(Analyzer, AlgorithmNames) {
   EXPECT_STREQ(to_string(Algorithm::Auto), "auto");
   EXPECT_STREQ(to_string(Algorithm::Naive), "naive");

@@ -434,6 +434,68 @@ TEST(BatchServing, CacheKeysOnOptionsNotJustTheModel) {
             report.items[1].result.front.to_string());
 }
 
+TEST(BatchServing, IdleWorkersAreDonatedToOversizedItems) {
+  // One naive job on a four-wide pool: the three idle workers are donated
+  // as intra-model shards. Only the donation bookkeeping is observable
+  // from outside - the result must equal the sequential run exactly.
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  AnalysisOptions naive;
+  naive.algorithm = Algorithm::Naive;
+  const AnalysisResult sequential = analyze(dag, naive);
+
+  std::vector<BatchJob> jobs(1);
+  jobs[0].model = &dag;
+  jobs[0].options = naive;
+  BatchOptions batch;
+  batch.n_threads = 4;
+  BatchReport report = analyze_batch(jobs, batch);
+  EXPECT_EQ(report.threads_used, 1u);  // workers clamp to the job count
+  EXPECT_EQ(report.donated_intra_model_threads, 4u);
+  ASSERT_TRUE(report.items[0].ok) << report.items[0].error;
+  EXPECT_EQ(report.items[0].result.front.to_string(),
+            sequential.front.to_string());
+
+  // Donation off: no intra-model override is injected.
+  batch.donate_intra_model = false;
+  report = analyze_batch(jobs, batch);
+  EXPECT_EQ(report.donated_intra_model_threads, 1u);
+  EXPECT_EQ(report.items[0].result.front.to_string(),
+            sequential.front.to_string());
+
+  // A pool no wider than the job list has nothing to donate.
+  std::vector<BatchJob> two(2, jobs[0]);
+  batch.donate_intra_model = true;
+  batch.n_threads = 2;
+  report = analyze_batch(two, batch);
+  EXPECT_EQ(report.donated_intra_model_threads, 1u);
+}
+
+TEST(BatchServing, DonatedRunsShareTheCacheWithSequentialRuns) {
+  // intra_model_threads is excluded from the cache key (sharding is
+  // result-invariant), so a donated run must hit the entry a sequential
+  // run stored.
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  AnalysisOptions naive;
+  naive.algorithm = Algorithm::Naive;
+
+  FrontCache cache(16);
+  std::vector<BatchJob> jobs(1);
+  jobs[0].model = &dag;
+  jobs[0].options = naive;
+
+  BatchOptions cold;
+  cold.n_threads = 1;  // sequential, no donation possible
+  cold.cache = &cache;
+  EXPECT_EQ(analyze_batch(jobs, cold).cache_hits, 0u);
+
+  BatchOptions warm;
+  warm.n_threads = 4;  // donation active
+  warm.cache = &cache;
+  const BatchReport report = analyze_batch(jobs, warm);
+  EXPECT_EQ(report.donated_intra_model_threads, 4u);
+  EXPECT_EQ(report.cache_hits, 1u);
+}
+
 TEST(BatchServing, CustomDomainsBypassTheCache) {
   // A custom semiring's hooks cannot be content-hashed; such models must
   // be analyzed fresh every time, silently.

@@ -126,6 +126,107 @@ TEST(Naive, DeadlineGuard) {
   EXPECT_THROW((void)naive_front(fig4, options), LimitError);
 }
 
+TEST(NaiveSharding, FrontIdenticalAcrossThreadCounts) {
+  // The sharded enumeration must be invisible in the result: per-delta
+  // values are computed independently of the shard layout and dominance
+  // minimization only selects among them, so the fronts are *exactly*
+  // equal (not merely approximately) for every thread count.
+  const AugmentedAdt fig4 = catalog::fig4_exponential(8);  // 2^8 deltas
+  const AugmentedAdt dag = catalog::money_theft_dag();
+  for (const AugmentedAdt* model : {&fig4, &dag}) {
+    const Front sequential = naive_front(*model);
+    for (unsigned threads : {2u, 3u, 4u, 8u}) {
+      NaiveOptions options;
+      options.threads = threads;
+      const Front sharded = naive_front(*model, options);
+      EXPECT_TRUE(sharded.same_values(sequential,
+                                      model->defender_domain(),
+                                      model->attacker_domain()))
+          << threads << " threads: " << sharded.to_string() << " vs "
+          << sequential.to_string();
+    }
+  }
+}
+
+TEST(NaiveSharding, EventsAndWitnessesIdenticalAcrossThreadCounts) {
+  // enumerate_feasible_events fills disjoint slices of one delta-ordered
+  // vector, so the event list - bitvecs included - is identical, and the
+  // witness front built from it is too.
+  // n = 9 keeps 2^9 * 2^9 evaluations above the sharding work floor, so
+  // the requested thread count is actually honored.
+  const AugmentedAdt fig4 = catalog::fig4_exponential(9);
+  const auto sequential = enumerate_feasible_events(fig4);
+  NaiveOptions options;
+  options.threads = 5;  // deliberately not a divisor of 2^9
+  const auto sharded = enumerate_feasible_events(fig4, options);
+  ASSERT_EQ(sharded.size(), sequential.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(sharded[i].defense.to_string(),
+              sequential[i].defense.to_string());
+    EXPECT_EQ(sharded[i].defense_value, sequential[i].defense_value);
+    EXPECT_EQ(sharded[i].attack_value, sequential[i].attack_value);
+    ASSERT_EQ(sharded[i].response.has_value(),
+              sequential[i].response.has_value());
+    if (sequential[i].response.has_value()) {
+      EXPECT_EQ(sharded[i].response->to_string(),
+                sequential[i].response->to_string());
+    }
+  }
+
+  const WitnessFront seq_witness = naive_front_witness(fig4);
+  const WitnessFront sharded_witness = naive_front_witness(fig4, options);
+  ASSERT_EQ(sharded_witness.size(), seq_witness.size());
+  for (std::size_t i = 0; i < seq_witness.size(); ++i) {
+    EXPECT_EQ(sharded_witness.points()[i].defense.to_string(),
+              seq_witness.points()[i].defense.to_string());
+    EXPECT_EQ(sharded_witness.points()[i].attack.to_string(),
+              seq_witness.points()[i].attack.to_string());
+  }
+}
+
+TEST(NaiveSharding, ThreadsZeroResolvesToHardware) {
+  const AugmentedAdt fig4 = catalog::fig4_exponential(6);
+  NaiveOptions options;
+  options.threads = 0;  // hardware_concurrency
+  EXPECT_TRUE(naive_front(fig4, options)
+                  .same_values(naive_front(fig4), fig4.defender_domain(),
+                               fig4.attacker_domain()));
+}
+
+TEST(NaiveSharding, MoreThreadsThanDeltasIsClamped) {
+  // 2^1 = 2 deltas with 16 requested workers: shards are clamped so none
+  // is empty, and the result is unchanged.
+  const AugmentedAdt fig4 = catalog::fig4_exponential(1);
+  NaiveOptions options;
+  options.threads = 16;
+  EXPECT_TRUE(naive_front(fig4, options)
+                  .same_values(naive_front(fig4), fig4.defender_domain(),
+                               fig4.attacker_domain()));
+}
+
+TEST(NaiveSharding, GuardsFireInsideShards) {
+  const AugmentedAdt fig4 = catalog::fig4_exponential(10);
+  {
+    CancelToken cancel;
+    cancel.cancel();
+    NaiveOptions options;
+    options.threads = 4;
+    options.cancel = &cancel;
+    EXPECT_THROW((void)naive_front(fig4, options), CancelledError);
+    EXPECT_THROW((void)enumerate_feasible_events(fig4, options),
+                 CancelledError);
+  }
+  {
+    const Deadline expired(1e-9);
+    while (!expired.expired()) {
+    }
+    NaiveOptions options;
+    options.threads = 4;
+    options.deadline = &expired;
+    EXPECT_THROW((void)naive_front(fig4, options), LimitError);
+  }
+}
+
 TEST(Naive, ProbabilityDomains) {
   // Attacker maximizes success probability; defender's "cost" is also a
   // probability here (e.g. residual risk budget). Check the response is

@@ -389,6 +389,191 @@ TEST(Front, MergedWithMatchesMinimizedUnionRandomized) {
   }
 }
 
+TEST(CombineFronts, KWaySortAndBruteForceAgreeFuzz) {
+  // The three combine paths must agree on values for random front pairs
+  // across every (defender, attacker) mix of additive, collapsing, and
+  // reversed-order domains, both Table II ops, and every size mix
+  // (empty, singleton, general). The sort path and the O(n^2) brute force
+  // are the oracles; the k-way path is the implementation under test.
+  Rng rng(61);
+  for (int trial = 0; trial < 600; ++trial) {
+    const Semiring& dsem = domain_for(trial / 3);
+    const Semiring& asem = domain_for(trial);
+    dispatch_domains(dsem, asem, [&](const auto& dd, const auto& da) {
+      auto rand_front = [&](std::size_t max_points) {
+        std::vector<ValuePoint> pts;
+        const std::size_t n = rng.below(max_points + 1);  // may be empty
+        for (std::size_t i = 0; i < n; ++i) {
+          pts.push_back(ValuePoint{random_metric(rng, dsem),
+                                   random_metric(rng, asem)});
+        }
+        return Front::minimized(std::move(pts), dd, da);
+      };
+      const Front lhs = rand_front(trial % 5 == 1 ? 1 : 12);
+      const Front rhs = rand_front(trial % 5 == 3 ? 1 : 12);
+      const AttackOp op =
+          trial % 2 == 0 ? AttackOp::Combine : AttackOp::Choose;
+      using Dd = std::decay_t<decltype(dd)>;
+      using Da = std::decay_t<decltype(da)>;
+      EXPECT_TRUE((staircase_combine_eligible<Dd, Da>(op)));
+
+      const Front kway = combine_fronts_kway(lhs, rhs, op, dd, da);
+      const Front sorted = combine_fronts_sorted(lhs, rhs, op, dd, da);
+      EXPECT_TRUE(kway.same_values(sorted, dd, da))
+          << "trial " << trial << ": " << kway.to_string() << " vs "
+          << sorted.to_string();
+
+      std::vector<ValuePoint> product;
+      detail::product_points(lhs.points(), rhs.points(), op, dd, da,
+                             product);
+      const auto brute = pareto_min_bruteforce(product, dd, da);
+      EXPECT_EQ(kway.size(), brute.size()) << "trial " << trial;
+      for (const ValuePoint& p : brute) {
+        bool found = false;
+        for (const ValuePoint& q : kway.points()) {
+          found = found || (dd.equivalent(q.def, p.def) &&
+                            da.equivalent(q.att, p.att));
+        }
+        EXPECT_TRUE(found) << "trial " << trial << ": (" << p.def << ", "
+                           << p.att << ") missing from k-way result";
+      }
+      return 0;
+    });
+  }
+}
+
+TEST(CombineFronts, KWayMatchesSortOnLargeStaircases) {
+  // Fig. 4-style worst case: two long incomparable staircases whose
+  // product prunes heavily. Exercises the upper-envelope row dropping on
+  // sizes where a bug would have many chances to surface.
+  for (const AttackOp op : {AttackOp::Combine, AttackOp::Choose}) {
+    std::vector<ValuePoint> a;
+    std::vector<ValuePoint> b;
+    for (int i = 0; i < 200; ++i) {
+      a.push_back(ValuePoint{double(i), double(i)});
+      b.push_back(ValuePoint{double(3 * i + 1), double(2 * i + 1)});
+    }
+    dispatch_domains(kCost, kCost, [&](const auto& dd, const auto& da) {
+      const Front lhs = Front::minimized(a, dd, da);
+      const Front rhs = Front::minimized(b, dd, da);
+      const Front kway = combine_fronts_kway(lhs, rhs, op, dd, da);
+      const Front sorted = combine_fronts_sorted(lhs, rhs, op, dd, da);
+      EXPECT_TRUE(kway.same_values(sorted, dd, da))
+          << to_string(op) << ": " << kway.size() << " vs "
+          << sorted.size() << " points";
+      return 0;
+    });
+  }
+}
+
+TEST(CombineFronts, KWayWitnessesAreValidProducts) {
+  // Witness payloads on the k-way path: every kept point must be the
+  // product of an actual (lhs, rhs) point pair - matching values AND the
+  // op's witness rule (defense union always; attack union under Combine,
+  // adoption of the attacker-preferred side under Choose). Witness
+  // *choice* between equal-value products may differ from the sort path;
+  // validity may not.
+  Rng rng(67);
+  dispatch_domains(kCost, kCost, [&](const auto& dd, const auto& da) {
+    for (int trial = 0; trial < 200; ++trial) {
+      const std::size_t nl = 1 + rng.below(6);
+      const std::size_t nr = 1 + rng.below(6);
+      auto rand_witness_front = [&](std::size_t n, std::size_t bit_base) {
+        std::vector<WitnessPoint> pts;
+        for (std::size_t i = 0; i < n; ++i) {
+          WitnessPoint p;
+          p.def = static_cast<double>(rng.below(20));
+          p.att = static_cast<double>(rng.below(20));
+          p.defense = BitVec(16);
+          p.attack = BitVec(16);
+          p.defense.set(bit_base + i);
+          p.attack.set(bit_base + i);
+          pts.push_back(std::move(p));
+        }
+        return WitnessFront::minimized(std::move(pts), dd, da);
+      };
+      const WitnessFront lhs = rand_witness_front(nl, 0);
+      const WitnessFront rhs = rand_witness_front(nr, 8);
+      const AttackOp op =
+          trial % 2 == 0 ? AttackOp::Combine : AttackOp::Choose;
+
+      const WitnessFront kway = combine_fronts_kway(lhs, rhs, op, dd, da);
+      for (const WitnessPoint& r : kway.points()) {
+        bool valid = false;
+        for (const WitnessPoint& p : lhs.points()) {
+          for (const WitnessPoint& q : rhs.points()) {
+            const WitnessPoint expect =
+                detail::product_point(p, q, op, dd, da);
+            valid = valid ||
+                    (dd.equivalent(expect.def, r.def) &&
+                     da.equivalent(expect.att, r.att) &&
+                     expect.defense.to_string() == r.defense.to_string() &&
+                     expect.attack.to_string() == r.attack.to_string());
+          }
+        }
+        EXPECT_TRUE(valid) << "trial " << trial
+                           << ": kept point is not a valid product";
+      }
+      return;
+    }
+  });
+}
+
+TEST(CombineFronts, AutoDispatchesByEligibility) {
+  // Static built-in policies certify eligibility; the runtime Semiring
+  // and DynamicDomain never do, so combine_fronts falls back to the
+  // sorting path for them (and stays correct for a non-monotone custom
+  // combine that would break the staircase argument).
+  EXPECT_TRUE((staircase_combine_eligible<MinCostDomain, MinSkillDomain>(
+      AttackOp::Combine)));
+  EXPECT_TRUE((staircase_combine_eligible<ProbabilityDomain, MinCostDomain>(
+      AttackOp::Choose)));
+  EXPECT_FALSE((staircase_combine_eligible<DynamicDomain, DynamicDomain>(
+      AttackOp::Combine)));
+  EXPECT_FALSE((staircase_combine_eligible<Semiring, Semiring>(
+      AttackOp::Choose)));
+
+  const Semiring weird = Semiring::custom(
+      "absdiff", 0.0, std::numeric_limits<double>::infinity(),
+      [](double x, double y) { return std::abs(x - y); },
+      [](double x, double y) { return x <= y; });
+  const Front lhs = Front::minimized({{1, 9}, {5, 12}, {9, 20}}, weird,
+                                     kCost);
+  const Front rhs = Front::minimized({{2, 3}, {6, 8}}, weird, kCost);
+  // Non-monotone custom combine: the auto path must equal the sort oracle.
+  const Front combined =
+      combine_fronts(lhs, rhs, AttackOp::Choose, weird, kCost);
+  const Front sorted =
+      combine_fronts_sorted(lhs, rhs, AttackOp::Choose, weird, kCost);
+  EXPECT_TRUE(combined.same_values(sorted, weird, kCost));
+}
+
+TEST(FrontArena, CombineStatsCountPaths) {
+  FrontArena<ValuePoint> arena;
+  const Front big = make_front({{0, 5}, {4, 10}, {7, 20}});
+  dispatch_domains(kCost, kCost, [&](const auto& dd, const auto& da) {
+    Front acc = big;
+    arena.combine_into(acc, big, AttackOp::Combine, dd, da);
+    return 0;
+  });
+  EXPECT_EQ(arena.stats().kway_combines, 1u);
+  EXPECT_EQ(arena.stats().sorted_combines, 0u);
+  EXPECT_GT(arena.stats().points_kept, 0u);
+
+  Front acc = big;  // runtime Semiring: the sorting path
+  arena.combine_into(acc, big, AttackOp::Combine, kCost, kCost);
+  EXPECT_EQ(arena.stats().kway_combines, 1u);
+  EXPECT_EQ(arena.stats().sorted_combines, 1u);
+  // The sort path examines the full 3x3 product.
+  EXPECT_GE(arena.stats().points_examined, 9u);
+
+  const auto before = arena.stats();
+  arena.combine_into(acc, big, AttackOp::Combine, kCost, kCost);
+  EXPECT_EQ(arena.stats().since(before).sorted_combines, 1u);
+  arena.reset_stats();
+  EXPECT_EQ(arena.stats().sorted_combines, 0u);
+}
+
 TEST(Front, TakePointsLeavesEmptyFront) {
   Front front = make_front({{0, 5}, {4, 10}});
   std::vector<ValuePoint> points = front.take_points();
