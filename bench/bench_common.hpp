@@ -4,12 +4,15 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/analyzer.hpp"
+#include "util/cancel.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -68,6 +71,77 @@ inline std::size_t arg_size_t(int argc, char** argv, const std::string& flag,
 
 inline void banner(const std::string& title) {
   std::cout << "\n=== " << title << " ===\n\n";
+}
+
+/// Smoke assertion for the PR 2 kernel-guard API: every analysis kernel a
+/// bench is about to time must honor a pre-cancelled CancelToken (throw
+/// CancelledError) and an already-expired Deadline (throw DeadlineError).
+/// Benches that run open-ended generated instances call this once at
+/// startup so a silently dropped guard - which would let a pathological
+/// instance run the bench forever - aborts immediately instead.
+inline void assert_kernel_guards(const AugmentedAdt& aadt) {
+  CancelToken cancelled;
+  cancelled.cancel();
+  const Deadline expired(1e-12);
+
+  auto expect = [&](const char* what, auto&& run, auto&& probe) {
+    bool guarded = false;
+    try {
+      run();
+    } catch (const std::exception& e) {
+      guarded = probe(e);
+    }
+    if (!guarded) {
+      std::cerr << "FATAL: " << what
+                << " ignored its kernel guard; refusing to run unguarded "
+                   "benches\n";
+      std::exit(2);
+    }
+  };
+  auto is_cancel = [](const std::exception& e) {
+    return dynamic_cast<const CancelledError*>(&e) != nullptr;
+  };
+  auto is_deadline = [](const std::exception& e) {
+    return dynamic_cast<const DeadlineError*>(&e) != nullptr;
+  };
+
+  NaiveOptions naive;
+  naive.cancel = &cancelled;
+  expect("naive cancel", [&] { (void)naive_front(aadt, naive); }, is_cancel);
+  naive.cancel = nullptr;
+  naive.deadline = &expired;
+  expect("naive deadline", [&] { (void)naive_front(aadt, naive); },
+         is_deadline);
+
+  if (aadt.adt().is_tree()) {
+    BottomUpOptions bu;
+    bu.cancel = &cancelled;
+    expect("bottom-up cancel", [&] { (void)bottom_up_front(aadt, bu); },
+           is_cancel);
+    bu.cancel = nullptr;
+    bu.deadline = &expired;
+    expect("bottom-up deadline", [&] { (void)bottom_up_front(aadt, bu); },
+           is_deadline);
+  }
+
+  BddBuOptions bdd;
+  bdd.cancel = &cancelled;
+  expect("bdd_bu cancel", [&] { (void)bdd_bu_front(aadt, bdd); }, is_cancel);
+  bdd.cancel = nullptr;
+  bdd.deadline = &expired;
+  expect("bdd_bu deadline", [&] { (void)bdd_bu_front(aadt, bdd); },
+         is_deadline);
+
+  HybridOptions hybrid;
+  hybrid.bdd.cancel = &cancelled;
+  expect("hybrid cancel", [&] { (void)hybrid_front(aadt, hybrid); },
+         is_cancel);
+  hybrid.bdd.cancel = nullptr;
+  hybrid.bdd.deadline = &expired;
+  expect("hybrid deadline", [&] { (void)hybrid_front(aadt, hybrid); },
+         is_deadline);
+
+  std::cout << "[guards] cancel + deadline honored by all kernels\n";
 }
 
 }  // namespace adtp::bench

@@ -8,12 +8,14 @@
 /// feasible (the paper likewise only plots it below ~45 nodes).
 ///
 /// Flags: --max-nodes N (default 325), --per-bucket K (default 5),
-///        --naive-deadline SEC (default 0.5).
+///        --naive-deadline SEC (default 0.5), --cap SEC (default 30; the
+///        per-run wall-clock guard on the BU/BDDBU instances).
 
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/analyzer.hpp"
+#include "gen/catalog.hpp"
 #include "gen/random_adt.hpp"
 #include "util/table.hpp"
 
@@ -28,9 +30,18 @@ int main(int argc, char** argv) {
       bench::arg_value(argc, argv, "--naive-deadline")
           ? std::stod(*bench::arg_value(argc, argv, "--naive-deadline"))
           : 0.5;
+  const double run_cap = bench::arg_value(argc, argv, "--cap")
+                             ? std::stod(*bench::arg_value(argc, argv, "--cap"))
+                             : 30.0;
 
   bench::banner("Fig. 10: median runtime per size bucket (|N| buckets of "
                 "20)");
+
+  // Every timed run below carries the kernel guards (deadline + cancel),
+  // so a pathological generated instance caps out instead of hanging the
+  // bench; assert once that the kernels actually honor them.
+  bench::assert_kernel_guards(catalog::fig3_example());
+  CancelToken cancel;  // wired through every run; never fired here
 
   TextTable table({"bucket", "BU median (trees)", "Naive median",
                    "BDDBU median (DAGs)"});
@@ -55,8 +66,11 @@ int main(int argc, char** argv) {
       const AugmentedAdt tree = generate_random_aadt(
           tree_options, rng(), Semiring::min_cost(), Semiring::min_cost());
 
+      const Deadline bu_deadline(run_cap);
       BottomUpOptions bu_options;
       bu_options.max_front_points = 500000;
+      bu_options.deadline = &bu_deadline;
+      bu_options.cancel = &cancel;
       if (const auto t = bench::time_call_capped(
               [&] { (void)bottom_up_front(tree, bu_options); })) {
         bu_times.push_back(*t);
@@ -67,6 +81,7 @@ int main(int argc, char** argv) {
         NaiveOptions naive_options;
         naive_options.max_bits = 24;
         naive_options.deadline = &deadline;
+        naive_options.cancel = &cancel;
         if (const auto t = bench::time_call_capped(
                 [&] { (void)naive_front(tree, naive_options); })) {
           naive_times.push_back(*t);
@@ -83,9 +98,12 @@ int main(int argc, char** argv) {
       const AugmentedAdt dag = generate_random_aadt(
           dag_options, rng(), Semiring::min_cost(), Semiring::min_cost());
 
+      const Deadline bdd_deadline(run_cap);
       BddBuOptions bdd_options;
       bdd_options.node_limit = 8u << 20;
       bdd_options.max_front_points = 500000;
+      bdd_options.deadline = &bdd_deadline;
+      bdd_options.cancel = &cancel;
       if (const auto t = bench::time_call_capped(
               [&] { (void)bdd_bu_front(dag, bdd_options); })) {
         bdd_times.push_back(*t);

@@ -12,7 +12,14 @@
 /// With --json the same rows are written machine-readably (the CI
 /// bench-smoke artifact).
 ///
+/// With --bdd-threads T (> 1) every row additionally runs BDDBU with a
+/// T-worker level-parallel build + propagate, reports the speedup over
+/// the sequential run, and verifies the fronts are bit-identical - the
+/// single-huge-DAG scaling measurement of the intra-model parallelism
+/// work (bench_bdd_scaling covers more shapes).
+///
 /// Usage: bench_fig4_exponential [--max-n N] [--naive-max N] [--json PATH]
+///                               [--bdd-threads T]
 
 #include <fstream>
 #include <iostream>
@@ -38,6 +45,12 @@ struct Row {
   std::uint64_t bu_kway_combines = 0;
   double bdd_seconds = 0;
   double naive_seconds = -1;  ///< < 0 when skipped
+  // --bdd-threads sweep (threads <= 1 leaves these unset).
+  unsigned bdd_threads = 1;
+  double bdd_par_seconds = -1;      ///< < 0 when the sweep is off
+  double bdd_par_speedup = 0;       ///< bdd_seconds / bdd_par_seconds
+  std::size_t bdd_parallel_levels = 0;
+  bool bdd_par_identical = true;    ///< parallel front == sequential front
 };
 
 [[nodiscard]] bool write_json(const std::string& path,
@@ -60,6 +73,15 @@ struct Row {
     if (row.naive_seconds >= 0) {
       json.key("naive_seconds").value(row.naive_seconds);
     }
+    if (row.bdd_par_seconds >= 0) {
+      json.key("bdd_threads").value(static_cast<std::uint64_t>(
+          row.bdd_threads));
+      json.key("bdd_par_seconds").value(row.bdd_par_seconds);
+      json.key("bdd_par_speedup").value(row.bdd_par_speedup);
+      json.key("bdd_parallel_levels").value(static_cast<std::uint64_t>(
+          row.bdd_parallel_levels));
+      json.key("bdd_par_identical").value(row.bdd_par_identical);
+    }
     json.end_object();
   }
   json.end_array();
@@ -80,11 +102,19 @@ int main(int argc, char** argv) {
   const std::size_t max_n = bench::arg_size_t(argc, argv, "--max-n", 12);
   const std::size_t naive_max = bench::arg_size_t(argc, argv, "--naive-max", 9);
   const auto json_path = bench::arg_value(argc, argv, "--json");
+  const unsigned bdd_threads = static_cast<unsigned>(
+      bench::arg_size_t(argc, argv, "--bdd-threads", 1));
 
   bench::banner("Fig. 4: |PF(T)| = 2^n worst-case family (min cost / min "
                 "cost)");
-  TextTable table({"n", "|N|", "|PF|", "= 2^n", "BU time", "BU pts/s",
-                   "examined", "BDDBU time", "Naive time"});
+  std::vector<std::string> headers{"n", "|N|", "|PF|", "= 2^n", "BU time",
+                                   "BU pts/s", "examined", "BDDBU time",
+                                   "Naive time"};
+  if (bdd_threads > 1) {
+    headers.push_back("BDDBU x" + std::to_string(bdd_threads));
+    headers.push_back("speedup");
+  }
+  TextTable table(headers);
 
   std::vector<Row> rows;
   for (std::size_t n = 1; n <= max_n; ++n) {
@@ -106,6 +136,24 @@ int main(int argc, char** argv) {
     row.bdd_seconds =
         bench::time_call([&] { bdd_front = bdd_bu_front(aadt); });
 
+    if (bdd_threads > 1) {
+      BddBuOptions par;
+      par.threads = bdd_threads;
+      BddBuReport par_report;
+      row.bdd_par_seconds =
+          bench::time_call([&] { par_report = bdd_bu_analyze(aadt, par); });
+      row.bdd_threads = par_report.threads_used;
+      row.bdd_par_speedup = row.bdd_par_seconds > 0
+                                ? row.bdd_seconds / row.bdd_par_seconds
+                                : 0.0;
+      row.bdd_parallel_levels = par_report.parallel_levels;
+      // The level-parallel engine's contract: bit-identical fronts.
+      row.bdd_par_identical = par_report.front.bit_identical_values(bdd_front);
+      if (!row.bdd_par_identical) {
+        std::cerr << "MISMATCH: parallel BDDBU diverged at n = " << n << "\n";
+      }
+    }
+
     std::string naive_cell = "skipped";
     if (n <= naive_max) {
       Front naive;
@@ -116,13 +164,20 @@ int main(int argc, char** argv) {
 
     row.sizes_ok = bu.front.size() == (std::size_t{1} << n) &&
                    bdd_front.size() == (std::size_t{1} << n);
-    table.add_row({std::to_string(n), std::to_string(row.nodes),
-                   std::to_string(row.pf_size), row.sizes_ok ? "yes" : "NO",
-                   format_seconds(row.bu_seconds),
-                   std::to_string(
-                       static_cast<std::uint64_t>(row.bu_points_per_second)),
-                   std::to_string(row.bu_points_examined),
-                   format_seconds(row.bdd_seconds), naive_cell});
+    std::vector<std::string> cells{
+        std::to_string(n), std::to_string(row.nodes),
+        std::to_string(row.pf_size), row.sizes_ok ? "yes" : "NO",
+        format_seconds(row.bu_seconds),
+        std::to_string(
+            static_cast<std::uint64_t>(row.bu_points_per_second)),
+        std::to_string(row.bu_points_examined),
+        format_seconds(row.bdd_seconds), naive_cell};
+    if (bdd_threads > 1) {
+      cells.push_back(format_seconds(row.bdd_par_seconds) +
+                      (row.bdd_par_identical ? "" : " (MISMATCH)"));
+      cells.push_back(format_value(row.bdd_par_speedup, 2) + "x");
+    }
+    table.add_row(std::move(cells));
     rows.push_back(row);
   }
   std::cout << table.to_text();
@@ -133,6 +188,12 @@ int main(int argc, char** argv) {
                "instead of the |PF| * 2 * log sort cost.\n";
 
   if (json_path && !write_json(*json_path, rows)) return 1;
+  // Like bench_bdd_scaling: a parallel front that diverges from the
+  // sequential one is a determinism regression - fail the run, not just
+  // the table, so CI's thread-sweep step gates on it.
+  for (const Row& row : rows) {
+    if (!row.bdd_par_identical) return 1;
+  }
   std::cout << "\n[fig4_exponential] done\n";
   return 0;
 }

@@ -343,6 +343,43 @@ void BM_Fig4BottomUp(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig4BottomUp)->Arg(4)->Arg(8)->Arg(10);
 
+// ---- level-parallel BDD engine ------------------------------------------
+//
+// The Fig. 4 family at n = 14 is the acceptance workload of the
+// level-parallel propagate: ~3 * 2^n BDD nodes, levels up to 2^(n-1)
+// wide, exponential fronts at the defense levels. Thread counts beyond
+// the machine's cores still run (and stay bit-identical) but cannot
+// speed up further.
+
+void BM_BddPropagateThreads(benchmark::State& state) {
+  const AugmentedAdt fig4 = catalog::fig4_exponential(14);
+  BddBuOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const BddBuReport report = bdd_bu_analyze(fig4, options);
+    benchmark::DoNotOptimize(report.front.size());
+    state.counters["propagate_s"] = report.propagate_seconds;
+    state.counters["build_s"] = report.build_seconds;
+  }
+}
+BENCHMARK(BM_BddPropagateThreads)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BddBuildThreads(benchmark::State& state) {
+  // Construction-heavy shape: a large shared DAG, fronts stay small.
+  const AugmentedAdt dag = random_dag(400, 23);
+  const auto order = bdd::VarOrder::defense_first(dag.adt());
+  bdd::BuildOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    bdd::Manager manager(order.num_vars());
+    benchmark::DoNotOptimize(
+        bdd::build_structure_function(manager, dag.adt(), order, options));
+  }
+}
+BENCHMARK(BM_BddBuildThreads)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

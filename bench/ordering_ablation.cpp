@@ -21,6 +21,11 @@ using namespace adtp;
 
 namespace {
 
+/// Per-run wall-clock cap (seconds); adversarial orders on generated
+/// DAGs can blow the BDD up, and an unguarded run would hang the bench.
+double g_run_cap = 60.0;
+CancelToken g_cancel;  // wired through every run; never fired here
+
 void ablate(const std::string& label, const AugmentedAdt& aadt) {
   std::cout << "\n--- " << label << " (" << aadt.adt().size()
             << " nodes, |D| = " << aadt.adt().num_defenses()
@@ -30,14 +35,20 @@ void ablate(const std::string& label, const AugmentedAdt& aadt) {
   for (auto heuristic : {bdd::OrderHeuristic::Dfs, bdd::OrderHeuristic::Bfs,
                          bdd::OrderHeuristic::Index,
                          bdd::OrderHeuristic::Random}) {
+    const Deadline deadline(g_run_cap);
     BddBuOptions options;
     options.order_heuristic = heuristic;
     options.order_seed = 99;
+    options.deadline = &deadline;
+    options.cancel = &g_cancel;
     BddBuReport report;
-    const double t = bench::time_call(
-        [&] { report = bdd_bu_analyze(aadt, options); });
-    table.add_row({to_string(heuristic), std::to_string(report.bdd_size),
-                   format_seconds(t), report.front.to_string()});
+    if (const auto t = bench::time_call_capped(
+            [&] { report = bdd_bu_analyze(aadt, options); })) {
+      table.add_row({to_string(heuristic), std::to_string(report.bdd_size),
+                     format_seconds(*t), report.front.to_string()});
+    } else {
+      table.add_row({to_string(heuristic), "-", "cap", "-"});
+    }
   }
 
   // Block-respecting order search, seeded with the DFS order.
@@ -46,15 +57,22 @@ void ablate(const std::string& label, const AugmentedAdt& aadt) {
   bdd::ReorderResult search;
   const double t_search = bench::time_call(
       [&] { search = minimize_order(aadt.adt(), initial, reorder_options); });
+  const Deadline deadline(g_run_cap);
   BddBuOptions sifted;
   sifted.order = search.order;
+  sifted.deadline = &deadline;
+  sifted.cancel = &g_cancel;
   BddBuReport report;
-  const double t_run = bench::time_call(
-      [&] { report = bdd_bu_analyze(aadt, sifted); });
-  table.add_row({"sifted (search " + format_seconds(t_search) + ", " +
-                     std::to_string(search.rebuilds) + " rebuilds)",
-                 std::to_string(report.bdd_size), format_seconds(t_run),
-                 report.front.to_string()});
+  if (const auto t_run = bench::time_call_capped(
+          [&] { report = bdd_bu_analyze(aadt, sifted); })) {
+    table.add_row({"sifted (search " + format_seconds(t_search) + ", " +
+                       std::to_string(search.rebuilds) + " rebuilds)",
+                   std::to_string(report.bdd_size), format_seconds(*t_run),
+                   report.front.to_string()});
+  } else {
+    table.add_row({"sifted (search " + format_seconds(t_search) + ")", "-",
+                   "cap", "-"});
+  }
   std::cout << table.to_text();
 }
 
@@ -62,8 +80,12 @@ void ablate(const std::string& label, const AugmentedAdt& aadt) {
 
 int main(int argc, char** argv) {
   const std::size_t instances = bench::arg_size_t(argc, argv, "--instances", 4);
+  if (const auto cap = bench::arg_value(argc, argv, "--cap")) {
+    g_run_cap = std::stod(*cap);
+  }
 
   bench::banner("variable-order ablation (defense-first orders only)");
+  bench::assert_kernel_guards(catalog::money_theft_dag());
   ablate("money theft (Fig. 7 DAG)", catalog::money_theft_dag());
 
   Rng rng(777);

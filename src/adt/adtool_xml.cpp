@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <sstream>
+
+#include "util/json.hpp"
 
 namespace adtp {
 
@@ -373,6 +377,131 @@ AdtoolImport load_adtool_file(const std::string& path,
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return import_adtool_xml(buffer.str(), domain_id);
+}
+
+namespace {
+
+std::string xml_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+/// The recursive ADTool serializer; see export_adtool_xml() in the
+/// header for the mapping.
+class Exporter {
+ public:
+  Exporter(const Adt& adt, const Attribution& attribution,
+           const std::string& domain_id)
+      : adt_(adt), attribution_(attribution), domain_id_(domain_id) {}
+
+  std::string run() {
+    out_ = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<adtree>\n";
+    render(adt_.root(), false, 1);
+    out_ += "</adtree>\n";
+    return std::move(out_);
+  }
+
+ private:
+  void indent(int depth) { out_.append(static_cast<std::size_t>(depth) * 2, ' '); }
+
+  /// Renders node \p v as one <node> element. An INH renders as its
+  /// *base* element with the trigger appended as a countermeasure; a
+  /// nested-INH base gets a singleton disjunctive wrapper so the result
+  /// stays inside ADTool's representable class.
+  void render(NodeId v, bool switch_role, int depth) {
+    if (adt_.type(v) == GateType::Inhibit) {
+      const NodeId base = adt_.inhibited_child(v);
+      const NodeId trigger = adt_.trigger_child(v);
+      if (adt_.type(base) == GateType::Inhibit) {
+        indent(depth);
+        out_ += "<node refinement=\"disjunctive\"";
+        if (switch_role) out_ += " switchRole=\"yes\"";
+        out_ += ">\n";
+        emit_label(adt_.name(v), depth + 1);
+        render(base, false, depth + 1);
+        render(trigger, true, depth + 1);
+        indent(depth);
+        out_ += "</node>\n";
+      } else {
+        render_plain(base, switch_role, trigger, depth);
+      }
+      return;
+    }
+    render_plain(v, switch_role, kNoNode, depth);
+  }
+
+  /// Renders a non-INH node, optionally with \p counter appended as a
+  /// switchRole child (the trigger of the INH wrapping it).
+  void render_plain(NodeId v, bool switch_role, NodeId counter, int depth) {
+    indent(depth);
+    out_ += "<node";
+    if (adt_.type(v) == GateType::And) {
+      out_ += " refinement=\"conjunctive\"";
+    } else if (adt_.type(v) == GateType::Or) {
+      out_ += " refinement=\"disjunctive\"";
+    }
+    if (switch_role) out_ += " switchRole=\"yes\"";
+    out_ += ">\n";
+    emit_label(adt_.name(v), depth + 1);
+    if (adt_.type(v) == GateType::BasicStep &&
+        attribution_.has(adt_.name(v))) {
+      indent(depth + 1);
+      out_ += "<parameter domainId=\"" + xml_escape(domain_id_) +
+              "\" category=\"basic\">" +
+              format_double_exact(attribution_.get(adt_.name(v))) +
+              "</parameter>\n";
+    }
+    for (NodeId c : adt_.children(v)) render(c, false, depth + 1);
+    if (counter != kNoNode) render(counter, true, depth + 1);
+    indent(depth);
+    out_ += "</node>\n";
+  }
+
+  void emit_label(const std::string& name, int depth) {
+    indent(depth);
+    out_ += "<label>" + xml_escape(name) + "</label>\n";
+  }
+
+  const Adt& adt_;
+  const Attribution& attribution_;
+  const std::string& domain_id_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string export_adtool_xml(const Adt& adt, const Attribution& attribution,
+                              const std::string& domain_id) {
+  adt.require_frozen();
+  if (adt.agent(adt.root()) != Agent::Attacker) {
+    throw ModelError(
+        "adtool xml: export requires an attacker root (ADTool's proponent); "
+        "defender-rooted models are not representable");
+  }
+  return Exporter(adt, attribution, domain_id).run();
+}
+
+void save_adtool_file(const Adt& adt, const Attribution& attribution,
+                      const std::string& path, const std::string& domain_id) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("cannot open '" + path + "' for writing");
+  }
+  out << export_adtool_xml(adt, attribution, domain_id);
+  if (!out.good()) {
+    throw Error("failed writing '" + path + "'");
+  }
 }
 
 }  // namespace adtp

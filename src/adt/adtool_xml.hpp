@@ -60,4 +60,32 @@ struct AdtoolImport {
 [[nodiscard]] AdtoolImport load_adtool_file(const std::string& path,
                                             const std::string& domain_id = "");
 
+/// Serializes \p adt back to ADTool tree XML (the inverse of the importer
+/// over ADTool's representable class):
+///  - AND/OR gates become conjunctive/disjunctive refinements; basic
+///    steps become childless nodes; node names become labels;
+///  - INH(b | t) renders as b's element with t appended as a
+///    switchRole="yes" countermeasure child. A nested INH *base* (which
+///    the importer never produces but generated models can contain) is
+///    wrapped in a singleton disjunctive refinement so it stays
+///    representable - the wrapper is semantically neutral and the output
+///    is a fixpoint of export(import(.)) from the first round trip on;
+///  - shared basic steps serialize as repeated labels (ADTool's
+///    convention, re-shared on import); shared *gates* are emitted once
+///    per occurrence, i.e. the re-import sees the unfolded tree;
+///  - attribution values (if any) are emitted as
+///    <parameter domainId="..." category="basic"> on every basic-step
+///    occurrence that has one.
+///
+/// Requires an attacker root (ADTool's proponent); throws ModelError
+/// otherwise. \p adt must be frozen.
+[[nodiscard]] std::string export_adtool_xml(
+    const Adt& adt, const Attribution& attribution = {},
+    const std::string& domain_id = "adtp");
+
+/// Writes export_adtool_xml() to \p path; throws Error on I/O failure.
+void save_adtool_file(const Adt& adt, const Attribution& attribution,
+                      const std::string& path,
+                      const std::string& domain_id = "adtp");
+
 }  // namespace adtp

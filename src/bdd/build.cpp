@@ -1,52 +1,161 @@
 #include "bdd/build.hpp"
 
+#include <algorithm>
+#include <optional>
+
 #include "util/error.hpp"
 
 namespace adtp::bdd {
 
+namespace {
+
+/// One gate being folded: its pending operand list shrinks by balanced
+/// pairwise reduction rounds until a single Ref remains. The pairing
+/// shape depends only on the child list, never on scheduling, so every
+/// thread count folds the very same apply tree.
+struct GateFold {
+  NodeId id = 0;
+  GateType type = GateType::And;
+  std::vector<Ref> ops;
+  std::vector<Ref> next;  ///< per-round results, disjoint slots per task
+};
+
+/// A (gate, pair) work item of one reduction round.
+struct FoldTask {
+  std::uint32_t fold;
+  std::uint32_t pair;
+};
+
+}  // namespace
+
 std::vector<Ref> build_all(Manager& manager, const Adt& adt,
-                           const VarOrder& order) {
+                           const VarOrder& order,
+                           const BuildOptions& options) {
   if (manager.num_vars() != order.num_vars()) {
     throw ModelError("bdd::build_all: manager has " +
                      std::to_string(manager.num_vars()) +
                      " variables but the order defines " +
                      std::to_string(order.num_vars()));
   }
-  std::vector<Ref> result(adt.size(), kFalse);
-  // Ascending NodeId is topological, so children are already translated.
+
+  // Group nodes by height (longest path to a leaf): a node's children all
+  // live in strictly lower levels, so one level's translations are
+  // mutually independent.
+  std::vector<std::uint32_t> height(adt.size(), 0);
+  std::uint32_t max_height = 0;
   for (NodeId v : adt.topological_order()) {
-    const Node& n = adt.node(v);
-    switch (n.type) {
-      case GateType::BasicStep:
-        result[v] = manager.make_var(order.var_of(v));
-        break;
-      case GateType::And: {
-        Ref acc = kTrue;
-        for (NodeId c : n.children) acc = manager.apply_and(acc, result[c]);
-        result[v] = acc;
-        break;
+    std::uint32_t h = 0;
+    for (NodeId c : adt.node(v).children) h = std::max(h, height[c] + 1);
+    height[v] = h;
+    max_height = std::max(max_height, h);
+  }
+  std::vector<std::vector<NodeId>> levels(max_height + 1);
+  for (NodeId v : adt.topological_order()) levels[height[v]].push_back(v);
+
+  // Pool resolution: an externally shared pool wins; otherwise spawn one
+  // only when more than one worker was asked for.
+  WorkerPool* pool = options.pool;
+  std::optional<WorkerPool> owned;
+  if (pool == nullptr && resolve_thread_knob(options.threads) > 1) {
+    owned.emplace(options.threads);
+    pool = &*owned;
+  }
+  // The stripe locks only engage when tasks will actually run on more
+  // than one thread; the flag is published to the workers through the
+  // pool's own dispatch synchronization.
+  if (pool != nullptr && pool->threads() > 1) {
+    manager.enter_concurrent_mode();
+  }
+  auto for_each = [&](std::size_t count, std::size_t grain,
+                      const std::function<void(unsigned, std::size_t)>& fn) {
+    if (pool != nullptr && pool->threads() > 1) {
+      pool->parallel_for(count, grain, fn);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    }
+  };
+
+  std::vector<Ref> result(adt.size(), kFalse);
+
+  // Height 0: basic steps translate to their variables.
+  const std::vector<NodeId>& leaves = levels[0];
+  for_each(leaves.size(), 16, [&](unsigned, std::size_t i) {
+    result[leaves[i]] = manager.make_var(order.var_of(leaves[i]));
+  });
+
+  std::vector<GateFold> folds;
+  std::vector<FoldTask> tasks;
+  for (std::uint32_t h = 1; h <= max_height; ++h) {
+    folds.clear();
+    for (NodeId v : levels[h]) {
+      const Node& n = adt.node(v);
+      GateFold fold;
+      fold.id = v;
+      fold.type = n.type;
+      fold.ops.reserve(n.children.size());
+      for (NodeId c : n.children) fold.ops.push_back(result[c]);
+      folds.push_back(std::move(fold));
+    }
+
+    // Balanced reduction rounds: each round pairs adjacent operands of
+    // every still-unfinished gate; an odd leftover passes through. All
+    // pairs of a round - across gates - run as one parallel_for.
+    while (true) {
+      tasks.clear();
+      for (std::uint32_t f = 0; f < folds.size(); ++f) {
+        GateFold& fold = folds[f];
+        const std::size_t pairs = fold.ops.size() / 2;
+        fold.next.resize(pairs);
+        for (std::uint32_t p = 0; p < pairs; ++p) {
+          tasks.push_back(FoldTask{f, p});
+        }
       }
-      case GateType::Or: {
-        Ref acc = kFalse;
-        for (NodeId c : n.children) acc = manager.apply_or(acc, result[c]);
-        result[v] = acc;
-        break;
+      if (tasks.empty()) break;
+
+      for_each(tasks.size(), 1, [&](unsigned, std::size_t t) {
+        GateFold& fold = folds[tasks[t].fold];
+        const std::uint32_t p = tasks[t].pair;
+        const Ref a = fold.ops[2 * p];
+        const Ref b = fold.ops[2 * p + 1];
+        switch (fold.type) {
+          case GateType::And:
+            fold.next[p] = manager.apply_and(a, b);
+            break;
+          case GateType::Or:
+            fold.next[p] = manager.apply_or(a, b);
+            break;
+          case GateType::Inhibit:
+            // Definition 3: f(inhibited) AND NOT f(trigger); an INH has
+            // exactly two children, so this is its only pair.
+            fold.next[p] = manager.apply_and(a, manager.apply_not(b));
+            break;
+          case GateType::BasicStep:
+            break;  // unreachable: leaves live in level 0
+        }
+      });
+
+      for (GateFold& fold : folds) {
+        if (fold.ops.size() < 2) continue;
+        const bool odd = fold.ops.size() % 2 != 0;
+        const Ref leftover = fold.ops.back();
+        fold.ops = std::move(fold.next);
+        fold.next = {};
+        if (odd) fold.ops.push_back(leftover);
       }
-      case GateType::Inhibit: {
-        // Definition 3: f(inhibited) AND NOT f(trigger).
-        const Ref inhibited = result[n.children[0]];
-        const Ref trigger = result[n.children[1]];
-        result[v] = manager.apply_and(inhibited, manager.apply_not(trigger));
-        break;
-      }
+    }
+
+    for (GateFold& fold : folds) {
+      // AND/OR gates are validated non-empty, so one operand remains.
+      result[fold.id] = fold.ops.front();
     }
   }
   return result;
 }
 
 Ref build_structure_function(Manager& manager, const Adt& adt,
-                             const VarOrder& order) {
-  return build_all(manager, adt, order)[adt.root()];
+                             const VarOrder& order,
+                             const BuildOptions& options) {
+  return build_all(manager, adt, order, options)[adt.root()];
 }
 
 }  // namespace adtp::bdd

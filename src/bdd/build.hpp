@@ -1,5 +1,14 @@
 /// \file build.hpp
 /// \brief Translating an ADT's structure function into an ROBDD.
+///
+/// The translation is level-parallel: ADT nodes are grouped by height
+/// (longest path to a leaf), every node of a level depends only on lower
+/// levels, and wide AND/OR gates are folded as balanced pairwise
+/// reduction trees, so independent applies run concurrently on the
+/// manager's striped tables. The reduction shape is fixed (balanced,
+/// left-to-right pairing) for every thread count - including the
+/// sequential path - so the set of BDD nodes a build creates is identical
+/// no matter how many workers ran it.
 
 #pragma once
 
@@ -8,18 +17,33 @@
 #include "adt/adt.hpp"
 #include "bdd/manager.hpp"
 #include "bdd/order.hpp"
+#include "util/parallel.hpp"
 
 namespace adtp::bdd {
+
+/// Knobs of the ADT -> ROBDD translation.
+struct BuildOptions {
+  /// Worker threads for the level-parallel translation: 1 (default) runs
+  /// sequentially on the calling thread, 0 resolves to the hardware
+  /// concurrency. The produced BDD is identical for every value.
+  unsigned threads = 1;
+
+  /// Optional externally-owned pool (shared with the propagation phase by
+  /// core/bdd_bu.cpp); overrides \p threads when set.
+  WorkerPool* pool = nullptr;
+};
 
 /// Builds the BDD of f_T(., ., v) for every node v of \p adt (memoized over
 /// the DAG, so shared subtrees are translated once) and returns the per-node
 /// roots indexed by NodeId. The manager must have order.num_vars()
 /// variables.
 [[nodiscard]] std::vector<Ref> build_all(Manager& manager, const Adt& adt,
-                                         const VarOrder& order);
+                                         const VarOrder& order,
+                                         const BuildOptions& options = {});
 
 /// Builds the BDD of the root structure function f_T(., ., R_T).
 [[nodiscard]] Ref build_structure_function(Manager& manager, const Adt& adt,
-                                           const VarOrder& order);
+                                           const VarOrder& order,
+                                           const BuildOptions& options = {});
 
 }  // namespace adtp::bdd

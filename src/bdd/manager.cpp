@@ -36,34 +36,64 @@ std::size_t Manager::CacheKeyHash::operator()(
 Manager::Manager(std::uint32_t num_vars, std::size_t node_limit)
     : num_vars_(num_vars),
       node_limit_(node_limit == 0 ? kDefaultNodeLimit : node_limit) {
-  // Terminals occupy indices 0 (false) and 1 (true).
-  nodes_.push_back(BddNode{kTermVar, kFalse, kFalse});
-  nodes_.push_back(BddNode{kTermVar, kTrue, kTrue});
+  // Terminals occupy indices 0 (false) and 1 (true). Construction is
+  // single-threaded, so plain allocate() is fine.
+  allocate(BddNode{kTermVar, kFalse, kFalse});
+  allocate(BddNode{kTermVar, kTrue, kTrue});
+}
+
+Ref Manager::allocate(const BddNode& n) {
+  const MaybeLock lock(alloc_mutex_, concurrent_);
+  const std::uint32_t idx = size_.load(std::memory_order_relaxed);
+  if (idx >= node_limit_) {
+    throw LimitError("bdd: node limit of " + std::to_string(node_limit_) +
+                     " exceeded (the variable order may be adversarial for "
+                     "this model)");
+  }
+  const std::uint32_t c = chunk_of(idx);
+  BddNode* chunk = chunks_[c].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    auto fresh =
+        std::make_unique<BddNode[]>(std::size_t{1} << (kFirstChunkBits + c));
+    chunk = fresh.get();
+    chunk_storage_.push_back(std::move(fresh));
+    chunks_[c].store(chunk, std::memory_order_release);
+  }
+  chunk[idx - chunk_start(c)] = n;
+  size_.store(idx + 1, std::memory_order_release);
+  return idx;
+}
+
+ManagerStats Manager::stats() const {
+  ManagerStats out;
+  out.num_nodes = num_nodes();
+  for (const UniqueStripe& s : unique_) {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    out.unique_hits += s.hits;
+  }
+  for (const CacheStripe& s : cache_) {
+    const std::lock_guard<std::mutex> lock(s.mutex);
+    out.cache_hits += s.hits;
+    out.cache_misses += s.misses;
+  }
+  return out;
 }
 
 std::uint32_t Manager::var(Ref f) const {
   if (is_terminal(f)) {
     throw ModelError("bdd: terminal nodes carry no variable");
   }
-  return nodes_[f].var;
+  return node(f).var;
 }
 
 Ref Manager::low(Ref f) const {
   if (is_terminal(f)) throw ModelError("bdd: terminals have no children");
-  return nodes_[f].low;
+  return node(f).low;
 }
 
 Ref Manager::high(Ref f) const {
   if (is_terminal(f)) throw ModelError("bdd: terminals have no children");
-  return nodes_[f].high;
-}
-
-void Manager::check_limit() {
-  if (nodes_.size() >= node_limit_) {
-    throw LimitError("bdd: node limit of " + std::to_string(node_limit_) +
-                     " exceeded (the variable order may be adversarial for "
-                     "this model)");
-  }
+  return node(f).high;
 }
 
 Ref Manager::mk(std::uint32_t v, Ref lo, Ref hi) {
@@ -72,25 +102,31 @@ Ref Manager::mk(std::uint32_t v, Ref lo, Ref hi) {
                      " out of range (num_vars = " + std::to_string(num_vars_) +
                      ")");
   }
-  if (lo >= nodes_.size() || hi >= nodes_.size()) {
+  const std::uint32_t allocated = size_.load(std::memory_order_acquire);
+  if (lo >= allocated || hi >= allocated) {
     throw ModelError("bdd: mk() child out of range");
   }
   // Ordering invariant: children must test strictly later variables.
-  if ((!is_terminal(lo) && nodes_[lo].var <= v) ||
-      (!is_terminal(hi) && nodes_[hi].var <= v)) {
+  if ((!is_terminal(lo) && node(lo).var <= v) ||
+      (!is_terminal(hi) && node(hi).var <= v)) {
     throw ModelError("bdd: mk() would violate the variable order");
   }
   if (lo == hi) return lo;  // reduction rule 2
   const UniqueKey key{v, lo, hi};
-  if (auto it = unique_.find(key); it != unique_.end()) {
-    ++stats_.unique_hits;
+  // Stripe selection uses a cheap multiplicative mix, not the full map
+  // hash (the map re-hashes internally anyway); it only needs to spread
+  // concurrent builders across the 64 locks.
+  static_assert(kStripes == 64,
+                "stripe indices take the top 6 bits of a 32-bit mix");
+  UniqueStripe& stripe =
+      unique_[((lo ^ (hi << 7) ^ (v << 13)) * 0x9E3779B1u) >> 26];
+  const MaybeLock lock(stripe.mutex, concurrent_);
+  if (auto it = stripe.map.find(key); it != stripe.map.end()) {
+    ++stripe.hits;
     return it->second;  // reduction rule 1
   }
-  check_limit();
-  const Ref ref = static_cast<Ref>(nodes_.size());
-  nodes_.push_back(BddNode{v, lo, hi});
-  unique_.emplace(key, ref);
-  stats_.num_nodes = nodes_.size();
+  const Ref ref = allocate(BddNode{v, lo, hi});
+  stripe.map.emplace(key, ref);
   return ref;
 }
 
@@ -137,25 +173,38 @@ Ref Manager::apply(Op op, Ref f, Ref g) {
   // Normalize commutative operands for better cache hit rates.
   if (f > g) std::swap(f, g);
   const CacheKey key{static_cast<std::uint8_t>(op), f, g};
-  if (auto it = cache_.find(key); it != cache_.end()) {
-    ++stats_.cache_hits;
-    return it->second;
+  CacheStripe& stripe =
+      cache_[((f ^ (g << 9) ^ (static_cast<std::uint32_t>(key.op) << 17)) *
+              0x9E3779B1u) >>
+             26];
+  {
+    const MaybeLock lock(stripe.mutex, concurrent_);
+    if (auto it = stripe.map.find(key); it != stripe.map.end()) {
+      ++stripe.hits;
+      return it->second;
+    }
+    ++stripe.misses;
   }
-  ++stats_.cache_misses;
+  // The stripe lock is NOT held across the recursion: two threads may
+  // race the same apply and both compute it, but hash consing makes the
+  // results identical, so the second insert below is a no-op.
 
-  const std::uint32_t fv = is_terminal(f) ? kTermVar : nodes_[f].var;
-  const std::uint32_t gv = is_terminal(g) ? kTermVar : nodes_[g].var;
+  const std::uint32_t fv = is_terminal(f) ? kTermVar : node(f).var;
+  const std::uint32_t gv = is_terminal(g) ? kTermVar : node(g).var;
   const std::uint32_t v = std::min(fv, gv);
 
-  const Ref f0 = (fv == v) ? nodes_[f].low : f;
-  const Ref f1 = (fv == v) ? nodes_[f].high : f;
-  const Ref g0 = (gv == v) ? nodes_[g].low : g;
-  const Ref g1 = (gv == v) ? nodes_[g].high : g;
+  const Ref f0 = (fv == v) ? node(f).low : f;
+  const Ref f1 = (fv == v) ? node(f).high : f;
+  const Ref g0 = (gv == v) ? node(g).low : g;
+  const Ref g1 = (gv == v) ? node(g).high : g;
 
   const Ref lo = apply(op, f0, g0);
   const Ref hi = apply(op, f1, g1);
   const Ref result = mk(v, lo, hi);
-  cache_.emplace(key, result);
+  {
+    const MaybeLock lock(stripe.mutex, concurrent_);
+    stripe.map.emplace(key, result);
+  }
   return result;
 }
 
@@ -167,14 +216,21 @@ Ref Manager::apply_not(Ref f) {
   if (f == kFalse) return kTrue;
   if (f == kTrue) return kFalse;
   const CacheKey key{0xFF, f, 0};
-  if (auto it = cache_.find(key); it != cache_.end()) {
-    ++stats_.cache_hits;
-    return it->second;
+  CacheStripe& stripe = cache_[((f ^ 0xFFu) * 0x9E3779B1u) >> 26];
+  {
+    const MaybeLock lock(stripe.mutex, concurrent_);
+    if (auto it = stripe.map.find(key); it != stripe.map.end()) {
+      ++stripe.hits;
+      return it->second;
+    }
+    ++stripe.misses;
   }
-  ++stats_.cache_misses;
   const Ref result =
-      mk(nodes_[f].var, apply_not(nodes_[f].low), apply_not(nodes_[f].high));
-  cache_.emplace(key, result);
+      mk(node(f).var, apply_not(node(f).low), apply_not(node(f).high));
+  {
+    const MaybeLock lock(stripe.mutex, concurrent_);
+    stripe.map.emplace(key, result);
+  }
   return result;
 }
 
@@ -185,7 +241,7 @@ Ref Manager::ite(Ref f, Ref g, Ref h) {
 
 Ref Manager::restrict_var(Ref f, std::uint32_t v, bool value) {
   if (is_terminal(f)) return f;
-  const BddNode& n = nodes_[f];
+  const BddNode& n = node(f);
   if (n.var > v) return f;  // v does not occur below here
   if (n.var == v) return value ? n.high : n.low;
   const Ref lo = restrict_var(n.low, v, value);
@@ -198,7 +254,7 @@ bool Manager::evaluate(Ref f, const std::vector<bool>& assignment) const {
     throw ModelError("bdd: evaluate() needs one value per variable");
   }
   while (!is_terminal(f)) {
-    const BddNode& n = nodes_[f];
+    const BddNode& n = node(f);
     f = assignment[n.var] ? n.high : n.low;
   }
   return f == kTrue;
@@ -214,17 +270,17 @@ double Manager::sat_count(Ref f) const {
     } else if (r == kTrue) {
       counts[r] = 1;
     } else {
-      const BddNode& n = nodes_[r];
+      const BddNode& n = node(r);
       auto weight = [&](Ref child) {
         const std::uint32_t child_var =
-            is_terminal(child) ? num_vars_ : nodes_[child].var;
+            is_terminal(child) ? num_vars_ : node(child).var;
         const double skipped = static_cast<double>(child_var - n.var - 1);
         return counts.at(child) * std::pow(2.0, skipped);
       };
       counts[r] = weight(n.low) + weight(n.high);
     }
   }
-  const std::uint32_t root_var = is_terminal(f) ? num_vars_ : nodes_[f].var;
+  const std::uint32_t root_var = is_terminal(f) ? num_vars_ : node(f).var;
   return counts.at(f) * std::pow(2.0, static_cast<double>(root_var));
 }
 
@@ -249,7 +305,7 @@ std::vector<std::vector<std::int8_t>> Manager::enumerate_paths(
       }
       return;
     }
-    const BddNode& n = nodes_[w];
+    const BddNode& n = node(w);
     current[n.var] = 0;
     self(self, n.low);
     current[n.var] = 1;
@@ -261,14 +317,15 @@ std::vector<std::vector<std::int8_t>> Manager::enumerate_paths(
 }
 
 std::vector<Ref> Manager::reachable(Ref f) const {
-  std::vector<char> seen(nodes_.size(), 0);
+  std::vector<char> seen(num_nodes(), 0);
   std::vector<Ref> stack{f};
   seen[f] = 1;
   while (!stack.empty()) {
     const Ref r = stack.back();
     stack.pop_back();
     if (is_terminal(r)) continue;
-    for (Ref child : {nodes_[r].low, nodes_[r].high}) {
+    const BddNode& n = node(r);
+    for (Ref child : {n.low, n.high}) {
       if (!seen[child]) {
         seen[child] = 1;
         stack.push_back(child);
@@ -276,7 +333,8 @@ std::vector<Ref> Manager::reachable(Ref f) const {
     }
   }
   std::vector<Ref> out;
-  for (Ref r = 0; r < nodes_.size(); ++r) {
+  const Ref total = static_cast<Ref>(seen.size());
+  for (Ref r = 0; r < total; ++r) {
     if (seen[r]) out.push_back(r);
   }
   return out;

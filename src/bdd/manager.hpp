@@ -14,6 +14,21 @@
 /// variable indices (including the paper's defense-first orders) is the job
 /// of bdd/order.hpp.
 ///
+/// Concurrency: the manager supports *concurrent construction* - mk() and
+/// the apply family may be called from several threads at once (the
+/// level-parallel builder in bdd/build.cpp does exactly that) once
+/// enter_concurrent_mode() has been called. The unique table and the
+/// computed cache are striped: each of kStripes shards owns its own mutex
+/// and hash map, so threads building independent subtrees rarely contend;
+/// outside concurrent mode the stripe locks are skipped entirely, keeping
+/// the serial hot path as fast as a single-map design. Node storage is a
+/// chunked arena whose chunks never move, making node reads lock-free in
+/// both modes; a published Ref (one obtained from any manager operation)
+/// can always be dereferenced safely. The *set* of nodes a build creates
+/// is canonical, so node counts and every structural query are identical
+/// for every thread count - only node indices may be permuted between
+/// runs.
+///
 /// Nodes are never garbage collected: the analyses in this library build a
 /// bounded number of functions per manager, and node indices stay stable,
 /// which the Pareto propagation (core/bdd_bu.cpp) relies on. A configurable
@@ -22,7 +37,12 @@
 
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,7 +64,11 @@ struct BddNode {
   Ref high;
 };
 
-/// Aggregate statistics of a manager (for benches and reports).
+/// Aggregate statistics of a manager (for benches and reports). Counter
+/// values are exact after construction quiesces; num_nodes is always
+/// exact. Note that cache hit/miss tallies can vary across thread counts
+/// (racing threads may both miss the same apply before one publishes) -
+/// the produced BDD never does.
 struct ManagerStats {
   std::size_t num_nodes = 0;     ///< total allocated, incl. both terminals
   std::size_t unique_hits = 0;   ///< mk() calls answered from the table
@@ -60,9 +84,11 @@ class Manager {
 
   [[nodiscard]] std::uint32_t num_vars() const noexcept { return num_vars_; }
   [[nodiscard]] std::size_t num_nodes() const noexcept {
-    return nodes_.size();
+    return size_.load(std::memory_order_acquire);
   }
-  [[nodiscard]] const ManagerStats& stats() const noexcept { return stats_; }
+
+  /// A snapshot of the counters (aggregated across stripes).
+  [[nodiscard]] ManagerStats stats() const;
 
   [[nodiscard]] bool is_terminal(Ref f) const noexcept { return f <= kTrue; }
 
@@ -71,14 +97,26 @@ class Manager {
   [[nodiscard]] Ref low(Ref f) const;
   [[nodiscard]] Ref high(Ref f) const;
 
+  /// Switches the manager into concurrent-construction mode: from then
+  /// on every unique-table / computed-cache / allocation access takes
+  /// its stripe lock. One-way, and it must happen-before the first
+  /// concurrent operation (the level-parallel builder flips it before
+  /// dispatching to its pool, so the pool's own synchronization
+  /// publishes the flag). Serial callers never pay for locks they do
+  /// not need - the single-threaded hot path stays lock-free.
+  void enter_concurrent_mode() noexcept { concurrent_ = true; }
+  [[nodiscard]] bool concurrent_mode() const noexcept { return concurrent_; }
+
   /// The hash-consing constructor: returns the canonical node for
-  /// (var, low, high), applying both ROBDD reduction rules.
+  /// (var, low, high), applying both ROBDD reduction rules. Thread-safe
+  /// in concurrent mode.
   Ref mk(std::uint32_t var, Ref low, Ref high);
 
   /// The function "variable v" and its negation.
   Ref make_var(std::uint32_t v);
   Ref make_nvar(std::uint32_t v);
 
+  // Memoized Boolean operations; thread-safe.
   Ref apply_and(Ref f, Ref g);
   Ref apply_or(Ref f, Ref g);
   Ref apply_xor(Ref f, Ref g);
@@ -101,7 +139,8 @@ class Manager {
   [[nodiscard]] std::size_t size(Ref f) const;
 
   /// Nodes reachable from \p f in ascending index order (children before
-  /// parents - mk() creates children first, so index order is topological).
+  /// parents - a node's children exist before mk() can reference them, so
+  /// index order is topological even under concurrent construction).
   [[nodiscard]] std::vector<Ref> reachable(Ref f) const;
 
   /// A path assignment: one entry per variable; 0/1 for decisions taken
@@ -138,16 +177,79 @@ class Manager {
     std::size_t operator()(const CacheKey& k) const noexcept;
   };
 
+  /// Lock shards of the unique table / computed cache. 64 stripes keep
+  /// 8-16 concurrent builders mostly contention-free while the per-stripe
+  /// maps stay small enough to be cheap for tiny managers.
+  static constexpr std::size_t kStripes = 64;
+
+  struct UniqueStripe {
+    mutable std::mutex mutex;  // mutable: stats() locks through const this
+    std::unordered_map<UniqueKey, Ref, UniqueKeyHash> map;
+    std::size_t hits = 0;  ///< guarded by mutex
+  };
+  struct CacheStripe {
+    mutable std::mutex mutex;
+    std::unordered_map<CacheKey, Ref, CacheKeyHash> map;
+    std::size_t hits = 0;    ///< guarded by mutex
+    std::size_t misses = 0;  ///< guarded by mutex
+  };
+
+  // Chunked node arena: chunk c holds 2^(kFirstChunkBits + c) nodes and
+  // starts at index (2^c - 1) << kFirstChunkBits, so capacity doubles
+  // while small managers only ever touch the first 1K-node chunk. Chunks
+  // never move, which is what makes node() lock-free.
+  static constexpr std::uint32_t kFirstChunkBits = 10;
+  static constexpr std::size_t kMaxChunks = 33;
+
+  static std::uint32_t chunk_of(Ref f) noexcept {
+    return static_cast<std::uint32_t>(
+               std::bit_width((f >> kFirstChunkBits) + 1)) -
+           1;
+  }
+  static Ref chunk_start(std::uint32_t c) noexcept {
+    return ((Ref{1} << c) - 1) << kFirstChunkBits;
+  }
+
+  /// Lock-free node read; \p f must be a published nonterminal Ref.
+  [[nodiscard]] const BddNode& node(Ref f) const noexcept {
+    const std::uint32_t c = chunk_of(f);
+    return chunks_[c].load(std::memory_order_acquire)[f - chunk_start(c)];
+  }
+
+  /// Locks \p m only in concurrent mode (see enter_concurrent_mode()).
+  class MaybeLock {
+   public:
+    MaybeLock(std::mutex& m, bool enabled) : m_(enabled ? &m : nullptr) {
+      if (m_ != nullptr) m_->lock();
+    }
+    MaybeLock(const MaybeLock&) = delete;
+    MaybeLock& operator=(const MaybeLock&) = delete;
+    ~MaybeLock() {
+      if (m_ != nullptr) m_->unlock();
+    }
+
+   private:
+    std::mutex* m_;
+  };
+
+  /// Appends a node to the arena; takes alloc_mutex_ (in concurrent
+  /// mode) and enforces the node limit.
+  Ref allocate(const BddNode& n);
+
   Ref apply(Op op, Ref f, Ref g);
   [[nodiscard]] static bool terminal_of(Op op, bool a, bool b) noexcept;
-  void check_limit();
 
   std::uint32_t num_vars_;
   std::size_t node_limit_;
-  std::vector<BddNode> nodes_;
-  std::unordered_map<UniqueKey, Ref, UniqueKeyHash> unique_;
-  std::unordered_map<CacheKey, Ref, CacheKeyHash> cache_;
-  ManagerStats stats_;
+  bool concurrent_ = false;
+
+  std::array<std::atomic<BddNode*>, kMaxChunks> chunks_{};
+  std::vector<std::unique_ptr<BddNode[]>> chunk_storage_;  // alloc_mutex_
+  std::mutex alloc_mutex_;
+  std::atomic<std::uint32_t> size_{0};
+
+  std::array<UniqueStripe, kStripes> unique_;
+  std::array<CacheStripe, kStripes> cache_;
 
   static constexpr std::uint32_t kTermVar = 0xFFFFFFFFu;
 };

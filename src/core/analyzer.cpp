@@ -44,12 +44,22 @@ AnalysisResult analyze(const AugmentedAdt& aadt,
     case Algorithm::BottomUp:
       result.front = bottom_up_front(aadt, options.bottom_up);
       break;
-    case Algorithm::BddBu:
-      result.front = bdd_bu_front(aadt, options.bdd);
+    case Algorithm::BddBu: {
+      BddBuOptions bdd = options.bdd;
+      if (options.intra_model_threads != 0) {
+        bdd.threads = options.intra_model_threads;
+      }
+      result.front = bdd_bu_front(aadt, bdd);
       break;
-    case Algorithm::Hybrid:
-      result.front = hybrid_front(aadt, options.hybrid);
+    }
+    case Algorithm::Hybrid: {
+      HybridOptions hybrid = options.hybrid;
+      if (options.intra_model_threads != 0) {
+        hybrid.bdd.threads = options.intra_model_threads;
+      }
+      result.front = hybrid_front(aadt, hybrid);
       break;
+    }
     case Algorithm::Auto:
       throw Error("analyze: unresolved Auto algorithm");
   }

@@ -75,10 +75,11 @@ AnalysisOptions instrument_options(const BatchContext& ctx,
   if (opts.hybrid.bdd.arena == nullptr) opts.hybrid.bdd.arena = &arena;
   // Idle-worker donation: a pool wider than the job list hands the
   // surplus to each analysis as intra-model shards. An explicit per-item
-  // intra_model_threads or naive.threads is a deliberate setting and is
-  // kept.
+  // intra_model_threads, naive.threads, or bdd threads knob is a
+  // deliberate setting and is kept.
   if (ctx.donated_threads > 1 && opts.intra_model_threads == 0 &&
-      opts.naive.threads == 1) {
+      opts.naive.threads == 1 && opts.bdd.threads == 1 &&
+      opts.hybrid.bdd.threads == 1) {
     opts.intra_model_threads = ctx.donated_threads;
   }
   return opts;

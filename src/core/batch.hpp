@@ -109,12 +109,13 @@ struct BatchOptions {
   /// When true (default), a batch with more worker threads than jobs
   /// donates the surplus to the in-flight analyses: each item's
   /// AnalysisOptions::intra_model_threads is set to
-  /// floor(threads / jobs), so an oversized item (e.g. a huge naive
-  /// enumeration) shards internally instead of straggling on one core
+  /// floor(threads / jobs), so an oversized item (a huge naive
+  /// enumeration, or a single giant DAG's BDD build + level-parallel
+  /// propagate) shards internally instead of straggling on one core
   /// while the rest of the pool idles. Items that set
-  /// intra_model_threads (or naive.threads) themselves keep their own
-  /// value; results are unaffected either way (intra-model parallelism
-  /// is deterministic).
+  /// intra_model_threads (or naive.threads / bdd.threads /
+  /// hybrid.bdd.threads) themselves keep their own value; results are
+  /// unaffected either way (intra-model parallelism is deterministic).
   bool donate_intra_model = true;
 };
 

@@ -1,27 +1,52 @@
 #include "core/bdd_bu.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <type_traits>
-#include <unordered_map>
+#include <vector>
 
 #include "bdd/build.hpp"
 #include "core/domains.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace adtp {
 
 namespace {
 
+constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+/// Levels narrower than this are processed inline by the calling thread:
+/// the pool barrier costs more than a handful of node computations.
+constexpr std::size_t kMinParallelLevelWidth = 4;
+
+/// Aggregated diagnostics of one propagation, filled by the kernel (the
+/// caller cannot read per-worker arenas itself).
+struct PropagateCounters {
+  std::size_t max_front_size = 0;
+  std::size_t parallel_levels = 0;
+  std::size_t max_level_width = 0;
+  CombineStats combine;
+};
+
 /// The per-domain-pair kernel of Algorithm 3 over a built BDD, generic in
 /// the point payload; instantiated once per policy pair by
-/// dispatch_domains(). \p max_front_size reports the largest intermediate
-/// front.
+/// dispatch_domains().
+///
+/// Nodes are processed level by level, deepest variable first: a node's
+/// children always test strictly later variables (or are terminals), so
+/// every level depends only on levels already finished, and the nodes
+/// *within* a level are mutually independent - each one is handed to the
+/// worker pool as its own task, writing a disjoint front slot. A node's
+/// front is a pure function of its children's fronts (the arenas are
+/// scratch only), so the result is bit-identical for every thread count.
 template <typename P, typename Dd, typename Da>
 BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
                                bdd::Ref root, const bdd::VarOrder& order,
-                               std::size_t* max_front_size,
-                               const BddBuOptions& options, const Dd& dd,
-                               const Da& da) {
+                               PropagateCounters* counters,
+                               const BddBuOptions& options, WorkerPool* pool,
+                               const Dd& dd, const Da& da) {
   const std::size_t max_front_points = options.max_front_points;
   const Adt& adt = aadt.adt();
   const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
@@ -43,33 +68,47 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
   // attacker's target leaf is 1 when tau(R_T) = A and 0 otherwise.
   const bdd::Ref attacker_target = root_is_attack ? bdd::kTrue : bdd::kFalse;
 
-  std::unordered_map<bdd::Ref, BasicFront<P>> fronts;
-  fronts.reserve(manager.size(root));
-
-  // Value-front runs may borrow a caller-provided arena (persistent across
-  // batch items on one worker thread); witness runs keep a private one.
-  FrontArena<P> local_arena;
-  FrontArena<P>* arena = &local_arena;
-  if constexpr (std::is_same_v<P, ValuePoint>) {
-    if (options.arena != nullptr) arena = options.arena;
+  // Dense slots for the reachable nodes: shared nodes are computed exactly
+  // once (the memoization that gives O(|W| p^2)), and workers write
+  // disjoint slots without synchronization beyond the level barrier.
+  const std::vector<bdd::Ref> reach = manager.reachable(root);
+  std::vector<std::uint32_t> slot(manager.num_nodes(), kNoSlot);
+  for (std::uint32_t i = 0; i < reach.size(); ++i) {
+    slot[reach[i]] = i;
   }
-  std::size_t max_p = 0;
+  std::vector<BasicFront<P>> fronts(reach.size());
 
-  // reachable() yields ascending node indices, which is a topological
-  // order (children are created before parents), so one sweep suffices;
-  // shared nodes are computed exactly once (the memoization that gives
-  // O(|W| p^2)).
-  for (bdd::Ref w : manager.reachable(root)) {
-    check_interrupt(options.deadline, options.cancel, "bdd_bu");
+  // One arena per worker. Value-front runs may borrow a caller-provided
+  // arena (persistent across batch items on one worker thread) for worker
+  // 0; every other worker - and every witness run - keeps private scratch.
+  const unsigned workers = pool != nullptr ? pool->threads() : 1;
+  FrontArena<P> fallback_arena;
+  FrontArena<P>* arena0 = &fallback_arena;
+  if constexpr (std::is_same_v<P, ValuePoint>) {
+    if (options.arena != nullptr) arena0 = options.arena;
+  }
+  const CombineStats arena0_before = arena0->stats();
+  std::vector<FrontArena<P>> extra_arenas(workers > 1 ? workers - 1 : 0);
+  std::vector<std::size_t> max_p(workers, 0);
+
+  // Terminal fronts, and the level grouping of the nonterminals.
+  std::vector<std::vector<bdd::Ref>> levels(order.num_vars());
+  for (bdd::Ref w : reach) {
     if (manager.is_terminal(w)) {
       const double att = (w == attacker_target) ? da.one() : da.zero();
-      fronts.emplace(w, BasicFront<P>::singleton(make_point(dd.one(), att)));
-      continue;
+      fronts[slot[w]] =
+          BasicFront<P>::singleton(make_point(dd.one(), att));
+    } else {
+      levels[manager.var(w)].push_back(w);
     }
+  }
+
+  auto process_node = [&](unsigned worker, bdd::Ref w) {
+    check_interrupt(options.deadline, options.cancel, "bdd_bu");
     const std::uint32_t v = manager.var(w);
     const NodeId leaf = order.node_of(v);
-    const auto& low = fronts.at(manager.low(w));
-    const auto& high = fronts.at(manager.high(w));
+    const auto& low = fronts[slot[manager.low(w)]];
+    const auto& high = fronts[slot[manager.high(w)]];
 
     if (!order.is_defense_var(v)) {
       // Alg. 3 lines 6-9: attack variable. Both child fronts are
@@ -94,13 +133,15 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
           p.attack = p0.attack;
         }
       }
-      fronts.emplace(w, BasicFront<P>::singleton(std::move(p)));
+      fronts[slot[w]] = BasicFront<P>::singleton(std::move(p));
     } else {
       // Alg. 3 lines 10-14: defense variable. Either skip the defense
       // (low front) or buy it (high front shifted by beta_D). Shifting by
       // a constant via tensor_D preserves the staircase order, so the
       // union is a sorted merge - no re-sort.
       const double beta = aadt.defense_value(adt.defense_index(leaf));
+      FrontArena<P>* arena =
+          worker == 0 ? arena0 : &extra_arenas[worker - 1];
       auto front = arena->merged_transformed(
           low, high,
           [&](const P& q) {
@@ -116,28 +157,56 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
         throw LimitError("bdd_bu: intermediate front exceeds " +
                          std::to_string(max_front_points) + " points");
       }
-      max_p = std::max(max_p, front.size());
-      fronts.emplace(w, std::move(front));
+      max_p[worker] = std::max(max_p[worker], front.size());
+      fronts[slot[w]] = std::move(front);
+    }
+  };
+
+  // Deepest level first: by the ordering invariant every child of a
+  // level-v node lives in a strictly later (= already finished) level.
+  for (std::uint32_t v = order.num_vars(); v-- > 0;) {
+    const std::vector<bdd::Ref>& level = levels[v];
+    if (level.empty()) continue;
+    if (counters != nullptr) {
+      counters->max_level_width =
+          std::max(counters->max_level_width, level.size());
+    }
+    if (pool != nullptr && pool->threads() > 1 &&
+        level.size() >= kMinParallelLevelWidth) {
+      if (counters != nullptr) ++counters->parallel_levels;
+      pool->parallel_for(level.size(), 1,
+                         [&](unsigned worker, std::size_t i) {
+                           process_node(worker, level[i]);
+                         });
+    } else {
+      for (bdd::Ref w : level) process_node(0, w);
     }
   }
 
-  if (max_front_size != nullptr) {
-    max_p = std::max(max_p, fronts.at(root).size());
-    *max_front_size = max_p;
+  BasicFront<P>& root_front = fronts[slot[root]];
+  if (counters != nullptr) {
+    counters->max_front_size = root_front.size();
+    for (std::size_t m : max_p) {
+      counters->max_front_size = std::max(counters->max_front_size, m);
+    }
+    counters->combine = arena0->stats().since(arena0_before);
+    for (const FrontArena<P>& a : extra_arenas) {
+      counters->combine += a.stats();
+    }
   }
-  return std::move(fronts.at(root));
+  return std::move(root_front);
 }
 
 template <typename P>
 BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
                         bdd::Ref root, const bdd::VarOrder& order,
-                        std::size_t* max_front_size,
-                        const BddBuOptions& options = {}) {
+                        PropagateCounters* counters,
+                        const BddBuOptions& options, WorkerPool* pool) {
   return dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {
-        return propagate_kernel<P>(aadt, manager, root, order, max_front_size,
-                                   options, dd, da);
+        return propagate_kernel<P>(aadt, manager, root, order, counters,
+                                   options, pool, dd, da);
       });
 }
 
@@ -147,6 +216,58 @@ bdd::VarOrder resolve_order(const AugmentedAdt& aadt,
   return bdd::VarOrder::defense_first(aadt.adt(), options.order_heuristic,
                                       options.order_seed);
 }
+
+/// BDD managers below this many allocated nodes never trigger the
+/// late (post-build) pool spawn: their whole propagation costs less than
+/// starting the workers. Models over the ADT-node floor spawn the pool
+/// up front regardless, so construction parallelizes too.
+constexpr std::size_t kMinBddNodesForPool = 4096;
+
+/// Lazily-spawned worker pool of one BDDBU run. A small ADT can still
+/// translate to a huge BDD (the Fig. 4 family: 43 ADT nodes, ~3 * 2^n
+/// BDD nodes), so the pool is spawned either up front - when the ADT
+/// itself clears options.parallel_node_floor - or right after the build,
+/// when the manager turns out large enough that level-parallel
+/// propagation pays for the spawn.
+class PoolGate {
+ public:
+  PoolGate(const AugmentedAdt& aadt, const BddBuOptions& options)
+      : requested_(resolve_thread_knob(options.threads)) {
+    if (options.pool != nullptr && options.pool->threads() > 1) {
+      // Externally owned (e.g. hybrid sharing one pool across blobs):
+      // it is already spawned, so no floor gating applies.
+      pool_ = options.pool;
+      return;
+    }
+    if (requested_ > 1 &&
+        aadt.adt().size() >= options.parallel_node_floor) {
+      spawn();
+    }
+  }
+
+  /// Called between build and propagate with the manager's node count.
+  void after_build(std::size_t manager_nodes) {
+    if (pool_ == nullptr && requested_ > 1 &&
+        manager_nodes >= kMinBddNodesForPool) {
+      spawn();
+    }
+  }
+
+  [[nodiscard]] WorkerPool* pool() noexcept { return pool_; }
+  [[nodiscard]] unsigned threads_used() const noexcept {
+    return pool_ != nullptr ? pool_->threads() : 1;
+  }
+
+ private:
+  void spawn() {
+    storage_.emplace(requested_);
+    pool_ = &*storage_;
+  }
+
+  unsigned requested_;
+  std::optional<WorkerPool> storage_;
+  WorkerPool* pool_ = nullptr;
+};
 
 }  // namespace
 
@@ -158,45 +279,53 @@ WitnessFront bdd_bu_front_witness(const AugmentedAdt& aadt,
                                   const BddBuOptions& options) {
   const bdd::VarOrder order = resolve_order(aadt, options);
   bdd::Manager manager(order.num_vars(), options.node_limit);
+  PoolGate gate(aadt, options);
   check_interrupt(options.deadline, options.cancel, "bdd_bu");
+  bdd::BuildOptions build;
+  build.pool = gate.pool();
   const bdd::Ref root =
-      bdd::build_structure_function(manager, aadt.adt(), order);
-  return propagate<WitnessPoint>(aadt, manager, root, order, nullptr, options);
+      bdd::build_structure_function(manager, aadt.adt(), order, build);
+  gate.after_build(manager.num_nodes());
+  return propagate<WitnessPoint>(aadt, manager, root, order, nullptr, options,
+                                 gate.pool());
 }
 
 BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
                            const BddBuOptions& options) {
   const bdd::VarOrder order = resolve_order(aadt, options);
   bdd::Manager manager(order.num_vars(), options.node_limit);
+  PoolGate gate(aadt, options);
 
   BddBuReport report;
   check_interrupt(options.deadline, options.cancel, "bdd_bu");
   Stopwatch build_watch;
+  bdd::BuildOptions build;
+  build.pool = gate.pool();
   const bdd::Ref root =
-      bdd::build_structure_function(manager, aadt.adt(), order);
+      bdd::build_structure_function(manager, aadt.adt(), order, build);
   report.build_seconds = build_watch.seconds();
   report.bdd_size = manager.size(root);
   report.manager_nodes = manager.num_nodes();
+  gate.after_build(manager.num_nodes());
+  report.threads_used = gate.threads_used();
 
-  // Front-operation stats live on the arena; pin one locally when the
-  // caller did not provide theirs, and attribute by snapshot so a
-  // batch-shared arena reports only this run's work.
-  FrontArena<ValuePoint> local_arena;
-  BddBuOptions opts = options;
-  if (opts.arena == nullptr) opts.arena = &local_arena;
-  const CombineStats before = opts.arena->stats();
-
+  PropagateCounters counters;
   Stopwatch prop_watch;
-  report.front = propagate<ValuePoint>(aadt, manager, root, order,
-                                       &report.max_front_size, opts);
+  report.front = propagate<ValuePoint>(aadt, manager, root, order, &counters,
+                                       options, gate.pool());
   report.propagate_seconds = prop_watch.seconds();
-  report.combine_stats = opts.arena->stats().since(before);
+  report.max_front_size = counters.max_front_size;
+  report.combine_stats = counters.combine;
+  report.parallel_levels = counters.parallel_levels;
+  report.max_level_width = counters.max_level_width;
   return report;
 }
 
 Front bdd_bu_on_bdd(const AugmentedAdt& aadt, bdd::Manager& manager,
                     bdd::Ref root, const bdd::VarOrder& order) {
-  return propagate<ValuePoint>(aadt, manager, root, order, nullptr);
+  const BddBuOptions options;
+  return propagate<ValuePoint>(aadt, manager, root, order, nullptr, options,
+                               nullptr);
 }
 
 }  // namespace adtp

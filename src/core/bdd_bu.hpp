@@ -9,6 +9,17 @@
 /// singleton (no defense variable occurs below them - this is exactly why
 /// Theorem 2 needs defense-first orders); at defense-labeled nodes the low
 /// front is merged with the cost-shifted high front and pruned.
+///
+/// Intra-model parallelism: both phases are level-parallel. Construction
+/// groups ADT gates by height and folds wide gates as balanced reduction
+/// trees over the manager's striped tables (bdd/build.cpp); propagation
+/// groups BDD nodes by variable level - within a level no node depends on
+/// another (children always test strictly later variables) - and spreads
+/// each sufficiently wide level across a worker pool. Every node's front
+/// is a pure function of its children's fronts, computed with the same
+/// operations in the same order whatever worker runs it, so fronts and
+/// witnesses are bit-identical for every thread count; the threads knob
+/// is therefore excluded from the FrontCache key.
 
 #pragma once
 
@@ -23,6 +34,8 @@
 #include "util/timer.hpp"
 
 namespace adtp {
+
+class WorkerPool;  // util/parallel.hpp
 
 struct BddBuOptions {
   /// Heuristic for the defense-first variable order.
@@ -51,8 +64,33 @@ struct BddBuOptions {
 
   /// Optional external combine scratch space, reused across analyses (the
   /// value-front path only; witness runs keep a private arena). Not
-  /// thread-safe: at most one analysis may use an arena at a time.
+  /// thread-safe in itself: parallel runs hand it to worker 0 only and
+  /// give the other workers private arenas.
   FrontArena<ValuePoint>* arena = nullptr;
+
+  /// Worker threads for BDD construction and level-parallel propagation:
+  /// 1 (default) runs sequentially, 0 resolves to the hardware
+  /// concurrency, N > 1 uses N workers (the calling thread is one of
+  /// them). Fronts and witnesses are bit-identical for every value (see
+  /// the file comment), so this knob deliberately does not participate in
+  /// the FrontCache key; analyze_batch() raises it for oversized items
+  /// via AnalysisOptions::intra_model_threads.
+  unsigned threads = 1;
+
+  /// Models smaller than this many ADT nodes never spawn the worker pool
+  /// even when \p threads asks for more than one (pool spawn costs tens
+  /// of microseconds - more than a small model's whole analysis). Tests
+  /// set 0 to force the parallel path on tiny models.
+  std::size_t parallel_node_floor = 64;
+
+  /// Optional externally-owned worker pool; when set it overrides
+  /// \p threads and the spawn gating entirely (the pool already exists,
+  /// so even tiny models use it). hybrid_analyze() shares one pool
+  /// across all its per-blob runs this way. Like \p arena, never part of
+  /// the FrontCache key. The same not-reentrant rule as WorkerPool
+  /// applies: one analysis at a time, driven from the pool's owner
+  /// thread.
+  WorkerPool* pool = nullptr;
 };
 
 /// Detailed outcome of a BDDBU run, for benches and reports.
@@ -62,10 +100,15 @@ struct BddBuReport {
   std::size_t manager_nodes = 0;  ///< total nodes allocated while building
   std::size_t max_front_size = 0; ///< the p of the O(|W| p^2) bound
   /// Front-operation counters of the propagation (staircase merges at
-  /// defense variables; combines only when blobs delegate here).
+  /// defense variables; combines only when blobs delegate here), summed
+  /// across every worker arena of a parallel run.
   CombineStats combine_stats;
   double build_seconds = 0;       ///< ADT -> ROBDD translation time
   double propagate_seconds = 0;   ///< front propagation time
+  // Level-parallelism counters.
+  unsigned threads_used = 1;       ///< workers serving build + propagate
+  std::size_t parallel_levels = 0; ///< BDD levels split across >1 worker
+  std::size_t max_level_width = 0; ///< nodes in the widest BDD level
 };
 
 /// Algorithm 3 at the root of the ROBDD. Works for arbitrary (tree- or
@@ -82,7 +125,8 @@ struct BddBuReport {
                                          const BddBuOptions& options = {});
 
 /// Runs Algorithm 3 on an already-built BDD; exposed for callers that
-/// manage their own Manager (e.g. the ordering-ablation bench).
+/// manage their own Manager (e.g. the ordering-ablation bench). Always
+/// sequential.
 [[nodiscard]] Front bdd_bu_on_bdd(const AugmentedAdt& aadt,
                                   bdd::Manager& manager, bdd::Ref root,
                                   const bdd::VarOrder& order);

@@ -1,9 +1,12 @@
 #include "core/hybrid.hpp"
 
+#include <optional>
+
 #include "adt/modules.hpp"
 #include "adt/transform.hpp"
 #include "core/bottom_up.hpp"
 #include "core/domains.hpp"
+#include "util/parallel.hpp"
 
 namespace adtp {
 
@@ -21,6 +24,10 @@ struct HybridState {
   const Da& da;
   HybridReport& report;
   FrontArena<ValuePoint>* arena;
+  /// Worker pool shared by every blob run (owned by hybrid_analyze);
+  /// spawned lazily at the first blob that wants more than one thread,
+  /// so tree-shaped models never pay for it.
+  std::optional<WorkerPool>& blob_pool;
 
   /// True iff gate \p v can be combined tree-style: every child is a
   /// single-parent module and the children's descendant sets are pairwise
@@ -58,12 +65,36 @@ struct HybridState {
 
   Front blob_front(NodeId v) {
     // Sharing reaches into this subtree: analyze the whole sub-DAG with
-    // BDDBU (Theorem 2 applies to the sub-AADT as its own model).
+    // BDDBU (Theorem 2 applies to the sub-AADT as its own model). The
+    // blob inherits the BDDBU options - including the level-parallelism
+    // threads knob - and its report counters fold into the hybrid's.
     const AugmentedAdt sub = extract_subgraph(aadt, v);
     ++report.blob_count;
     report.largest_blob = std::max(report.largest_blob, sub.adt().size());
-    return bdd_bu_front(sub, options.bdd);
+    // The blob may route some combines through the shared arena (its
+    // worker 0) and some through private worker arenas; its report sums
+    // them all, while the hybrid's final arena delta counts the shared
+    // part again. Track the shared part to subtract it once at the end.
+    BddBuOptions blob_options = options.bdd;
+    const unsigned requested = resolve_thread_knob(blob_options.threads);
+    if (blob_options.pool == nullptr && requested > 1) {
+      if (!blob_pool) blob_pool.emplace(requested);
+      blob_options.pool = &*blob_pool;
+    }
+    const CombineStats arena_before = arena->stats();
+    BddBuReport blob = bdd_bu_analyze(sub, blob_options);
+    blob_arena_overlap += arena->stats().since(arena_before);
+    blob_combines += blob.combine_stats;
+    report.bdd_threads_used =
+        std::max(report.bdd_threads_used, blob.threads_used);
+    report.bdd_parallel_levels += blob.parallel_levels;
+    report.bdd_max_level_width =
+        std::max(report.bdd_max_level_width, blob.max_level_width);
+    return std::move(blob.front);
   }
+
+  CombineStats blob_combines{};       ///< summed blob report counters
+  CombineStats blob_arena_overlap{};  ///< blob work that hit the shared arena
 
   Front front(NodeId v) {
     // The per-blob guards live in options.bdd and are honored inside
@@ -101,16 +132,25 @@ HybridReport hybrid_analyze(const AugmentedAdt& aadt,
   FrontArena<ValuePoint>* arena =
       options.bdd.arena != nullptr ? options.bdd.arena : &local_arena;
   const CombineStats before = arena->stats();
+  CombineStats blob_combines;
+  CombineStats blob_arena_overlap;
+  std::optional<WorkerPool> blob_pool;
   report.front = dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {
-        HybridState state{aadt, options, modules, dd, da, report, arena};
-        return state.front(aadt.adt().root());
+        HybridState state{aadt, options,  modules, dd,
+                          da,   report,   arena,   blob_pool};
+        Front front = state.front(aadt.adt().root());
+        blob_combines = state.blob_combines;
+        blob_arena_overlap = state.blob_arena_overlap;
+        return front;
       });
-  // Blob runs pass options.bdd.arena into bdd_bu_front too, so when the
-  // caller shared one arena these counters include the blob merges; with
-  // a local arena they cover the tree-style combines only.
-  report.combine_stats = arena->stats().since(before);
+  // The arena delta covers the tree-style combines plus whatever blob
+  // work ran on the shared arena; the blob reports cover all blob work.
+  // Summing both and subtracting the overlap counts everything once.
+  CombineStats total = arena->stats().since(before);
+  total += blob_combines;
+  report.combine_stats = total.since(blob_arena_overlap);
   return report;
 }
 

@@ -29,11 +29,16 @@ struct HybridReport {
   std::size_t blob_count = 0;      ///< sub-DAGs handed to BDDBU
   std::size_t largest_blob = 0;    ///< node count of the largest such blob
   std::size_t tree_combines = 0;   ///< gates combined tree-style
-  /// Front-operation counters of the hybrid walk: the tree-style
-  /// combines, plus the blob merges when the per-blob BDDBU runs share
-  /// the caller's arena (options.bdd.arena set); with no caller arena the
-  /// blobs keep private scratch and only tree combines are counted.
+  /// Front-operation counters of the whole hybrid walk: tree-style
+  /// combines plus every per-blob BDDBU run's merges (the blob reports
+  /// are folded in, whichever arenas the blobs used).
   CombineStats combine_stats;
+  // Level-parallelism counters aggregated over the per-blob BDDBU runs
+  // (the blobs inherit options.bdd.threads; the tree-style walk itself is
+  // sequential).
+  unsigned bdd_threads_used = 1;       ///< max workers any blob ran with
+  std::size_t bdd_parallel_levels = 0; ///< BDD levels split across workers
+  std::size_t bdd_max_level_width = 0; ///< widest BDD level of any blob
 };
 
 /// Computes the Pareto front of an arbitrary ADT by modular decomposition.

@@ -4,11 +4,10 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
-#include <exception>
-#include <thread>
 
 #include "core/domains.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace adtp {
 
@@ -81,6 +80,22 @@ BitVec mask_to_bitvec(std::uint64_t mask, std::size_t size) {
   return v;
 }
 
+/// beta-hat_D(delta) over the defense mask, combining in the same
+/// ascending-index order as AugmentedAdt::defense_vector_value (so
+/// witness replay through that function is exact for all domains whose
+/// combine is associative in this order - and within ULPs otherwise).
+template <typename Dd>
+double delta_defense_value(const AugmentedAdt& aadt, const Dd& dd,
+                           std::uint64_t delta) {
+  double def = dd.one();
+  while (delta != 0) {
+    const auto i = static_cast<std::size_t>(std::countr_zero(delta));
+    def = dd.combine(def, aadt.defense_value(i));
+    delta &= delta - 1;
+  }
+  return def;
+}
+
 void check_limits(const AugmentedAdt& aadt, const NaiveOptions& options) {
   const std::size_t bits = aadt.adt().num_attacks() + aadt.adt().num_defenses();
   if (bits > options.max_bits) {
@@ -142,9 +157,7 @@ constexpr double kMinEvalsPerShard = 16384;
 /// shard falls under the work floor.
 unsigned resolve_threads(unsigned requested, std::uint64_t num_deltas,
                          std::size_t num_attacks) {
-  std::uint64_t threads =
-      requested == 0 ? std::max(1u, std::thread::hardware_concurrency())
-                     : requested;
+  std::uint64_t threads = resolve_thread_knob(requested);
   threads = std::min<std::uint64_t>(threads, std::max<std::uint64_t>(
                                                  1, num_deltas));
   // Work estimate in double: 2^(|D| + |A|) overflows uint64 only when it
@@ -156,44 +169,6 @@ unsigned resolve_threads(unsigned requested, std::uint64_t num_deltas,
     threads = static_cast<std::uint64_t>(fair);
   }
   return static_cast<unsigned>(threads);
-}
-
-/// Runs fn(shard, begin, end) over a contiguous partition of [0, total)
-/// on \p threads workers; the calling thread runs shard 0, and any shard
-/// whose thread cannot be created (resource exhaustion) also runs on the
-/// calling thread. All shards are joined before the first exception - by
-/// shard index, so the choice is deterministic - is rethrown.
-template <typename Fn>
-void run_sharded(unsigned threads, std::uint64_t total, Fn&& fn) {
-  const std::uint64_t base = total / threads;
-  const std::uint64_t rem = total % threads;
-  auto bound = [base, rem](std::uint64_t s) {
-    return base * s + std::min<std::uint64_t>(s, rem);
-  };
-  std::vector<std::exception_ptr> errors(threads);
-  auto run_shard = [&](unsigned s) {
-    try {
-      fn(s, bound(s), bound(s + 1));
-    } catch (...) {
-      errors[s] = std::current_exception();
-    }
-  };
-  std::vector<std::thread> pool;
-  std::vector<unsigned> displaced;
-  pool.reserve(threads - 1);
-  for (unsigned s = 1; s < threads; ++s) {
-    try {
-      pool.emplace_back(run_shard, s);
-    } catch (const std::system_error&) {
-      displaced.push_back(s);
-    }
-  }
-  run_shard(0);
-  for (unsigned s : displaced) run_shard(s);
-  for (std::thread& t : pool) t.join();
-  for (unsigned s = 0; s < threads; ++s) {
-    if (errors[s]) std::rethrow_exception(errors[s]);
-  }
 }
 
 /// Algorithm 2 lines 4-11 for every delta in [begin, end): the 2^|A|
@@ -294,18 +269,9 @@ Front front_kernel(const AugmentedAdt& aadt, const NaiveOptions& options,
     scan_deltas(aadt, options, da, values, begin, end,
                 [&](std::uint64_t delta, bool found, double best,
                     std::uint64_t) {
-                  // beta-hat_D(delta), in the same ascending-index combine
-                  // order as AugmentedAdt::defense_vector_value.
-                  double def = dd.one();
-                  std::uint64_t rest = delta;
-                  while (rest != 0) {
-                    const auto i =
-                        static_cast<std::size_t>(std::countr_zero(rest));
-                    def = dd.combine(def, aadt.defense_value(i));
-                    rest &= rest - 1;
-                  }
                   points.push_back(
-                      ValuePoint{def, found ? best : da.zero()});
+                      ValuePoint{delta_defense_value(aadt, dd, delta),
+                                 found ? best : da.zero()});
                   if (points.size() == points.capacity() &&
                       points.size() >= kCompactFloor) {
                     detail::pareto_minimize_in_place(points, dd, da);
@@ -321,6 +287,65 @@ Front front_kernel(const AugmentedAdt& aadt, const NaiveOptions& options,
     front.swap(merged);
   }
   return Front::from_staircase(std::move(front));
+}
+
+/// The sharded kernel of naive_front_witness: like front_kernel, but the
+/// points carry their witness event (defense vector + optimal response),
+/// so the full 2^|D| event vector is never materialized - each shard
+/// minimizes its slice into a witness staircase and the per-shard fronts
+/// are reduced pairwise in shard order.
+///
+/// Witness determinism across thread counts: points enter in ascending
+/// delta order and are compacted with the *stable* minimize, so among
+/// equal value pairs the smallest delta survives a shard; the staircase
+/// merge keeps the earlier operand on value ties, and shards are merged
+/// in ascending delta order - so the surviving witness for every kept
+/// value pair is the smallest-delta one overall, for every shard layout.
+template <typename Dd, typename Da>
+WitnessFront witness_kernel(const AugmentedAdt& aadt,
+                            const NaiveOptions& options, const Dd& dd,
+                            const Da& da) {
+  const std::size_t num_d = aadt.adt().num_defenses();
+  const std::size_t num_a = aadt.adt().num_attacks();
+  const std::uint64_t total = std::uint64_t{1} << num_d;
+  const unsigned threads =
+      resolve_threads(options.threads, total, num_a);
+
+  const AttackValues<Da> values(aadt, da);
+  std::vector<std::vector<WitnessPoint>> shards(threads);
+  run_sharded(threads, total, [&](unsigned shard, std::uint64_t begin,
+                                  std::uint64_t end) {
+    // Witness points are heavy (two bitvecs each), so the compaction
+    // floor is lower than the value path's.
+    constexpr std::size_t kCompactFloor = std::size_t{1} << 12;
+    std::vector<WitnessPoint>& points = shards[shard];
+    points.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(end - begin, kCompactFloor)));
+    scan_deltas(aadt, options, da, values, begin, end,
+                [&](std::uint64_t delta, bool found, double best,
+                    std::uint64_t best_alpha) {
+                  WitnessPoint p;
+                  p.def = delta_defense_value(aadt, dd, delta);
+                  p.att = found ? best : da.zero();
+                  p.defense = mask_to_bitvec(delta, num_d);
+                  p.attack = found ? mask_to_bitvec(best_alpha, num_a)
+                                   : BitVec(num_a);
+                  points.push_back(std::move(p));
+                  if (points.size() == points.capacity() &&
+                      points.size() >= kCompactFloor) {
+                    detail::pareto_minimize_stable(points, dd, da);
+                  }
+                });
+    detail::pareto_minimize_stable(points, dd, da);
+  });
+
+  std::vector<WitnessPoint> front = std::move(shards[0]);
+  std::vector<WitnessPoint> merged;
+  for (unsigned s = 1; s < threads; ++s) {
+    detail::pareto_merge_staircases(front, shards[s], merged, dd, da);
+    front.swap(merged);
+  }
+  return WitnessFront::from_staircase(std::move(front));
 }
 
 }  // namespace
@@ -347,22 +372,14 @@ Front naive_front(const AugmentedAdt& aadt, const NaiveOptions& options) {
 
 WitnessFront naive_front_witness(const AugmentedAdt& aadt,
                                  const NaiveOptions& options) {
-  // Built from the (sharding-invariant) event vector and minimized in one
-  // pass, so witnesses too are identical for every thread count.
-  const auto events = enumerate_feasible_events(aadt, options);
-  const std::size_t num_a = aadt.adt().num_attacks();
-  std::vector<WitnessPoint> points;
-  points.reserve(events.size());
-  for (const auto& ev : events) {
-    WitnessPoint p;
-    p.def = ev.defense_value;
-    p.att = ev.attack_value;
-    p.defense = ev.defense;
-    p.attack = ev.response ? *ev.response : BitVec(num_a);
-    points.push_back(std::move(p));
-  }
-  return WitnessFront::minimized(std::move(points), aadt.defender_domain(),
-                                 aadt.attacker_domain());
+  check_limits(aadt, options);
+  // Sharded like naive_front - the witness path no longer funnels through
+  // the full 2^|D| event vector; see witness_kernel for why the kept
+  // witnesses are identical for every thread count.
+  return dispatch_domains(aadt.defender_domain(), aadt.attacker_domain(),
+                          [&](const auto& dd, const auto& da) {
+                            return witness_kernel(aadt, options, dd, da);
+                          });
 }
 
 }  // namespace adtp

@@ -15,7 +15,11 @@
 /// writes disjoint slices of one delta-ordered vector, and the front paths
 /// minimize per-shard staircases that are then reduced pairwise in shard
 /// order - dominance minimization only selects among the same value pairs,
-/// so no floating-point recombination depends on the shard layout.
+/// so no floating-point recombination depends on the shard layout. The
+/// witness path shards the same way (it no longer materializes the event
+/// vector); stable minimization makes "smallest delta wins" the tie rule
+/// among equal value pairs, so even the kept witnesses are bit-identical
+/// for every thread count.
 
 #pragma once
 

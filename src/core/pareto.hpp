@@ -135,12 +135,12 @@ void staircase_push(std::vector<P>& out, P&& p, const Dd& dd, const Da& da) {
   out.push_back(std::move(p));
 }
 
-/// Sorts \p points and compacts them to the Pareto-minimal staircase
-/// without allocating.
+/// The forward dominance sweep shared by the two minimizers: compacts
+/// \p points - already in FrontLess order - to the Pareto-minimal
+/// staircase in place (staircase_push's keep/replace rule, batched).
 template <typename P, typename Dd, typename Da>
-void pareto_minimize_in_place(std::vector<P>& points, const Dd& dd,
+void staircase_sweep_in_place(std::vector<P>& points, const Dd& dd,
                               const Da& da) {
-  std::sort(points.begin(), points.end(), FrontLess<Dd, Da>{dd, da});
   std::size_t kept = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (kept != 0) {
@@ -155,6 +155,28 @@ void pareto_minimize_in_place(std::vector<P>& points, const Dd& dd,
     ++kept;
   }
   points.resize(kept);
+}
+
+/// Sorts \p points and compacts them to the Pareto-minimal staircase
+/// without allocating.
+template <typename P, typename Dd, typename Da>
+void pareto_minimize_in_place(std::vector<P>& points, const Dd& dd,
+                              const Da& da) {
+  std::sort(points.begin(), points.end(), FrontLess<Dd, Da>{dd, da});
+  staircase_sweep_in_place(points, dd, da);
+}
+
+/// As pareto_minimize_in_place(), but *stable*: among points with
+/// equivalent value pairs, the earliest input position wins. Needed where
+/// the kept payload must be a deterministic function of the input
+/// sequence alone - the sharded naive witness path feeds points in
+/// ascending delta order and relies on "smallest delta wins" being
+/// independent of compaction checkpoints and shard boundaries.
+template <typename P, typename Dd, typename Da>
+void pareto_minimize_stable(std::vector<P>& points, const Dd& dd,
+                            const Da& da) {
+  std::stable_sort(points.begin(), points.end(), FrontLess<Dd, Da>{dd, da});
+  staircase_sweep_in_place(points, dd, da);
 }
 
 /// Merges two already-minimized staircases into \p out (cleared first) in
@@ -435,6 +457,20 @@ class BasicFront {
     return true;
   }
 
+  /// True iff both fronts contain exactly the same value doubles in
+  /// order (bitwise-for-practical-purposes: == on every coordinate;
+  /// witness payloads are ignored). This is the determinism contract of
+  /// the intra-model thread knobs - the differential fuzz suite and the
+  /// scaling benches all gate on this one predicate.
+  [[nodiscard]] bool bit_identical_values(const BasicFront& other) const {
+    if (points_.size() != other.points_.size()) return false;
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      if (points_[i].def != other.points_[i].def) return false;
+      if (points_[i].att != other.points_[i].att) return false;
+    }
+    return true;
+  }
+
   /// As same_values(), but tolerating relative floating-point error up to
   /// \p rel_tol; needed when algorithms combine the same values in
   /// different orders (double arithmetic is only associative up to ULPs).
@@ -562,6 +598,17 @@ struct CombineStats {
     d.points_examined = points_examined - earlier.points_examined;
     d.points_kept = points_kept - earlier.points_kept;
     return d;
+  }
+
+  /// Accumulates another counter set (e.g. the per-worker arenas of a
+  /// level-parallel propagation; integer sums are scheduling-invariant).
+  CombineStats& operator+=(const CombineStats& other) {
+    kway_combines += other.kway_combines;
+    sorted_combines += other.sorted_combines;
+    staircase_merges += other.staircase_merges;
+    points_examined += other.points_examined;
+    points_kept += other.points_kept;
+    return *this;
   }
 };
 

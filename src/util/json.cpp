@@ -1,6 +1,11 @@
 #include "util/json.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
 
 namespace adtp {
 
@@ -115,20 +120,25 @@ JsonWriter& JsonWriter::value(const std::string& v) {
   return *this;
 }
 
+std::string format_double_exact(double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 JsonWriter& JsonWriter::value(double v) {
   before_value();
   if (std::isnan(v)) {
     raw("null");  // JSON has no NaN
   } else if (std::isinf(v)) {
     raw(v > 0 ? "\"inf\"" : "\"-inf\"");  // JSON has no infinities
-  } else if (v == std::floor(v) && std::abs(v) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
-    raw(buf);
   } else {
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    raw(buf);
+    raw(format_double_exact(v));
   }
   if (stack_.empty()) done_ = true;
   return *this;
@@ -167,6 +177,287 @@ std::string JsonWriter::str() const {
     throw Error("JsonWriter: document incomplete");
   }
   return out_;
+}
+
+// ---- reader ---------------------------------------------------------------
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::Bool) throw Error("json: value is not a boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::Number) throw Error("json: value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::String) throw Error("json: value is not a string");
+  return string_;
+}
+
+double JsonValue::as_metric() const {
+  if (type_ == Type::Number) return number_;
+  if (type_ == Type::String) {
+    if (string_ == "inf") return std::numeric_limits<double>::infinity();
+    if (string_ == "-inf") return -std::numeric_limits<double>::infinity();
+  }
+  throw Error("json: value is not a metric (number or \"inf\"/\"-inf\")");
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (type_ != Type::Array) throw Error("json: value is not an array");
+  return items_;
+}
+
+std::size_t JsonValue::size() const { return items().size(); }
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  if (type_ != Type::Object) throw Error("json: value is not an object");
+  return members_;
+}
+
+bool JsonValue::has(const std::string& key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return true;
+  }
+  return false;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  for (const auto& [name, value] : members()) {
+    if (name == key) return value;
+  }
+  throw Error("json: object has no member '" + key + "'");
+}
+
+/// Recursive-descent parser over the full document string.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : in_(input) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != in_.size()) fail("trailing content after the document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < in_.size(); ++i) {
+      if (in_[i] == '\n') ++line;
+    }
+    throw ParseError(line, "json: " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\n' ||
+            in_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= in_.size()) fail("unexpected end of input");
+    return in_[pos_];
+  }
+
+  void expect(char ch) {
+    if (pos_ >= in_.size() || in_[pos_] != ch) {
+      fail(std::string("expected '") + ch + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::strlen(literal);
+    if (in_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  /// Containers deeper than this fail with ParseError instead of
+  /// overflowing the stack (each level costs two recursion frames).
+  static constexpr int kMaxDepth = 1000;
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxDepth) {
+        fail("nesting exceeds " + std::to_string(kMaxDepth) + " levels");
+      }
+      ++depth_;
+      JsonValue v = c == '{' ? parse_object() : parse_array();
+      --depth_;
+      return v;
+    }
+    if (c == '"') {
+      JsonValue v;
+      v.type_ = JsonValue::Type::String;
+      v.string_ = parse_string();
+      return v;
+    }
+    if (consume_literal("true")) {
+      JsonValue v;
+      v.type_ = JsonValue::Type::Bool;
+      v.bool_ = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      JsonValue v;
+      v.type_ = JsonValue::Type::Bool;
+      return v;
+    }
+    if (consume_literal("null")) return JsonValue{};
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.members_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= in_.size()) fail("unterminated string");
+      const char c = in_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= in_.size()) fail("unterminated escape");
+      const char esc = in_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = in_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // needed by this library's documents).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < in_.size() && in_[pos_] == '-') ++pos_;
+    while (pos_ < in_.size() &&
+           ((in_[pos_] >= '0' && in_[pos_] <= '9') || in_[pos_] == '.' ||
+            in_[pos_] == 'e' || in_[pos_] == 'E' || in_[pos_] == '+' ||
+            in_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = in_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("malformed number");
+    JsonValue v;
+    v.type_ = JsonValue::Type::Number;
+    v.number_ = value;
+    return v;
+  }
+
+  const std::string& in_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+JsonValue load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw Error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
 }
 
 }  // namespace adtp

@@ -1,0 +1,221 @@
+/// \file parallel.hpp
+/// \brief Intra-model parallelism primitives shared by the analysis
+///        kernels (the naive delta sharding and the BDD level engine).
+///
+/// Two execution shapes are provided:
+///  - run_sharded(): one-shot contiguous sharding of [0, total) across
+///    freshly spawned threads. Right for kernels that split their whole
+///    iteration space once (the naive 2^|D| enumeration).
+///  - WorkerPool: a reusable pool with a barriered parallel_for(). Right
+///    for kernels that dispatch many small rounds (the level-by-level BDD
+///    propagation and construction), where spawning threads per round
+///    would dominate the work.
+///
+/// Both report worker exceptions deterministically enough for the
+/// determinism contracts of the callers: the computation's *results* are
+/// written to disjoint slots and never depend on scheduling; only which
+/// of several concurrently-raised exceptions wins can vary, and every such
+/// exception abandons the whole analysis anyway.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+namespace adtp {
+
+/// Resolves a user-facing thread-count knob: 0 means "all hardware
+/// threads", anything else is taken literally.
+[[nodiscard]] inline unsigned resolve_thread_knob(unsigned requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/// Runs fn(shard, begin, end) over a contiguous partition of [0, total)
+/// on \p threads workers (0 resolves to the hardware concurrency, like
+/// every other thread knob here); the calling thread runs shard 0, and
+/// any shard whose thread cannot be created (resource exhaustion) also
+/// runs on the calling thread. All shards are joined before the first
+/// exception - by shard index, so the choice is deterministic - is
+/// rethrown.
+template <typename Fn>
+void run_sharded(unsigned threads, std::uint64_t total, Fn&& fn) {
+  threads = resolve_thread_knob(threads);
+  const std::uint64_t base = total / threads;
+  const std::uint64_t rem = total % threads;
+  auto bound = [base, rem](std::uint64_t s) {
+    return base * s + std::min<std::uint64_t>(s, rem);
+  };
+  std::vector<std::exception_ptr> errors(threads);
+  auto run_shard = [&](unsigned s) {
+    try {
+      fn(s, bound(s), bound(s + 1));
+    } catch (...) {
+      errors[s] = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  std::vector<unsigned> displaced;
+  pool.reserve(threads - 1);
+  for (unsigned s = 1; s < threads; ++s) {
+    try {
+      pool.emplace_back(run_shard, s);
+    } catch (const std::system_error&) {
+      displaced.push_back(s);
+    }
+  }
+  run_shard(0);
+  for (unsigned s : displaced) run_shard(s);
+  for (std::thread& t : pool) t.join();
+  for (unsigned s = 0; s < threads; ++s) {
+    if (errors[s]) std::rethrow_exception(errors[s]);
+  }
+}
+
+/// A small reusable barrier pool. Construction spawns threads - 1 workers
+/// (the calling thread is always worker 0); parallel_for() hands every
+/// index of [0, count) to exactly one worker and returns only after all
+/// indices ran. Between calls the workers sleep on a condition variable,
+/// so dispatching hundreds of rounds (one per BDD level) costs wakeups,
+/// not thread spawns.
+///
+/// Not reentrant: at most one parallel_for() may be in flight, and only
+/// the constructing thread may call it.
+class WorkerPool {
+ public:
+  /// A pool of \p threads workers total (0 resolves to the hardware
+  /// concurrency). Thread-creation failures degrade the pool silently;
+  /// threads() reports what actually runs.
+  explicit WorkerPool(unsigned threads) {
+    const unsigned target = resolve_thread_knob(threads);
+    if (target > 1) {
+      workers_.reserve(target - 1);
+      for (unsigned t = 1; t < target; ++t) {
+        try {
+          workers_.emplace_back([this, t] { worker_loop(t); });
+        } catch (const std::system_error&) {
+          break;  // keep whatever did spawn
+        }
+      }
+    }
+    errors_.resize(workers_.size() + 1);
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    wake_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Workers that actually run tasks, calling thread included.
+  [[nodiscard]] unsigned threads() const noexcept {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(worker, index) for every index in [0, count), claiming
+  /// \p grain consecutive indices per atomic fetch. Worker ids are dense
+  /// in [0, threads()); the calling thread participates as worker 0.
+  /// The first exception a worker raises aborts further claims and is
+  /// rethrown here after the barrier.
+  void parallel_for(std::size_t count, std::size_t grain,
+                    const std::function<void(unsigned, std::size_t)>& fn) {
+    if (count == 0) return;
+    if (grain == 0) grain = 1;
+    if (workers_.empty() || count <= grain) {
+      for (std::size_t i = 0; i < count; ++i) fn(0, i);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      fn_ = &fn;
+      count_ = count;
+      grain_ = grain;
+      next_.store(0, std::memory_order_relaxed);
+      abort_.store(false, std::memory_order_relaxed);
+      pending_ = workers_.size();
+      for (auto& e : errors_) e = nullptr;
+      ++generation_;
+    }
+    wake_.notify_all();
+    work(0);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      drained_.wait(lock, [this] { return pending_ == 0; });
+      fn_ = nullptr;
+    }
+    for (const std::exception_ptr& e : errors_) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void worker_loop(unsigned id) {
+    std::uint64_t seen = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+      }
+      work(id);
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) drained_.notify_one();
+      }
+    }
+  }
+
+  /// Claims and runs index batches until the range drains or a worker
+  /// aborts. Exceptions land in this worker's slot and raise the abort
+  /// flag so sibling claims stop early.
+  void work(unsigned id) {
+    try {
+      while (!abort_.load(std::memory_order_relaxed)) {
+        const std::size_t begin =
+            next_.fetch_add(grain_, std::memory_order_relaxed);
+        if (begin >= count_) break;
+        const std::size_t end = std::min(count_, begin + grain_);
+        for (std::size_t i = begin; i < end; ++i) (*fn_)(id, i);
+      }
+    } catch (...) {
+      errors_[id] = std::current_exception();
+      abort_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::vector<std::exception_ptr> errors_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable drained_;
+  std::uint64_t generation_ = 0;  ///< guarded by mutex_
+  std::size_t pending_ = 0;       ///< workers still in the current round
+  bool shutdown_ = false;
+
+  // Round state: written under mutex_ before the generation bump, read by
+  // workers after they observe the bump (mutex-ordered).
+  const std::function<void(unsigned, std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t grain_ = 1;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace adtp

@@ -5,6 +5,7 @@
 #include "adt/structure.hpp"
 #include "core/bdd_bu.hpp"
 #include "core/naive.hpp"
+#include "gen/random_adt.hpp"
 #include "util/error.hpp"
 
 namespace adtp {
@@ -172,6 +173,133 @@ TEST(AdtoolXml, MalformedInputsRejected) {
 
 TEST(AdtoolXml, MissingFileThrows) {
   EXPECT_THROW((void)load_adtool_file("/nonexistent/tree.xml"), Error);
+}
+
+// ---- export / round-trip -------------------------------------------------
+
+TEST(AdtoolXmlExport, SampleRoundTripsToFixpoint) {
+  const AdtoolImport first = import_adtool_xml(kSample);
+  const std::string domain = first.domain_ids.empty()
+                                 ? std::string("adtp")
+                                 : first.domain_ids.front();
+  const std::string xml1 =
+      export_adtool_xml(first.adt, first.attribution, domain);
+
+  // import(export(.)) must be the identity from the first import on:
+  // re-importing the export and exporting again yields the same document.
+  const AdtoolImport second = import_adtool_xml(xml1);
+  const std::string xml2 =
+      export_adtool_xml(second.adt, second.attribution, domain);
+  EXPECT_EQ(xml1, xml2);
+
+  // Structure survives: the shared "phish" step stays one DAG node, and
+  // the countermeasure chain re-imports as the same INH nesting.
+  EXPECT_EQ(second.adt.size(), first.adt.size());
+  EXPECT_EQ(second.adt.parents(second.adt.at("phish")).size(), 2u);
+  EXPECT_EQ(second.attribution.get("phish"), 30);
+  EXPECT_EQ(second.attribution.get("mfa"), 8);
+
+  // Semantics survive: identical fronts.
+  const AugmentedAdt a(first.adt, first.attribution, Semiring::min_cost(),
+                       Semiring::min_cost());
+  const AugmentedAdt b(second.adt, second.attribution, Semiring::min_cost(),
+                       Semiring::min_cost());
+  EXPECT_TRUE(bdd_bu_front(a).same_values(bdd_bu_front(b),
+                                          a.defender_domain(),
+                                          a.attacker_domain()));
+}
+
+TEST(AdtoolXmlExport, RandomTreesRoundTrip) {
+  // Property: for generated attacker-rooted trees X, with I = import and
+  // E = export, E(I(E(X))) == E(X) (textual fixpoint) and the front of
+  // I(E(X)) equals X's front. Trees only: shared gates unfold on export.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomAdtOptions options;
+    options.target_nodes = 14 + seed % 18;
+    options.share_probability = 0.0;
+    options.max_defenses = 6;
+    options.root_agent = Agent::Attacker;
+    const AugmentedAdt aadt = generate_random_aadt(
+        options, seed, Semiring::min_cost(), Semiring::min_cost());
+    ASSERT_TRUE(aadt.adt().is_tree());
+
+    const std::string xml1 =
+        export_adtool_xml(aadt.adt(), aadt.attribution(), "mincost");
+    const AdtoolImport imported = import_adtool_xml(xml1);
+    const std::string xml2 =
+        export_adtool_xml(imported.adt, imported.attribution, "mincost");
+    EXPECT_EQ(xml1, xml2) << "seed " << seed;
+
+    const AugmentedAdt reimported(imported.adt, imported.attribution,
+                                  Semiring::min_cost(), Semiring::min_cost());
+    const Front original = bdd_bu_front(aadt);
+    const Front round_tripped = bdd_bu_front(reimported);
+    EXPECT_TRUE(round_tripped.approx_same_values(original))
+        << "seed " << seed << ": " << round_tripped.to_string() << " vs "
+        << original.to_string();
+  }
+}
+
+TEST(AdtoolXmlExport, SharedBasicStepsKeepSharingAcrossRoundTrip) {
+  // DAGs whose only sharing is basic steps are inside ADTool's
+  // representable class (repeated labels); the round trip keeps the DAG.
+  Adt adt;
+  const NodeId phish = adt.add_basic("phish", Agent::Attacker);
+  const NodeId creds = adt.add_gate("creds", GateType::Or, Agent::Attacker,
+                                    {phish, adt.add_basic("bribe",
+                                                          Agent::Attacker)});
+  const NodeId session =
+      adt.add_gate("session", GateType::Or, Agent::Attacker, {phish});
+  adt.set_root(adt.add_gate("root", GateType::And, Agent::Attacker,
+                            {creds, session}));
+  adt.freeze();
+  Attribution beta;
+  beta.set("phish", 30);
+  beta.set("bribe", 100);
+
+  const std::string xml = export_adtool_xml(adt, beta);
+  const AdtoolImport imported = import_adtool_xml(xml);
+  EXPECT_FALSE(imported.adt.is_tree());
+  EXPECT_EQ(imported.adt.parents(imported.adt.at("phish")).size(), 2u);
+  EXPECT_EQ(export_adtool_xml(imported.adt, imported.attribution), xml);
+}
+
+TEST(AdtoolXmlExport, NestedInhibitBaseIsWrapped) {
+  // INH(INH(a | d) | a2) is not directly representable (a node cannot
+  // carry two counter layers); the exporter wraps the inner INH in a
+  // singleton disjunctive refinement, which is semantically neutral.
+  Adt adt;
+  const NodeId a = adt.add_basic("a", Agent::Attacker);
+  const NodeId d = adt.add_basic("d", Agent::Defender);
+  const NodeId inner = adt.add_inhibit("inner", a, d);
+  const NodeId d2 = adt.add_basic("d2", Agent::Defender);
+  adt.set_root(adt.add_inhibit("outer", inner, d2));
+  adt.freeze();
+  Attribution beta;
+  beta.set("a", 5);
+  beta.set("d", 4);
+  beta.set("d2", 8);
+
+  const std::string xml1 = export_adtool_xml(adt, beta);
+  const AdtoolImport imported = import_adtool_xml(xml1);
+  EXPECT_EQ(export_adtool_xml(imported.adt, imported.attribution), xml1);
+
+  const AugmentedAdt original(adt, beta, Semiring::min_cost(),
+                              Semiring::min_cost());
+  const AugmentedAdt round_tripped(imported.adt, imported.attribution,
+                                   Semiring::min_cost(),
+                                   Semiring::min_cost());
+  EXPECT_TRUE(bdd_bu_front(round_tripped)
+                  .same_values(bdd_bu_front(original),
+                               original.defender_domain(),
+                               original.attacker_domain()));
+}
+
+TEST(AdtoolXmlExport, DefenderRootRejected) {
+  Adt adt;
+  adt.set_root(adt.add_basic("d", Agent::Defender));
+  adt.freeze();
+  EXPECT_THROW((void)export_adtool_xml(adt), ModelError);
 }
 
 }  // namespace

@@ -1,0 +1,96 @@
+/// Golden-front regression suite: the paper's published fronts, pinned as
+/// JSON files under tests/data/golden/.
+///
+/// The cross-algorithm property tests compare algorithms against each
+/// other - if the shared semantics drifts, they all drift together and
+/// the oracle comparison stays green. These goldens break that symmetry:
+/// every algorithm listed in a golden file must reproduce the *pinned*
+/// front exactly, so a semantic change in any one of them (or in all of
+/// them at once) fails loudly against the paper's numbers.
+///
+/// Every *.json in the golden directory is discovered and checked; a file
+/// naming an unknown model or algorithm fails the suite rather than being
+/// skipped.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "gen/catalog.hpp"
+#include "util/json.hpp"
+
+namespace adtp {
+namespace {
+
+AugmentedAdt model_by_name(const std::string& name) {
+  if (name == "fig3_example") return catalog::fig3_example();
+  if (name == "fig4_n6") return catalog::fig4_exponential(6);
+  if (name == "fig5_example") return catalog::fig5_example();
+  if (name == "money_theft_dag") return catalog::money_theft_dag();
+  if (name == "money_theft_tree") return catalog::money_theft_tree();
+  throw Error("golden: unknown model '" + name + "'");
+}
+
+Front run_algorithm(const AugmentedAdt& aadt, const std::string& name) {
+  if (name == "naive") return naive_front(aadt);
+  if (name == "bottom-up") return bottom_up_front(aadt);
+  if (name == "bdd-bu") return bdd_bu_front(aadt);
+  if (name == "hybrid") return hybrid_front(aadt);
+  throw Error("golden: unknown algorithm '" + name + "'");
+}
+
+std::vector<std::filesystem::path> golden_files() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(ADTP_GOLDEN_DIR)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(GoldenFronts, DirectoryIsNonEmpty) {
+  EXPECT_GE(golden_files().size(), 5u);
+}
+
+TEST(GoldenFronts, EveryAlgorithmReproducesEveryPinnedFront) {
+  for (const auto& path : golden_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const JsonValue doc = load_json_file(path.string());
+    const AugmentedAdt aadt = model_by_name(doc.at("model").as_string());
+
+    // The file's domain tags must match the catalog model - a golden that
+    // silently pins the wrong domain is itself a bug.
+    EXPECT_EQ(doc.at("defender_domain").as_string(),
+              semiring_kind_name(aadt.defender_domain().kind()));
+    EXPECT_EQ(doc.at("attacker_domain").as_string(),
+              semiring_kind_name(aadt.attacker_domain().kind()));
+
+    const JsonValue& pinned = doc.at("front");
+    ASSERT_GT(pinned.size(), 0u);
+
+    for (const JsonValue& algorithm : doc.at("algorithms").items()) {
+      const std::string name = algorithm.as_string();
+      SCOPED_TRACE("algorithm " + name);
+      const Front front = run_algorithm(aadt, name);
+      ASSERT_EQ(front.size(), pinned.size()) << front.to_string();
+      for (std::size_t i = 0; i < pinned.size(); ++i) {
+        const JsonValue& point = pinned.items()[i];
+        ASSERT_EQ(point.size(), 2u);
+        // Exact comparison: the pinned models combine small integers, so
+        // every algorithm must land on the same doubles.
+        EXPECT_EQ(front.points()[i].def, point.items()[0].as_metric())
+            << "point " << i << " of " << front.to_string();
+        EXPECT_EQ(front.points()[i].att, point.items()[1].as_metric())
+            << "point " << i << " of " << front.to_string();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adtp

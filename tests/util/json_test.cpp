@@ -93,5 +93,62 @@ TEST(Json, MisuseDetected) {
   }
 }
 
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_EQ(parse_json("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(parse_json(R"("a\"b\\c\nA")").as_string(), "a\"b\\c\nA");
+}
+
+TEST(JsonReader, ParsesContainers) {
+  const JsonValue doc = parse_json(
+      R"({"name": "x", "rows": [[1, 2], [3, "inf"]], "ok": true})");
+  EXPECT_EQ(doc.at("name").as_string(), "x");
+  EXPECT_TRUE(doc.at("ok").as_bool());
+  EXPECT_FALSE(doc.has("missing"));
+  const JsonValue& rows = doc.at("rows");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.items()[0].items()[1].as_number(), 2.0);
+  // The writer's infinity convention decodes through as_metric().
+  EXPECT_TRUE(std::isinf(rows.items()[1].items()[1].as_metric()));
+  EXPECT_EQ(rows.items()[1].items()[0].as_metric(), 3.0);
+}
+
+TEST(JsonReader, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("seconds").value(0.25);
+  w.key("count").value(std::uint64_t{7});
+  w.key("inf").value(std::numeric_limits<double>::infinity());
+  w.key("tags").begin_array().value("a").value("b").end_array();
+  w.end_object();
+  const JsonValue doc = parse_json(w.str());
+  EXPECT_EQ(doc.at("seconds").as_number(), 0.25);
+  EXPECT_EQ(doc.at("count").as_number(), 7.0);
+  EXPECT_TRUE(std::isinf(doc.at("inf").as_metric()));
+  EXPECT_EQ(doc.at("tags").items()[1].as_string(), "b");
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json(""), ParseError);
+  EXPECT_THROW((void)parse_json("{"), ParseError);
+  EXPECT_THROW((void)parse_json("[1,]"), ParseError);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), ParseError);
+  EXPECT_THROW((void)parse_json("\"unterminated"), ParseError);
+  EXPECT_THROW((void)parse_json("12 34"), ParseError);
+  EXPECT_THROW((void)parse_json("nope"), ParseError);
+  // Type mismatches throw Error, not garbage.
+  EXPECT_THROW((void)parse_json("3").as_string(), Error);
+  EXPECT_THROW((void)parse_json("[]").at("x"), Error);
+  EXPECT_THROW((void)parse_json("\"nan\"").as_metric(), Error);
+}
+
+TEST(JsonReader, MissingFileThrows) {
+  EXPECT_THROW((void)load_json_file("/nonexistent/doc.json"), Error);
+}
+
 }  // namespace
 }  // namespace adtp
