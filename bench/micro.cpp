@@ -12,6 +12,7 @@
 #include "core/analyzer.hpp"
 #include "gen/catalog.hpp"
 #include "gen/random_adt.hpp"
+#include "util/cpu.hpp"
 #include "util/rng.hpp"
 
 using namespace adtp;
@@ -380,6 +381,161 @@ void BM_BddBuildThreads(benchmark::State& state) {
 BENCHMARK(BM_BddBuildThreads)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// ---- SIMD Pareto kernels -------------------------------------------------
+//
+// Scalar-vs-vector suites for the batch kernels behind util/cpu.hpp's
+// runtime dispatch. Every suite is parameterized by the dispatch level
+// (second arg: 0 = scalar, 1 = sse2, 2 = avx2) through a scoped override,
+// so one binary measures all levels the CPU offers; levels the CPU lacks
+// are skipped, not faked. The inputs are all-keep staircases - nothing is
+// pruned, so the timed work is pure kernel throughput, and the scalar and
+// vector paths do identical (bit-identical, per the test suites) work.
+
+bool simd_level_ready(benchmark::State& state, SimdLevel& level) {
+  level = static_cast<SimdLevel>(state.range(1));
+  if (!simd_level_available(level)) {
+    state.SkipWithError("SIMD level not available on this CPU");
+    return false;
+  }
+  return true;
+}
+
+std::vector<ValuePoint> keep_all_staircase(int n, double offset = 0.0,
+                                           double stride = 1.0) {
+  std::vector<ValuePoint> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(ValuePoint{offset + stride * i, offset + stride * i});
+  }
+  return pts;
+}
+
+void BM_DominanceBatch(benchmark::State& state) {
+  SimdLevel level;
+  if (!simd_level_ready(state, level)) return;
+  const ScopedSimdOverride simd(level);
+  const MinCostDomain dom;
+  const Front front =
+      Front::from_staircase(keep_all_staircase(state.range(0)));
+  // Non-dominated queries (def below every front point), so every call
+  // scans the whole front: the kernel's worst case.
+  std::vector<ValuePoint> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(ValuePoint{-1.0 - i, double(i)});
+  }
+  for (auto _ : state) {
+    for (const ValuePoint& q : queries) {
+      benchmark::DoNotOptimize(front_dominates_point(front, q, dom, dom));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size() *
+                          front.size());
+}
+BENCHMARK(BM_DominanceBatch)
+    ->ArgsProduct({{64, 1024, 16384}, {0, 1, 2}})
+    ->ArgNames({"n", "simd"});
+
+void BM_StaircaseSweep(benchmark::State& state) {
+  SimdLevel level;
+  if (!simd_level_ready(state, level)) return;
+  const ScopedSimdOverride simd(level);
+  const MinCostDomain dom;
+  // Already minimal, so the sweep keeps every point and never moves one:
+  // the buffer can be reused across iterations without a per-iteration
+  // copy polluting the measurement.
+  std::vector<ValuePoint> points = keep_all_staircase(state.range(0));
+  for (auto _ : state) {
+    detail::staircase_sweep_in_place(points, dom, dom);
+    benchmark::DoNotOptimize(points.data());
+  }
+  state.SetItemsProcessed(state.iterations() * points.size());
+}
+BENCHMARK(BM_StaircaseSweep)
+    ->ArgsProduct({{256, 4096, 65536}, {0, 1, 2}})
+    ->ArgNames({"n", "simd"});
+
+void BM_StaircaseMerge(benchmark::State& state) {
+  SimdLevel level;
+  if (!simd_level_ready(state, level)) return;
+  const ScopedSimdOverride simd(level);
+  const MinCostDomain dom;
+  const int n = static_cast<int>(state.range(0));
+  // Alternating sources: every point survives and the take-a/take-b runs
+  // are as short as they can get - the merge kernel's worst case.
+  const std::vector<ValuePoint> a = keep_all_staircase(n, 0.0, 2.0);
+  const std::vector<ValuePoint> b = keep_all_staircase(n, 1.0, 2.0);
+  std::vector<ValuePoint> out;
+  for (auto _ : state) {
+    detail::pareto_merge_staircases(a, b, out, dom, dom);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_StaircaseMerge)
+    ->ArgsProduct({{256, 4096, 65536}, {0, 1, 2}})
+    ->ArgNames({"n", "simd"});
+
+void BM_StaircaseMergeRuns(benchmark::State& state) {
+  SimdLevel level;
+  if (!simd_level_ready(state, level)) return;
+  const ScopedSimdOverride simd(level);
+  const MinCostDomain dom;
+  const int n = static_cast<int>(state.range(0));
+  // Block-interleaved sources (runs of 32): the galloping fast path.
+  std::vector<ValuePoint> a, b;
+  for (int j = 0; j < 2 * n; ++j) {
+    ((j / 32) % 2 == 0 ? a : b).push_back(ValuePoint{double(j), double(j)});
+  }
+  std::vector<ValuePoint> out;
+  for (auto _ : state) {
+    detail::pareto_merge_staircases(a, b, out, dom, dom);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * (a.size() + b.size()));
+}
+BENCHMARK(BM_StaircaseMergeRuns)
+    ->ArgsProduct({{256, 4096, 65536}, {0, 1, 2}})
+    ->ArgNames({"n", "simd"});
+
+void BM_CombineKWaySingleton(benchmark::State& state) {
+  SimdLevel level;
+  if (!simd_level_ready(state, level)) return;
+  const ScopedSimdOverride simd(level);
+  const MinCostDomain dom;
+  // Singleton x long staircase under tensor_A: the tournament collapses
+  // immediately and the whole combine runs in the vector endgame (the
+  // leaf-fold shape that dominates bottom-up propagation).
+  const Front single = Front::from_staircase({ValuePoint{0.0, 0.0}});
+  const Front staircase =
+      Front::from_staircase(keep_all_staircase(state.range(0)));
+  FrontArena<ValuePoint> arena;
+  for (auto _ : state) {
+    Front acc = single;
+    arena.combine_into(acc, staircase, AttackOp::Combine, dom, dom);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * staircase.size());
+}
+BENCHMARK(BM_CombineKWaySingleton)
+    ->ArgsProduct({{1024, 16384}, {0, 1, 2}})
+    ->ArgNames({"n", "simd"});
+
 }  // namespace
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN plus CPU-feature context lines, so every --json report
+/// records which ISA the numbers were measured on (the BENCH_*.json
+/// trajectory spans machines with different vector units).
+int main(int argc, char** argv) {
+  const CpuFeatures features = detect_cpu_features();
+  benchmark::AddCustomContext("cpu_sse2", features.sse2 ? "true" : "false");
+  benchmark::AddCustomContext("cpu_avx2", features.avx2 ? "true" : "false");
+  benchmark::AddCustomContext("cpu_avx512f",
+                              features.avx512f ? "true" : "false");
+  benchmark::AddCustomContext("simd_detected",
+                              to_string(detected_simd_level()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

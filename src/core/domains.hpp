@@ -31,6 +31,7 @@
 #include <utility>
 
 #include "core/semiring.hpp"
+#include "core/simd.hpp"
 
 namespace adtp {
 
@@ -57,6 +58,29 @@ struct has_monotone_combine<D, std::void_t<decltype(D::kMonotoneCombine)>>
 template <typename D>
 inline constexpr bool is_monotone_combine_v = has_monotone_combine<D>::value;
 
+/// Detects a policy's SIMD markers: kSimdPrefer (which way its prefer
+/// points on raw doubles) and kSimdCombine (which arithmetic its combine
+/// performs). A domain carrying both is a fixed-width numeric domain
+/// whose every operation the batch kernels in core/simd.hpp can
+/// reproduce bit-exactly; only the Table I built-ins declare them.
+/// DynamicDomain and the runtime Semiring (i.e. Custom domains) carry
+/// neither and always take the scalar code paths.
+template <typename D, typename = void>
+struct is_simd_eligible : std::false_type {};
+template <typename D>
+struct is_simd_eligible<
+    D, std::void_t<decltype(D::kSimdPrefer), decltype(D::kSimdCombine)>>
+    : std::true_type {};
+
+template <typename D>
+inline constexpr bool is_simd_eligible_v = is_simd_eligible<D>::value;
+
+/// Both sides of a (defender, attacker) pair must be eligible before any
+/// Pareto kernel may vectorize (every kernel mixes both orders).
+template <typename Dd, typename Da>
+inline constexpr bool is_simd_pair_eligible_v =
+    is_simd_eligible_v<Dd> && is_simd_eligible_v<Da>;
+
 /// ([0,inf], min, +, inf, 0, <=): the Table I min-cost row.
 ///
 /// kMonotoneCombine marks that combine is monotone w.r.t. prefer (a
@@ -68,6 +92,8 @@ inline constexpr bool is_monotone_combine_v = has_monotone_combine<D>::value;
 struct MinCostDomain {
   static constexpr SemiringKind kKind = SemiringKind::MinCost;
   static constexpr bool kMonotoneCombine = true;
+  static constexpr SimdPrefer kSimdPrefer = SimdPrefer::LowerIsBetter;
+  static constexpr SimdCombine kSimdCombine = SimdCombine::Add;
   static constexpr double one() noexcept { return 0.0; }
   static constexpr double zero() noexcept { return detail::kDomainInf; }
   static constexpr double combine(double x, double y) noexcept { return x + y; }
@@ -93,6 +119,8 @@ struct MinTimeSeqDomain : MinCostDomain {
 struct MinSkillDomain {
   static constexpr SemiringKind kKind = SemiringKind::MinSkill;
   static constexpr bool kMonotoneCombine = true;
+  static constexpr SimdPrefer kSimdPrefer = SimdPrefer::LowerIsBetter;
+  static constexpr SimdCombine kSimdCombine = SimdCombine::Max;
   static constexpr double one() noexcept { return 0.0; }
   static constexpr double zero() noexcept { return detail::kDomainInf; }
   static constexpr double combine(double x, double y) noexcept {
@@ -120,6 +148,8 @@ struct MinTimeParDomain : MinSkillDomain {
 struct ProbabilityDomain {
   static constexpr SemiringKind kKind = SemiringKind::Probability;
   static constexpr bool kMonotoneCombine = true;
+  static constexpr SimdPrefer kSimdPrefer = SimdPrefer::HigherIsBetter;
+  static constexpr SimdCombine kSimdCombine = SimdCombine::Mul;
   static constexpr double one() noexcept { return 1.0; }
   static constexpr double zero() noexcept { return 0.0; }
   static constexpr double combine(double x, double y) noexcept { return x * y; }
@@ -134,6 +164,15 @@ struct ProbabilityDomain {
     return x >= y ? x : y;
   }
 };
+
+// The SIMD markers must respect the same canonicalization dispatch uses:
+// MinTimeSeq shares MinCostDomain's op-set and MinTimePar shares
+// MinSkillDomain's, so the five built-in kinds still collapse to three
+// kernel instantiations (checked again by bench_micro's Dispatch suite).
+static_assert(MinTimeSeqDomain::kSimdPrefer == MinCostDomain::kSimdPrefer &&
+              MinTimeSeqDomain::kSimdCombine == MinCostDomain::kSimdCombine);
+static_assert(MinTimeParDomain::kSimdPrefer == MinSkillDomain::kSimdPrefer &&
+              MinTimeParDomain::kSimdCombine == MinSkillDomain::kSimdCombine);
 
 /// Pointer-sized adapter that presents a runtime Semiring through the
 /// domain-policy interface; the dispatch fallback for custom domains. The

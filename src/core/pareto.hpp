@@ -42,6 +42,7 @@
 
 #include "core/domains.hpp"
 #include "core/semiring.hpp"
+#include "core/simd.hpp"
 #include "util/bitvec.hpp"
 #include "util/error.hpp"
 #include "util/table.hpp"
@@ -135,12 +136,71 @@ void staircase_push(std::vector<P>& out, P&& p, const Dd& dd, const Da& da) {
   out.push_back(std::move(p));
 }
 
+/// Copies a point span's value coordinates into SoA columns for the
+/// batch kernels (payloads never leave the point vector; kernels return
+/// index selections and the caller gathers).
+template <typename P>
+void soa_transpose(const std::vector<P>& pts, AlignedVec<double>& def,
+                   AlignedVec<double>& att) {
+  const std::size_t n = pts.size();
+  def.resize(n);
+  att.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    def[i] = pts[i].def;
+    att[i] = pts[i].att;
+  }
+}
+
 /// The forward dominance sweep shared by the two minimizers: compacts
 /// \p points - already in FrontLess order - to the Pareto-minimal
 /// staircase in place (staircase_push's keep/replace rule, batched).
+///
+/// Domain pairs carrying the SIMD markers dispatch large spans to the
+/// batch select kernel of the active CPU level (bit-identical to the
+/// scalar loop below, which is the oracle the kernels are fuzzed
+/// against); \p soa borrows transpose scratch (thread-local fallback)
+/// and \p simd_lanes, when given, accumulates kernel throughput into
+/// CombineStats::simd_lanes_used.
 template <typename P, typename Dd, typename Da>
 void staircase_sweep_in_place(std::vector<P>& points, const Dd& dd,
-                              const Da& da) {
+                              const Da& da, simd::SoaScratch* soa = nullptr,
+                              std::uint64_t* simd_lanes = nullptr) {
+  if constexpr (is_simd_pair_eligible_v<Dd, Da>) {
+    if (points.size() >= simd::kMinSweepPoints &&
+        points.size() < simd::kMaxSelectSpan) {
+      if (const simd::KernelTable* kt = simd::active_kernels()) {
+        simd::SoaScratch& s = soa != nullptr ? *soa : simd::tls_soa_scratch();
+        s.sel.resize(points.size());
+        simd::PushTail tail;
+        simd::SelectResult r;
+        if constexpr (std::is_same_v<P, ValuePoint>) {
+          // ValuePoint is exactly the interleaved layout the pairs
+          // kernels read; skip the transpose pass.
+          static_assert(sizeof(ValuePoint) == 2 * sizeof(double));
+          r = kt->push_select_pairs[simd::pref_index(Da::kSimdPrefer)](
+              reinterpret_cast<const double*>(points.data()), points.size(),
+              s.sel.data(), &tail);
+        } else {
+          soa_transpose(points, s.a_def, s.a_att);
+          r = kt->push_select[simd::pref_index(Da::kSimdPrefer)](
+              s.a_def.data(), s.a_att.data(), points.size(), s.sel.data(),
+              &tail);
+        }
+        // Kept indices are strictly increasing with sel[j] >= j, so the
+        // forward gather never overwrites a pending source; and when
+        // everything is kept that forces sel to be the identity, so the
+        // gather is skippable.
+        if (r.kept < points.size()) {
+          for (std::size_t j = 0; j < r.kept; ++j) {
+            if (s.sel[j] != j) points[j] = std::move(points[s.sel[j]]);
+          }
+          points.resize(r.kept);
+        }
+        if (simd_lanes != nullptr) *simd_lanes += r.lanes;
+        return;
+      }
+    }
+  }
   std::size_t kept = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (kept != 0) {
@@ -182,9 +242,56 @@ void pareto_minimize_stable(std::vector<P>& points, const Dd& dd,
 /// Merges two already-minimized staircases into \p out (cleared first) in
 /// O(|a| + |b|) - the sorted-merge fast path that replaces concatenate +
 /// sort + sweep for front unions.
+/// SIMD-eligible domain pairs dispatch large merges to the run-galloping
+/// merge kernel: it emits an index selection, and the gather below
+/// copies only the *kept* points - a real win for witness fronts, where
+/// the scalar loop's staircase_push copies every candidate's bit
+/// vectors. \p soa / \p simd_lanes as in staircase_sweep_in_place.
 template <typename P, typename Dd, typename Da>
 void pareto_merge_staircases(const std::vector<P>& a, const std::vector<P>& b,
-                             std::vector<P>& out, const Dd& dd, const Da& da) {
+                             std::vector<P>& out, const Dd& dd, const Da& da,
+                             simd::SoaScratch* soa = nullptr,
+                             std::uint64_t* simd_lanes = nullptr) {
+  if constexpr (is_simd_pair_eligible_v<Dd, Da>) {
+    if (a.size() + b.size() >= simd::kMinMergePoints &&
+        a.size() < simd::kMaxSelectSpan && b.size() < simd::kMaxSelectSpan) {
+      if (const simd::KernelTable* kt = simd::active_kernels()) {
+        simd::SoaScratch& s = soa != nullptr ? *soa : simd::tls_soa_scratch();
+        s.sel.resize(a.size() + b.size());
+        simd::MergeResult r;
+        if constexpr (std::is_same_v<P, ValuePoint>) {
+          // Interleaved layout matches the pairs kernel; no transposes.
+          static_assert(sizeof(ValuePoint) == 2 * sizeof(double));
+          r = kt->merge_select_pairs[simd::pref_index(Dd::kSimdPrefer)]
+                                    [simd::pref_index(Da::kSimdPrefer)](
+              reinterpret_cast<const double*>(a.data()), a.size(),
+              reinterpret_cast<const double*>(b.data()), b.size(),
+              s.sel.data());
+        } else {
+          soa_transpose(a, s.a_def, s.a_att);
+          soa_transpose(b, s.b_def, s.b_att);
+          r = kt->merge_select[simd::pref_index(Dd::kSimdPrefer)]
+                              [simd::pref_index(Da::kSimdPrefer)](
+              s.a_def.data(), s.a_att.data(), a.size(), s.b_def.data(),
+              s.b_att.data(), b.size(), s.sel.data());
+        }
+        out.clear();
+        out.reserve(r.kept);
+        const P* abase = a.data();
+        const P* bbase = b.data();
+        for (std::size_t j = 0; j < r.kept; ++j) {
+          const std::uint32_t e = s.sel[j];
+          // Conditional base pointer instead of a conditional copy: the
+          // source alternates on interleaved merges, and a select is
+          // cheaper than a data-dependent branch per point.
+          const P* base = (e & simd::kMergeSrcB) != 0 ? bbase : abase;
+          out.push_back(base[e & ~simd::kMergeSrcB]);
+        }
+        if (simd_lanes != nullptr) *simd_lanes += r.lanes;
+        return;
+      }
+    }
+  }
   out.clear();
   out.reserve(a.size() + b.size());
   const FrontLess<Dd, Da> less{dd, da};
@@ -287,6 +394,100 @@ struct KWayEntry {
   std::uint32_t col = 0;
 };
 
+/// The single-remaining-row bulk tail of combine_kway: once the
+/// tournament is down to one row, the rest of that row is emitted in
+/// ascending staircase order anyway, so its products are batch-computed
+/// into SoA columns (one broadcast combine per coordinate) and pushed
+/// through the same batch select kernel as the sweep - the heap drops
+/// out entirely. This is the dominant phase of the leaf folds the
+/// bottom-up algorithms live on (a singleton accumulator makes k = 1, so
+/// the *whole* combine is this endgame).
+///
+/// The kept set is provably identical to popping the products one by
+/// one: the upper-envelope prune can only fire after the output tail has
+/// absorbed an attacker value at least as adverse as the row's last,
+/// which also makes every remaining product un-keepable. Only the
+/// scalar `examined` count is affected by stopping early, and it is
+/// reproduced exactly by the post-hoc walk at the bottom (the prune
+/// condition changes only when the tail changes, i.e. at kept points).
+/// Returns that scalar-parity examined count.
+template <typename P, typename Dd, typename Da>
+std::size_t kway_endgame(const std::vector<P>& rows, const std::vector<P>& cols,
+                         bool rows_on_lhs, const KWayEntry& head, AttackOp op,
+                         const Dd& dd, const Da& da,
+                         const simd::KernelTable& kt,
+                         const std::vector<double>& row_tails,
+                         simd::SoaScratch& s, std::vector<P>& out,
+                         std::uint64_t* simd_lanes) {
+  const std::size_t m = cols.size();
+  const std::size_t c0 = head.col;
+  const std::size_t len = m - c0;
+  const double row_tail = row_tails[head.row];
+  // Scalar parity: the prune test precedes the first pop's push.
+  if (!out.empty() && da.prefer(row_tail, out.back().att)) return 1;
+
+  const P& rp = rows[head.row];
+  s.b_def.resize(len);
+  s.b_att.resize(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    s.b_def[i] = cols[c0 + i].def;
+    s.b_att[i] = cols[c0 + i].att;
+  }
+  s.p_def.resize(len);
+  s.p_att.resize(len);
+  // product_values' operand roles: p is the lhs-side point, and here the
+  // *column* points vary while the row point is broadcast - so the
+  // broadcast constant sits on p's side exactly when rows came from lhs.
+  const bool swapped = rows_on_lhs;
+  simd::combine_col_fn<Dd>(kt, swapped)(s.b_def.data(), len, rp.def,
+                                        s.p_def.data());
+  const int da_idx = simd::pref_index(Da::kSimdPrefer);
+  if (op == AttackOp::Combine) {
+    simd::combine_col_fn<Da>(kt, swapped)(s.b_att.data(), len, rp.att,
+                                          s.p_att.data());
+  } else {
+    kt.choose_att[da_idx][swapped ? 1 : 0](s.b_att.data(), len, rp.att,
+                                           s.p_att.data());
+  }
+  simd::PushTail tail;
+  if (!out.empty()) {
+    tail.has = true;
+    tail.def = out.back().def;
+    tail.att = out.back().att;
+  }
+  s.sel.resize(len);
+  const simd::SelectResult r = kt.push_select[da_idx](
+      s.p_def.data(), s.p_att.data(), len, s.sel.data(), &tail);
+  if (simd_lanes != nullptr) {
+    *simd_lanes += r.lanes + 2 * static_cast<std::uint64_t>(len);
+  }
+
+  const auto materialize = [&](std::uint32_t selidx) {
+    const std::size_t col = c0 + selidx;
+    const P& p = rows_on_lhs ? rp : cols[col];
+    const P& q = rows_on_lhs ? cols[col] : rp;
+    return product_point(p, q, op, dd, da);
+  };
+  std::size_t j = 0;
+  if (r.replaced_first && r.kept > 0) {
+    out.back() = materialize(s.sel[0]);
+    j = 1;
+  }
+  for (; j < r.kept; ++j) out.push_back(materialize(s.sel[j]));
+
+  // Scalar-parity examined count: the scalar loop pops products one at
+  // a time and stops one past the first kept product whose attacker
+  // value the row tail weakly dominates (at which point nothing later
+  // can be kept either - see the function comment).
+  for (std::size_t t = 0; t < r.kept; ++t) {
+    const std::size_t pos = s.sel[t];
+    if (da.prefer(row_tail, s.p_att[pos])) {
+      return pos + 1 < len ? pos + 2 : len;
+    }
+  }
+  return len;
+}
+
 /// Sort-free combine of two staircases (the general, non-singleton hot
 /// path): each of the k = min(|lhs|, |rhs|) rows of the cross product is
 /// itself a staircase (this is what staircase_combine_eligible certifies),
@@ -315,7 +516,9 @@ template <typename P, typename Dd, typename Da>
 std::size_t combine_kway(const std::vector<P>& lhs, const std::vector<P>& rhs,
                          AttackOp op, const Dd& dd, const Da& da,
                          std::vector<KWayEntry>& heap,
-                         std::vector<double>& row_tails, std::vector<P>& out) {
+                         std::vector<double>& row_tails, std::vector<P>& out,
+                         simd::SoaScratch* soa = nullptr,
+                         std::uint64_t* simd_lanes = nullptr) {
   out.clear();
   if (lhs.empty() || rhs.empty()) return 0;
   // Rows iterate over the smaller operand so the tournament holds
@@ -338,9 +541,58 @@ std::size_t combine_kway(const std::vector<P>& lhs, const std::vector<P>& rhs,
     return e;
   };
 
+  // SIMD-eligible domain pairs vectorize the per-row setup (row tails +
+  // first tournament entries, one broadcast combine per column) and the
+  // single-remaining-row endgame inside the loop; the tournament itself
+  // is inherently serial and stays scalar.
+  const simd::KernelTable* kt = nullptr;
+  simd::SoaScratch* s = nullptr;
+  if constexpr (is_simd_pair_eligible_v<Dd, Da>) {
+    if (m < simd::kMaxSelectSpan) {
+      kt = simd::active_kernels();
+      if (kt != nullptr) s = soa != nullptr ? soa : &simd::tls_soa_scratch();
+    }
+  }
+
   row_tails.resize(k);
-  for (std::uint32_t i = 0; i < k; ++i) {
-    row_tails[i] = entry_at(i, static_cast<std::uint32_t>(m - 1)).att;
+  heap.clear();
+  heap.reserve(k);
+  bool simd_init = false;
+  if constexpr (is_simd_pair_eligible_v<Dd, Da>) {
+    if (kt != nullptr && k >= simd::kMinKwayRows) {
+      // Here the *row* points vary while one column point is broadcast,
+      // so the broadcast sits on product_values' p side exactly when the
+      // rows came from the rhs (mirror of the endgame's roles).
+      const bool swapped = !rows_on_lhs;
+      soa_transpose(rows, s->a_def, s->a_att);
+      s->p_def.resize(k);
+      s->p_att.resize(k);
+      const int da_idx = simd::pref_index(Da::kSimdPrefer);
+      const auto att_col = [&](double c, double* dst) {
+        if (op == AttackOp::Combine) {
+          simd::combine_col_fn<Da>(*kt, swapped)(s->a_att.data(), k, c, dst);
+        } else {
+          kt->choose_att[da_idx][swapped ? 1 : 0](s->a_att.data(), k, c, dst);
+        }
+      };
+      att_col(cols[m - 1].att, row_tails.data());
+      simd::combine_col_fn<Dd>(*kt, swapped)(s->a_def.data(), k, cols[0].def,
+                                             s->p_def.data());
+      att_col(cols[0].att, s->p_att.data());
+      for (std::uint32_t i = 0; i < k; ++i) {
+        heap.push_back(KWayEntry{s->p_def[i], s->p_att[i], i, 0});
+      }
+      if (simd_lanes != nullptr) {
+        *simd_lanes += 3 * static_cast<std::uint64_t>(k);
+      }
+      simd_init = true;
+    }
+  }
+  if (!simd_init) {
+    for (std::uint32_t i = 0; i < k; ++i) {
+      row_tails[i] = entry_at(i, static_cast<std::uint32_t>(m - 1)).att;
+    }
+    for (std::uint32_t i = 0; i < k; ++i) heap.push_back(entry_at(i, 0));
   }
 
   // Min-heap under the staircase order of the value pairs. std::push_heap
@@ -350,14 +602,18 @@ std::size_t combine_kway(const std::vector<P>& lhs, const std::vector<P>& rhs,
   auto heap_after = [&](const KWayEntry& a, const KWayEntry& b) {
     return less(ValuePoint{b.def, b.att}, ValuePoint{a.def, a.att});
   };
-
-  heap.clear();
-  heap.reserve(k);
-  for (std::uint32_t i = 0; i < k; ++i) heap.push_back(entry_at(i, 0));
   std::make_heap(heap.begin(), heap.end(), heap_after);
 
   std::size_t examined = 0;
   while (!heap.empty()) {
+    if constexpr (is_simd_pair_eligible_v<Dd, Da>) {
+      if (kt != nullptr && heap.size() == 1 &&
+          m - heap[0].col >= simd::kMinEndgameCols) {
+        examined += kway_endgame(rows, cols, rows_on_lhs, heap[0], op, dd,
+                                 da, *kt, row_tails, *s, out, simd_lanes);
+        break;
+      }
+    }
     std::pop_heap(heap.begin(), heap.end(), heap_after);
     const KWayEntry e = heap.back();
     heap.pop_back();
@@ -562,6 +818,37 @@ template <typename P, typename Dd, typename Da>
   return combine_fronts_sorted(lhs, rhs, op, dd, da);
 }
 
+/// True iff some point of \p front dominates \p q (Definition 9) - the
+/// "is this configuration already covered?" query. A linear scan; domain
+/// pairs carrying the SIMD markers batch large fronts through the active
+/// dominance kernel (bit-identical outcome, the compares are exact).
+template <typename P, typename Dd, typename Da>
+[[nodiscard]] bool front_dominates_point(const BasicFront<P>& front,
+                                         const P& q, const Dd& dd,
+                                         const Da& da) {
+  const std::vector<P>& pts = front.points();
+  // Only the payload-free ValuePoint takes the kernel: its layout is the
+  // interleaved pairs form the kernel reads directly. A per-query
+  // transpose of a payload-carrying front costs more than the scan it
+  // would accelerate, so WitnessPoint stays on the scalar loop.
+  if constexpr (is_simd_pair_eligible_v<Dd, Da> &&
+                std::is_same_v<P, ValuePoint>) {
+    if (pts.size() >= simd::kMinDominatePoints) {
+      if (const simd::KernelTable* kt = simd::active_kernels()) {
+        static_assert(sizeof(ValuePoint) == 2 * sizeof(double));
+        return kt->any_dominates_pairs[simd::pref_index(Dd::kSimdPrefer)]
+                                      [simd::pref_index(Da::kSimdPrefer)](
+            reinterpret_cast<const double*>(pts.data()), pts.size(), q.def,
+            q.att, nullptr);
+      }
+    }
+  }
+  for (const P& p : pts) {
+    if (dominates(p, q, dd, da)) return true;
+  }
+  return false;
+}
+
 /// Reusable scratch space for the combine-heavy inner loops of the
 /// analysis algorithms. One arena serves one analysis at a time (it is
 /// not thread-safe); every combine reuses the arena's cross-product and
@@ -587,6 +874,12 @@ struct CombineStats {
   /// between this and the full product is the pruning win.
   std::uint64_t points_examined = 0;
   std::uint64_t points_kept = 0;  ///< points surviving minimization
+  /// Point-elements streamed through the SIMD batch kernels (0 on the
+  /// scalar dispatch level or for non-eligible domains). A throughput
+  /// diagnostic, not a determinism-relevant quantity: the same analysis
+  /// at different dispatch levels reports different lane counts while
+  /// producing bit-identical fronts.
+  std::uint64_t simd_lanes_used = 0;
 
   /// The work recorded since \p earlier (an older snapshot of the same
   /// counter set).
@@ -597,6 +890,7 @@ struct CombineStats {
     d.staircase_merges = staircase_merges - earlier.staircase_merges;
     d.points_examined = points_examined - earlier.points_examined;
     d.points_kept = points_kept - earlier.points_kept;
+    d.simd_lanes_used = simd_lanes_used - earlier.simd_lanes_used;
     return d;
   }
 
@@ -608,6 +902,7 @@ struct CombineStats {
     staircase_merges += other.staircase_merges;
     points_examined += other.points_examined;
     points_kept += other.points_kept;
+    simd_lanes_used += other.simd_lanes_used;
     return *this;
   }
 };
@@ -626,7 +921,8 @@ class FrontArena {
                     const Dd& dd, const Da& da) {
     if (staircase_combine_eligible<Dd, Da>(op)) {
       stats_.points_examined += detail::combine_kway(
-          acc.points(), rhs.points(), op, dd, da, heap_, row_tails_, spare_);
+          acc.points(), rhs.points(), op, dd, da, heap_, row_tails_, spare_,
+          &soa_, &stats_.simd_lanes_used);
       ++stats_.kway_combines;
     } else {
       detail::product_points(acc.points(), rhs.points(), op, dd, da, scratch_);
@@ -671,8 +967,8 @@ class FrontArena {
     for (const P& q : other.points()) scratch_.push_back(transform(q));
     std::vector<P> merged;
     if constexpr (is_monotone_combine_v<Dd>) {
-      detail::pareto_merge_staircases(base.points(), scratch_, merged, dd,
-                                      da);
+      detail::pareto_merge_staircases(base.points(), scratch_, merged, dd, da,
+                                      &soa_, &stats_.simd_lanes_used);
     } else {
       merged.reserve(base.size() + scratch_.size());
       merged.insert(merged.end(), base.points().begin(), base.points().end());
@@ -703,6 +999,7 @@ class FrontArena {
   std::vector<P> spare_;    ///< recycled output buffer
   std::vector<detail::KWayEntry> heap_;  ///< k-way tournament entries
   std::vector<double> row_tails_;        ///< per-row most adverse value
+  simd::SoaScratch soa_;  ///< SoA column view for the batch kernels
   CombineStats stats_;
 };
 

@@ -1,0 +1,26 @@
+#include "core/simd.hpp"
+
+namespace adtp {
+namespace simd {
+
+const KernelTable* active_kernels() noexcept {
+  const SimdLevel level = active_simd_level();
+  // active_simd_level() is clamped to detection, so consulting a
+  // per-level table here never initializes kernels the CPU cannot run.
+  if (level == SimdLevel::Avx2) {
+    if (const KernelTable* t = kernels_avx2()) return t;
+    // Toolchain could not build AVX2 kernels: degrade to SSE2.
+  }
+  if (level >= SimdLevel::Sse2) {
+    if (const KernelTable* t = kernels_sse2()) return t;
+  }
+  return nullptr;
+}
+
+SoaScratch& tls_soa_scratch() noexcept {
+  thread_local SoaScratch scratch;
+  return scratch;
+}
+
+}  // namespace simd
+}  // namespace adtp

@@ -1,0 +1,198 @@
+/// \file simd.hpp
+/// \brief Batch (SoA) Pareto kernels with runtime CPU dispatch.
+///
+/// The hot loops of every algorithm - dominance scans, staircase sweeps,
+/// two-staircase merges, and the k-way tournament combine - reduce to
+/// streaming two double columns (defender value, attacker value) through
+/// a handful of compare/combine patterns. This header defines those
+/// kernels as a table of function pointers over *structure-of-arrays*
+/// columns; core/pareto.hpp transposes point spans into scratch columns,
+/// runs a kernel, and gathers the surviving points (payloads - witness
+/// bit vectors - never enter a kernel, so select-then-gather keeps them
+/// untouched and bit-identical).
+///
+/// Determinism contract: every kernel performs exactly the comparisons
+/// and arithmetic of the scalar code it replaces, in an order that cannot
+/// change the outcome, so fronts and witnesses are bit-identical between
+/// dispatch levels. The trap cases are handled explicitly:
+///  - MinSkill's combine is `x < y ? y : x`, which differs from hardware
+///    max on signed-zero ties; kernels emulate it with compare+blend and
+///    keep operand roles via the Swapped table axis.
+///  - FrontLess tie-breaks and staircase_push replacement compare with
+///    `==` / strict orders only; vector compares are IEEE-exact.
+///
+/// Kernels exist per (preference direction, lane width); the direction
+/// axes are indexed with pref_index() from a domain's kSimdPrefer marker
+/// (core/domains.hpp). Domains without the markers (Custom semirings,
+/// DynamicDomain) never reach a kernel: dispatch in pareto.hpp is
+/// guarded by is_simd_eligible_v at compile time and by
+/// active_simd_level() at run time.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned.hpp"
+#include "util/cpu.hpp"
+
+namespace adtp {
+
+/// Which direction a domain's strict preference points on raw doubles.
+/// Lower: prefer(x, y) == (x <= y) (cost, time, skill).
+/// Higher: prefer(x, y) == (x >= y) (probability).
+enum class SimdPrefer : std::uint8_t { LowerIsBetter = 0, HigherIsBetter = 1 };
+
+/// Which arithmetic a domain's combine performs on raw doubles.
+/// Max is `x < y ? y : x` exactly (not hardware max; see file comment).
+enum class SimdCombine : std::uint8_t { Add = 0, Max = 1, Mul = 2 };
+
+namespace simd {
+
+/// Table index for a preference direction.
+constexpr int pref_index(SimdPrefer p) noexcept {
+  return p == SimdPrefer::LowerIsBetter ? 0 : 1;
+}
+
+/// Minimum span sizes before transposing into columns pays for itself;
+/// below these the scalar code runs (tuned on bench_micro, see BENCH_6).
+inline constexpr std::size_t kMinSweepPoints = 16;
+inline constexpr std::size_t kMinMergePoints = 16;   ///< sum of both inputs
+inline constexpr std::size_t kMinDominatePoints = 8;
+inline constexpr std::size_t kMinKwayRows = 8;
+inline constexpr std::size_t kMinEndgameCols = 8;
+
+/// Selection entries index 31 bits; spans at or above this fall back to
+/// scalar (fronts this large exceed every configured front cap anyway).
+inline constexpr std::size_t kMaxSelectSpan = 0x7fffffffu;
+
+/// In merge_select output, this bit marks an index into the second input.
+inline constexpr std::uint32_t kMergeSrcB = 0x80000000u;
+
+/// The staircase tail a push kernel starts from (out.back() of the
+/// caller, if any); updated to the tail after the batch.
+struct PushTail {
+  bool has = false;
+  double def = 0.0;
+  double att = 0.0;
+};
+
+struct SelectResult {
+  std::size_t kept = 0;  ///< entries written to the selection buffer
+  /// True when the first selection entry *replaces* the caller's
+  /// existing tail point (staircase_push's equivalent-def rule fired
+  /// against the external tail) instead of appending after it.
+  bool replaced_first = false;
+  std::uint64_t lanes = 0;  ///< elements streamed through vector ops
+};
+
+struct MergeResult {
+  std::size_t kept = 0;
+  std::uint64_t lanes = 0;
+};
+
+/// staircase_push over a batch: emits indices of surviving points into
+/// sel (caller-sized to n), resolving skip/replace/append exactly like
+/// the scalar loop. Kept indices are strictly increasing with
+/// sel[j] >= j, so an in-place forward gather is safe.
+using PushSelectFn = SelectResult (*)(const double* def, const double* att,
+                                      std::size_t n, std::uint32_t* sel,
+                                      PushTail* tail);
+
+/// pareto_merge_staircases over two staircase columns: emits the merged
+/// selection (kMergeSrcB tags source b) into sel (sized to na + nb).
+using MergeSelectFn = MergeResult (*)(const double* adef, const double* aatt,
+                                      std::size_t na, const double* bdef,
+                                      const double* batt, std::size_t nb,
+                                      std::uint32_t* sel);
+
+/// Whether any column point dominates (def no worse AND att no less
+/// adverse than) the query point.
+using AnyDominatesFn = bool (*)(const double* def, const double* att,
+                                std::size_t n, double qdef, double qatt,
+                                std::uint64_t* lanes);
+
+/// AoS ("pairs") variants: the input is interleaved (def, att) doubles -
+/// exactly ValuePoint's layout - deinterleaved in registers, so payload-
+/// free spans skip the transpose pass entirely (the transpose costs as
+/// much as the kernel on short-lived spans; see BENCH_6).
+using PushSelectPairsFn = SelectResult (*)(const double* pts, std::size_t n,
+                                           std::uint32_t* sel,
+                                           PushTail* tail);
+using AnyDominatesPairsFn = bool (*)(const double* pts, std::size_t n,
+                                     double qdef, double qatt,
+                                     std::uint64_t* lanes);
+using MergeSelectPairsFn = MergeResult (*)(const double* apts, std::size_t na,
+                                           const double* bpts, std::size_t nb,
+                                           std::uint32_t* sel);
+
+/// dst[i] = OP(src[i], c) - or OP(c, src[i]) for the Swapped variants,
+/// which matter only for the non-commutative Max/Choose ops.
+using CombineColFn = void (*)(const double* src, std::size_t n, double c,
+                              double* dst);
+
+/// One dispatch level's kernels. Two-way axes: [pref_index(dd or da)]
+/// for direction, [swapped] for operand roles of non-commutative ops.
+struct KernelTable {
+  int width = 1;  ///< double lanes per vector op
+  PushSelectFn push_select[2] = {};          ///< [da]
+  PushSelectPairsFn push_select_pairs[2] = {};        ///< [da], AoS input
+  MergeSelectFn merge_select[2][2] = {};     ///< [dd][da]
+  MergeSelectPairsFn merge_select_pairs[2][2] = {};    ///< [dd][da], AoS
+  AnyDominatesFn any_dominates[2][2] = {};   ///< [dd][da]
+  AnyDominatesPairsFn any_dominates_pairs[2][2] = {};  ///< [dd][da], AoS
+  CombineColFn combine_add = nullptr;
+  CombineColFn combine_mul = nullptr;
+  CombineColFn combine_max[2] = {};          ///< [swapped]
+  CombineColFn choose_att[2][2] = {};        ///< [da][swapped]
+};
+
+/// The kernel table for the active dispatch level, or nullptr when the
+/// active level is Scalar (callers then run the scalar oracle code).
+[[nodiscard]] const KernelTable* active_kernels() noexcept;
+
+/// Per-level tables; nullptr when the build target lacks the ISA.
+/// active_kernels() only consults these at or below the detected level,
+/// so their lazy initialization never executes on unsupported hardware.
+[[nodiscard]] const KernelTable* kernels_sse2() noexcept;
+[[nodiscard]] const KernelTable* kernels_avx2() noexcept;
+
+/// Picks the column-combine kernel for a domain's op, honoring operand
+/// roles for the non-commutative Max.
+template <typename D>
+[[nodiscard]] CombineColFn combine_col_fn(const KernelTable& k,
+                                          bool swapped) noexcept {
+  if constexpr (D::kSimdCombine == SimdCombine::Add) {
+    (void)swapped;
+    return k.combine_add;
+  } else if constexpr (D::kSimdCombine == SimdCombine::Mul) {
+    (void)swapped;
+    return k.combine_mul;
+  } else {
+    return k.combine_max[swapped ? 1 : 0];
+  }
+}
+
+/// Reusable SoA scratch columns. FrontArena owns one; free-function
+/// entry points share a thread-local instance (tls_soa_scratch).
+struct SoaScratch {
+  AlignedVec<double> a_def, a_att;  ///< first input columns
+  AlignedVec<double> b_def, b_att;  ///< second input columns
+  AlignedVec<double> p_def, p_att;  ///< product / result columns
+  std::vector<std::uint32_t> sel;   ///< selection output
+
+  void release() {
+    a_def = {}; a_att = {};
+    b_def = {}; b_att = {};
+    p_def = {}; p_att = {};
+    sel = {};
+  }
+};
+
+/// The calling thread's shared scratch (for pareto.hpp free functions
+/// that have no arena to borrow from).
+[[nodiscard]] SoaScratch& tls_soa_scratch() noexcept;
+
+}  // namespace simd
+}  // namespace adtp

@@ -1,0 +1,68 @@
+/// \file aligned.hpp
+/// \brief Over-aligned allocation for SIMD-friendly containers.
+///
+/// The SoA Pareto kernels (core/simd.hpp) stream attribute columns
+/// through 32-byte vector registers. Heap storage for those columns is
+/// allocated through this allocator so the column base is always
+/// AVX-register aligned: the kernels themselves use unaligned loads
+/// (mandatory for the shifted-by-one chain loads anyway), but an aligned
+/// base keeps full blocks from straddling cache lines, and it is what
+/// makes over-aligned point types safe to hold in arena vectors at all
+/// (plain std::allocator + operator new only guarantees
+/// __STDCPP_DEFAULT_NEW_ALIGNMENT__).
+
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace adtp {
+
+/// Minimal C++17 aligned-new allocator. Alignment is a compile-time
+/// constant so rebinding preserves it and containers stay cheap to
+/// instantiate.
+template <typename T, std::size_t Alignment = 32>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "Alignment must not be weaker than the type's own");
+
+ public:
+  using value_type = T;
+  static constexpr std::size_t kAlignment = Alignment;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose storage is 32-byte aligned (AVX register width).
+template <typename T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace adtp

@@ -29,6 +29,7 @@
 #include "adt/text_format.hpp"
 #include "core/analyzer.hpp"
 #include "gen/random_adt.hpp"
+#include "util/cpu.hpp"
 
 namespace adtp {
 namespace {
@@ -213,6 +214,75 @@ TEST_P(DifferentialFuzz, AlgorithmsAgreeAcrossThreadCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+/// Scalar-as-oracle contract of the SIMD dispatch (util/cpu.hpp): on the
+/// same seeds, every algorithm run with the vector kernels enabled must
+/// produce bit-identical fronts AND witnesses to a forced-scalar run, at
+/// every thread count. This is the end-to-end check behind the ADTP_SIMD
+/// knob - the kernels-level version lives in simd_kernels_test.cpp.
+class SimdVsScalar : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimdVsScalar, AutoDispatchMatchesForcedScalarBitForBit) {
+  if (detected_simd_level() == SimdLevel::Scalar) {
+    GTEST_SKIP() << "no vector ISA detected; dispatch is already scalar";
+  }
+  const std::uint64_t seed = GetParam();
+  const AugmentedAdt aadt = model_for_seed(seed, /*dag=*/seed % 2 == 0);
+
+  // Forced-scalar references, one per algorithm.
+  Front scalar_naive, scalar_bdd, scalar_hybrid, scalar_bu;
+  WitnessFront scalar_naive_w, scalar_bdd_w;
+  const bool tree = aadt.adt().is_tree();
+  BddBuOptions bdd_base;
+  bdd_base.parallel_node_floor = 0;  // same pool shape as the SIMD runs
+  HybridOptions hybrid_base;
+  hybrid_base.bdd.parallel_node_floor = 0;
+  {
+    ScopedSimdOverride scalar(SimdLevel::Scalar);
+    scalar_naive = naive_front(aadt);
+    scalar_bdd = bdd_bu_front(aadt, bdd_base);
+    scalar_hybrid = hybrid_front(aadt, hybrid_base);
+    if (tree) scalar_bu = bottom_up_front(aadt);
+    scalar_naive_w = naive_front_witness(aadt);
+    scalar_bdd_w = bdd_bu_front_witness(aadt, bdd_base);
+  }
+
+  // Auto dispatch (whatever the CPU offers) at every thread count.
+  for (unsigned threads : kThreadCounts) {
+    NaiveOptions naive;
+    naive.threads = threads;
+    EXPECT_TRUE(bit_identical_values(naive_front(aadt, naive), scalar_naive))
+        << "naive@" << threads << " threads diverged from scalar";
+    EXPECT_TRUE(bit_identical_witnesses(naive_front_witness(aadt, naive),
+                                        scalar_naive_w))
+        << "naive witness@" << threads << " threads diverged from scalar";
+
+    BddBuOptions bdd = bdd_base;
+    bdd.threads = threads;
+    EXPECT_TRUE(bit_identical_values(bdd_bu_front(aadt, bdd), scalar_bdd))
+        << "bdd@" << threads << " threads diverged from scalar";
+    EXPECT_TRUE(
+        bit_identical_witnesses(bdd_bu_front_witness(aadt, bdd), scalar_bdd_w))
+        << "bdd witness@" << threads << " threads diverged from scalar";
+
+    HybridOptions hybrid = hybrid_base;
+    hybrid.bdd.threads = threads;
+    EXPECT_TRUE(
+        bit_identical_values(hybrid_front(aadt, hybrid), scalar_hybrid))
+        << "hybrid@" << threads << " threads diverged from scalar";
+  }
+  if (tree) {
+    EXPECT_TRUE(bit_identical_values(bottom_up_front(aadt), scalar_bu))
+        << "bottom-up diverged from scalar";
+  }
+
+  if (HasFailure()) {
+    ADD_FAILURE() << dump_model(aadt, seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdVsScalar,
                          ::testing::Range<std::uint64_t>(1, 41));
 
 }  // namespace

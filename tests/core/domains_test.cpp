@@ -172,5 +172,58 @@ TEST(Domains, SemiringIsAValidPolicy) {
   EXPECT_EQ(cost.choose(2, 3), MinCostDomain::choose(2, 3));
 }
 
+/// SIMD eligibility: exactly the five built-in policies carry the SIMD
+/// markers; DynamicDomain and the runtime Semiring never do, so Custom
+/// domains are structurally unable to reach a vector kernel.
+TEST(Domains, SimdEligibilityCoversBuiltInsOnly) {
+  static_assert(is_simd_eligible_v<MinCostDomain>);
+  static_assert(is_simd_eligible_v<MinTimeSeqDomain>);
+  static_assert(is_simd_eligible_v<MinTimeParDomain>);
+  static_assert(is_simd_eligible_v<MinSkillDomain>);
+  static_assert(is_simd_eligible_v<ProbabilityDomain>);
+  static_assert(!is_simd_eligible_v<DynamicDomain>);
+  static_assert(!is_simd_eligible_v<Semiring>);
+  static_assert(is_simd_pair_eligible_v<MinCostDomain, ProbabilityDomain>);
+  static_assert(!is_simd_pair_eligible_v<MinCostDomain, DynamicDomain>);
+  static_assert(!is_simd_pair_eligible_v<DynamicDomain, DynamicDomain>);
+}
+
+/// The markers must describe the actual operations: every eligible
+/// domain's prefer/combine on raw doubles is exactly what its
+/// (kSimdPrefer, kSimdCombine) pair advertises - this equivalence is
+/// what lets the kernels claim bit-identical results.
+template <typename D>
+void expect_simd_markers_describe_ops(const D& d) {
+  Rng rng(static_cast<std::uint64_t>(D::kKind) + 11);
+  for (int i = 0; i < 200; ++i) {
+    const double x = D::kKind == SemiringKind::Probability
+                         ? rng.uniform()
+                         : static_cast<double>(rng.range(0, 64)) / 4.0;
+    const double y = D::kKind == SemiringKind::Probability
+                         ? rng.uniform()
+                         : static_cast<double>(rng.range(0, 64)) / 4.0;
+    if (D::kSimdPrefer == SimdPrefer::LowerIsBetter) {
+      EXPECT_EQ(d.prefer(x, y), x <= y);
+      EXPECT_EQ(d.strictly_prefer(x, y), x < y);
+    } else {
+      EXPECT_EQ(d.prefer(x, y), x >= y);
+      EXPECT_EQ(d.strictly_prefer(x, y), x > y);
+    }
+    switch (D::kSimdCombine) {
+      case SimdCombine::Add: EXPECT_EQ(d.combine(x, y), x + y); break;
+      case SimdCombine::Max: EXPECT_EQ(d.combine(x, y), x < y ? y : x); break;
+      case SimdCombine::Mul: EXPECT_EQ(d.combine(x, y), x * y); break;
+    }
+  }
+}
+
+TEST(Domains, SimdMarkersDescribeTheOperations) {
+  expect_simd_markers_describe_ops(MinCostDomain{});
+  expect_simd_markers_describe_ops(MinTimeSeqDomain{});
+  expect_simd_markers_describe_ops(MinTimeParDomain{});
+  expect_simd_markers_describe_ops(MinSkillDomain{});
+  expect_simd_markers_describe_ops(ProbabilityDomain{});
+}
+
 }  // namespace
 }  // namespace adtp

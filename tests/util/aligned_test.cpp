@@ -1,0 +1,92 @@
+/// AlignedAllocator must hand out 32-byte-aligned storage through every
+/// growth pattern a vector can exercise, and the CPU dispatch policy
+/// (util/cpu.hpp) must honor detection clamps and overrides - these two
+/// are the foundation the SIMD Pareto kernels stand on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "util/aligned.hpp"
+#include "util/cpu.hpp"
+
+namespace adtp {
+namespace {
+
+template <typename T>
+bool is_aligned32(const T* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 32 == 0;
+}
+
+TEST(AlignedAllocator, VectorStorageIsAlignedThroughGrowth) {
+  AlignedVec<double> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(static_cast<double>(i));
+    ASSERT_TRUE(is_aligned32(v.data())) << "after push " << i;
+  }
+  v.resize(4096);
+  EXPECT_TRUE(is_aligned32(v.data()));
+  v.shrink_to_fit();
+  EXPECT_TRUE(is_aligned32(v.data()));
+  // The elements must survive reallocation untouched.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(v[static_cast<std::size_t>(i)], static_cast<double>(i));
+  }
+}
+
+TEST(AlignedAllocator, WorksForSmallAndOddSizedTypes) {
+  AlignedVec<std::uint8_t> bytes(123, std::uint8_t{7});
+  EXPECT_TRUE(is_aligned32(bytes.data()));
+  AlignedVec<float> floats(1, 1.5f);
+  EXPECT_TRUE(is_aligned32(floats.data()));
+}
+
+TEST(AlignedAllocator, RebindsAndComparesEqual) {
+  const AlignedAllocator<double> a;
+  const AlignedAllocator<float> b(a);  // rebind-style conversion
+  EXPECT_TRUE(a == AlignedAllocator<double>());
+  EXPECT_FALSE(a != AlignedAllocator<double>());
+  (void)b;
+}
+
+TEST(CpuDispatch, DetectionIsSaneAndStable) {
+  const CpuFeatures f = detect_cpu_features();
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_TRUE(f.sse2);  // architectural baseline
+  EXPECT_GE(static_cast<int>(detected_simd_level()),
+            static_cast<int>(SimdLevel::Sse2));
+#else
+  EXPECT_EQ(detected_simd_level(), SimdLevel::Scalar);
+#endif
+  if (f.avx2) {
+    EXPECT_EQ(detected_simd_level(), SimdLevel::Avx2);
+  }
+  EXPECT_EQ(detected_simd_level(), detected_simd_level());  // cached
+  EXPECT_TRUE(simd_level_available(SimdLevel::Scalar));
+}
+
+TEST(CpuDispatch, OverrideClampsToDetectionAndRestores) {
+  const SimdLevel before = active_simd_level();
+  {
+    ScopedSimdOverride scalar(SimdLevel::Scalar);
+    EXPECT_EQ(active_simd_level(), SimdLevel::Scalar);
+  }
+  EXPECT_EQ(active_simd_level(), before);
+  {
+    // Requesting more than the hardware has must degrade, not fault.
+    ScopedSimdOverride greedy(SimdLevel::Avx2);
+    EXPECT_LE(static_cast<int>(active_simd_level()),
+              static_cast<int>(detected_simd_level()));
+  }
+  EXPECT_EQ(active_simd_level(), before);
+}
+
+TEST(CpuDispatch, LevelNamesRoundTrip) {
+  EXPECT_STREQ(to_string(SimdLevel::Scalar), "scalar");
+  EXPECT_STREQ(to_string(SimdLevel::Sse2), "sse2");
+  EXPECT_STREQ(to_string(SimdLevel::Avx2), "avx2");
+}
+
+}  // namespace
+}  // namespace adtp
