@@ -1,20 +1,23 @@
 /// Single-huge-DAG BDD scaling suite: the workload PR 4's batch pool
-/// could not touch (one model, one core). Measures the level-parallel
-/// BDD construction + Pareto propagation at 1..N worker threads on
+/// could not touch (one model, one core). Measures the task-DAG
+/// (work-stealing) BDD construction + Pareto propagation at 1..N worker
+/// threads on
 ///
 ///  - the Fig. 4 worst-case family (wide levels, exponential fronts: the
 ///    propagate-bound regime), and
 ///  - a large generated DAG (construction-heavy regime),
 ///
 /// reporting per-phase times, speedups over the sequential run, the
-/// level-parallelism counters, and a bit-identical front check (the
-/// determinism contract of BddBuOptions::threads).
+/// scheduler counters (tasks / steals / peak ready-queue depth), and a
+/// bit-identical front check (the determinism contract of
+/// BddBuOptions::threads).
 ///
 /// Usage: bench_bdd_scaling [--fig4-n N] [--dag-nodes N] [--threads T]
 ///                          [--repeats R] [--json PATH]
 ///
 /// CI runs this in bench-smoke; BENCH_5.json pins a reference run.
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -39,7 +42,9 @@ struct ScalingRow {
   double propagate_speedup = 1;  ///< vs the threads = 1 row of the model
   double total_speedup = 1;
   std::size_t bdd_size = 0;
-  std::size_t parallel_levels = 0;
+  std::uint64_t sched_tasks = 0;
+  std::uint64_t sched_steals = 0;
+  std::size_t max_ready_depth = 0;
   std::size_t max_level_width = 0;
   std::size_t front_size = 0;
   bool identical = true;  ///< front bit-identical to the sequential run
@@ -82,7 +87,9 @@ ScalingRow measure(const std::string& label, const AugmentedAdt& aadt,
   row.propagate_seconds = bench::median(propagate);
   row.total_seconds = bench::median(total);
   row.bdd_size = report.bdd_size;
-  row.parallel_levels = report.parallel_levels;
+  row.sched_tasks = report.sched.tasks;
+  row.sched_steals = report.sched.steals;
+  row.max_ready_depth = report.sched.max_ready_depth;
   row.max_level_width = report.max_level_width;
   row.front_size = report.front.size();
   if (front_out != nullptr) *front_out = std::move(report.front);
@@ -105,8 +112,10 @@ ScalingRow measure(const std::string& label, const AugmentedAdt& aadt,
     json.key("propagate_speedup").value(row.propagate_speedup);
     json.key("total_speedup").value(row.total_speedup);
     json.key("bdd_size").value(static_cast<std::uint64_t>(row.bdd_size));
-    json.key("parallel_levels")
-        .value(static_cast<std::uint64_t>(row.parallel_levels));
+    json.key("sched_tasks").value(row.sched_tasks);
+    json.key("sched_steals").value(row.sched_steals);
+    json.key("max_ready_depth")
+        .value(static_cast<std::uint64_t>(row.max_ready_depth));
     json.key("max_level_width")
         .value(static_cast<std::uint64_t>(row.max_level_width));
     json.key("front_size").value(static_cast<std::uint64_t>(row.front_size));
@@ -161,7 +170,7 @@ int main(int argc, char** argv) {
   for (unsigned t = 2; t <= max_threads; t *= 2) thread_counts.push_back(t);
 
   TextTable table({"model", "threads", "build", "propagate", "total",
-                   "speedup", "par levels", "max width", "identical"});
+                   "speedup", "tasks", "steals", "max width", "identical"});
   std::vector<ScalingRow> rows;
   for (const ModelCase& c : cases) {
     Front reference;
@@ -187,7 +196,8 @@ int main(int argc, char** argv) {
                      format_seconds(row.propagate_seconds),
                      format_seconds(row.total_seconds),
                      format_value(row.propagate_speedup, 2) + "x",
-                     std::to_string(row.parallel_levels),
+                     std::to_string(row.sched_tasks),
+                     std::to_string(row.sched_steals),
                      std::to_string(row.max_level_width),
                      row.identical ? "yes" : "NO"});
       rows.push_back(row);

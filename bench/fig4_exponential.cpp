@@ -13,10 +13,10 @@
 /// bench-smoke artifact).
 ///
 /// With --bdd-threads T (> 1) every row additionally runs BDDBU with a
-/// T-worker level-parallel build + propagate, reports the speedup over
-/// the sequential run, and verifies the fronts are bit-identical - the
-/// single-huge-DAG scaling measurement of the intra-model parallelism
-/// work (bench_bdd_scaling covers more shapes).
+/// T-slot work-stealing task-DAG build + propagate, reports the speedup
+/// over the sequential run, and verifies the fronts are bit-identical -
+/// the single-huge-DAG scaling measurement of the intra-model
+/// parallelism work (bench_bdd_scaling covers more shapes).
 ///
 /// Usage: bench_fig4_exponential [--max-n N] [--naive-max N] [--json PATH]
 ///                               [--bdd-threads T]
@@ -49,7 +49,8 @@ struct Row {
   unsigned bdd_threads = 1;
   double bdd_par_seconds = -1;      ///< < 0 when the sweep is off
   double bdd_par_speedup = 0;       ///< bdd_seconds / bdd_par_seconds
-  std::size_t bdd_parallel_levels = 0;
+  std::uint64_t bdd_sched_tasks = 0;
+  std::uint64_t bdd_sched_steals = 0;
   bool bdd_par_identical = true;    ///< parallel front == sequential front
 };
 
@@ -78,8 +79,8 @@ struct Row {
           row.bdd_threads));
       json.key("bdd_par_seconds").value(row.bdd_par_seconds);
       json.key("bdd_par_speedup").value(row.bdd_par_speedup);
-      json.key("bdd_parallel_levels").value(static_cast<std::uint64_t>(
-          row.bdd_parallel_levels));
+      json.key("bdd_sched_tasks").value(row.bdd_sched_tasks);
+      json.key("bdd_sched_steals").value(row.bdd_sched_steals);
       json.key("bdd_par_identical").value(row.bdd_par_identical);
     }
     json.end_object();
@@ -146,8 +147,9 @@ int main(int argc, char** argv) {
       row.bdd_par_speedup = row.bdd_par_seconds > 0
                                 ? row.bdd_seconds / row.bdd_par_seconds
                                 : 0.0;
-      row.bdd_parallel_levels = par_report.parallel_levels;
-      // The level-parallel engine's contract: bit-identical fronts.
+      row.bdd_sched_tasks = par_report.sched.tasks;
+      row.bdd_sched_steals = par_report.sched.steals;
+      // The task-DAG engine's contract: bit-identical fronts.
       row.bdd_par_identical = par_report.front.bit_identical_values(bdd_front);
       if (!row.bdd_par_identical) {
         std::cerr << "MISMATCH: parallel BDDBU diverged at n = " << n << "\n";

@@ -1,6 +1,6 @@
 #include "bdd/build.hpp"
 
-#include <algorithm>
+#include <cstdint>
 #include <optional>
 
 #include "util/error.hpp"
@@ -9,21 +9,15 @@ namespace adtp::bdd {
 
 namespace {
 
-/// One gate being folded: its pending operand list shrinks by balanced
-/// pairwise reduction rounds until a single Ref remains. The pairing
-/// shape depends only on the child list, never on scheduling, so every
-/// thread count folds the very same apply tree.
-struct GateFold {
-  NodeId id = 0;
-  GateType type = GateType::And;
-  std::vector<Ref> ops;
-  std::vector<Ref> next;  ///< per-round results, disjoint slots per task
-};
-
-/// A (gate, pair) work item of one reduction round.
-struct FoldTask {
-  std::uint32_t fold;
-  std::uint32_t pair;
+/// One node of the compiled apply DAG. Var tasks materialize a leaf's
+/// variable; the pair kinds apply two earlier tasks' results. Operand
+/// fields \p a and \p b are *task* ids, so the task list doubles as the
+/// dependency graph.
+struct BuildTask {
+  enum class Kind : std::uint8_t { Var, And, Or, Inh };
+  Kind kind = Kind::Var;
+  std::uint32_t a = 0;  ///< Var: variable index; else left operand task
+  std::uint32_t b = 0;  ///< pair kinds: right operand task
 };
 
 }  // namespace
@@ -38,117 +32,107 @@ std::vector<Ref> build_all(Manager& manager, const Adt& adt,
                      std::to_string(order.num_vars()));
   }
 
-  // Group nodes by height (longest path to a leaf): a node's children all
-  // live in strictly lower levels, so one level's translations are
-  // mutually independent.
-  std::vector<std::uint32_t> height(adt.size(), 0);
-  std::uint32_t max_height = 0;
+  // Compile the ADT into a flat task list. Walking the topological
+  // order and emitting each gate's balanced reduction rounds in
+  // ascending round order makes the creation order itself a valid
+  // topological order of the task DAG - the sequential path below is
+  // therefore a plain loop. The pairing shape (adjacent operands, odd
+  // leftover carried into the next round) depends only on child lists,
+  // never on scheduling, so every thread count folds the very same
+  // apply tree.
+  std::vector<BuildTask> tasks;
+  tasks.reserve(2 * adt.size());
+  std::vector<std::uint32_t> final_task(adt.size(), 0);
+  std::vector<std::uint32_t> ops;
+  std::vector<std::uint32_t> next;
   for (NodeId v : adt.topological_order()) {
-    std::uint32_t h = 0;
-    for (NodeId c : adt.node(v).children) h = std::max(h, height[c] + 1);
-    height[v] = h;
-    max_height = std::max(max_height, h);
+    const Node& n = adt.node(v);
+    if (n.type == GateType::BasicStep) {
+      tasks.push_back(BuildTask{BuildTask::Kind::Var, order.var_of(v), 0});
+      final_task[v] = static_cast<std::uint32_t>(tasks.size() - 1);
+      continue;
+    }
+    if (n.type == GateType::Inhibit) {
+      // Definition 3: f(inhibited) AND NOT f(trigger). An INH has
+      // exactly two children, so it is a single apply task.
+      tasks.push_back(BuildTask{BuildTask::Kind::Inh,
+                                final_task[n.children[0]],
+                                final_task[n.children[1]]});
+      final_task[v] = static_cast<std::uint32_t>(tasks.size() - 1);
+      continue;
+    }
+    const BuildTask::Kind kind = n.type == GateType::And
+                                     ? BuildTask::Kind::And
+                                     : BuildTask::Kind::Or;
+    ops.clear();
+    for (NodeId c : n.children) ops.push_back(final_task[c]);
+    while (ops.size() > 1) {
+      next.clear();
+      const std::size_t pairs = ops.size() / 2;
+      for (std::size_t p = 0; p < pairs; ++p) {
+        tasks.push_back(BuildTask{kind, ops[2 * p], ops[2 * p + 1]});
+        next.push_back(static_cast<std::uint32_t>(tasks.size() - 1));
+      }
+      if (ops.size() % 2 != 0) next.push_back(ops.back());
+      ops.swap(next);
+    }
+    // AND/OR gates are validated non-empty; a one-child gate simply
+    // aliases its child's task.
+    final_task[v] = ops.front();
   }
-  std::vector<std::vector<NodeId>> levels(max_height + 1);
-  for (NodeId v : adt.topological_order()) levels[height[v]].push_back(v);
 
-  // Pool resolution: an externally shared pool wins; otherwise spawn one
-  // only when more than one worker was asked for.
-  WorkerPool* pool = options.pool;
-  std::optional<WorkerPool> owned;
+  std::vector<Ref> value(tasks.size(), kFalse);
+  auto exec = [&](std::uint32_t t) {
+    const BuildTask& task = tasks[t];
+    switch (task.kind) {
+      case BuildTask::Kind::Var:
+        value[t] = manager.make_var(task.a);
+        break;
+      case BuildTask::Kind::And:
+        value[t] = manager.apply_and(value[task.a], value[task.b]);
+        break;
+      case BuildTask::Kind::Or:
+        value[t] = manager.apply_or(value[task.a], value[task.b]);
+        break;
+      case BuildTask::Kind::Inh:
+        value[t] = manager.apply_and(value[task.a],
+                                     manager.apply_not(value[task.b]));
+        break;
+    }
+  };
+
+  // Pool resolution: an externally shared scheduler wins; otherwise
+  // spawn one only when more than one worker was asked for.
+  TaskScheduler* pool = options.pool;
+  std::optional<TaskScheduler> owned;
   if (pool == nullptr && resolve_thread_knob(options.threads) > 1) {
     owned.emplace(options.threads);
     pool = &*owned;
   }
-  // The stripe locks only engage when tasks will actually run on more
-  // than one thread; the flag is published to the workers through the
-  // pool's own dispatch synchronization.
+
   if (pool != nullptr && pool->threads() > 1) {
+    // The stripe locks only engage when tasks will actually run on more
+    // than one thread; the flag is published to the workers through the
+    // scheduler's own synchronization.
     manager.enter_concurrent_mode();
-  }
-  auto for_each = [&](std::size_t count, std::size_t grain,
-                      const std::function<void(unsigned, std::size_t)>& fn) {
-    if (pool != nullptr && pool->threads() > 1) {
-      pool->parallel_for(count, grain, fn);
-    } else {
-      for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    auto body = [&](unsigned, std::uint32_t t) { exec(t); };
+    TaskGraph graph;
+    graph.reserve(tasks.size(), 2 * tasks.size());
+    for (std::uint32_t t = 0; t < tasks.size(); ++t) {
+      graph.add(body, t);
+      if (tasks[t].kind != BuildTask::Kind::Var) {
+        graph.depends(t, tasks[t].a);
+        graph.depends(t, tasks[t].b);
+      }
     }
-  };
+    const TaskRunStats stats = pool->run(graph);
+    if (options.stats != nullptr) *options.stats += stats;
+  } else {
+    for (std::uint32_t t = 0; t < tasks.size(); ++t) exec(t);
+  }
 
   std::vector<Ref> result(adt.size(), kFalse);
-
-  // Height 0: basic steps translate to their variables.
-  const std::vector<NodeId>& leaves = levels[0];
-  for_each(leaves.size(), 16, [&](unsigned, std::size_t i) {
-    result[leaves[i]] = manager.make_var(order.var_of(leaves[i]));
-  });
-
-  std::vector<GateFold> folds;
-  std::vector<FoldTask> tasks;
-  for (std::uint32_t h = 1; h <= max_height; ++h) {
-    folds.clear();
-    for (NodeId v : levels[h]) {
-      const Node& n = adt.node(v);
-      GateFold fold;
-      fold.id = v;
-      fold.type = n.type;
-      fold.ops.reserve(n.children.size());
-      for (NodeId c : n.children) fold.ops.push_back(result[c]);
-      folds.push_back(std::move(fold));
-    }
-
-    // Balanced reduction rounds: each round pairs adjacent operands of
-    // every still-unfinished gate; an odd leftover passes through. All
-    // pairs of a round - across gates - run as one parallel_for.
-    while (true) {
-      tasks.clear();
-      for (std::uint32_t f = 0; f < folds.size(); ++f) {
-        GateFold& fold = folds[f];
-        const std::size_t pairs = fold.ops.size() / 2;
-        fold.next.resize(pairs);
-        for (std::uint32_t p = 0; p < pairs; ++p) {
-          tasks.push_back(FoldTask{f, p});
-        }
-      }
-      if (tasks.empty()) break;
-
-      for_each(tasks.size(), 1, [&](unsigned, std::size_t t) {
-        GateFold& fold = folds[tasks[t].fold];
-        const std::uint32_t p = tasks[t].pair;
-        const Ref a = fold.ops[2 * p];
-        const Ref b = fold.ops[2 * p + 1];
-        switch (fold.type) {
-          case GateType::And:
-            fold.next[p] = manager.apply_and(a, b);
-            break;
-          case GateType::Or:
-            fold.next[p] = manager.apply_or(a, b);
-            break;
-          case GateType::Inhibit:
-            // Definition 3: f(inhibited) AND NOT f(trigger); an INH has
-            // exactly two children, so this is its only pair.
-            fold.next[p] = manager.apply_and(a, manager.apply_not(b));
-            break;
-          case GateType::BasicStep:
-            break;  // unreachable: leaves live in level 0
-        }
-      });
-
-      for (GateFold& fold : folds) {
-        if (fold.ops.size() < 2) continue;
-        const bool odd = fold.ops.size() % 2 != 0;
-        const Ref leftover = fold.ops.back();
-        fold.ops = std::move(fold.next);
-        fold.next = {};
-        if (odd) fold.ops.push_back(leftover);
-      }
-    }
-
-    for (GateFold& fold : folds) {
-      // AND/OR gates are validated non-empty, so one operand remains.
-      result[fold.id] = fold.ops.front();
-    }
-  }
+  for (NodeId v = 0; v < adt.size(); ++v) result[v] = value[final_task[v]];
   return result;
 }
 

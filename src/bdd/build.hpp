@@ -1,14 +1,15 @@
 /// \file build.hpp
 /// \brief Translating an ADT's structure function into an ROBDD.
 ///
-/// The translation is level-parallel: ADT nodes are grouped by height
-/// (longest path to a leaf), every node of a level depends only on lower
-/// levels, and wide AND/OR gates are folded as balanced pairwise
-/// reduction trees, so independent applies run concurrently on the
-/// manager's striped tables. The reduction shape is fixed (balanced,
-/// left-to-right pairing) for every thread count - including the
-/// sequential path - so the set of BDD nodes a build creates is identical
-/// no matter how many workers ran it.
+/// The translation compiles the ADT into one task DAG for the
+/// work-stealing scheduler: every apply of every gate's balanced
+/// pairwise reduction tree is a task depending only on its two operand
+/// tasks, so independent applies run concurrently on the manager's
+/// striped tables the moment their inputs exist - no level barriers.
+/// The reduction shape is fixed (balanced, left-to-right pairing) for
+/// every thread count - including the sequential path, which executes
+/// the same task list in creation order - so the set of BDD nodes a
+/// build creates is identical no matter how many workers ran it.
 
 #pragma once
 
@@ -23,14 +24,18 @@ namespace adtp::bdd {
 
 /// Knobs of the ADT -> ROBDD translation.
 struct BuildOptions {
-  /// Worker threads for the level-parallel translation: 1 (default) runs
+  /// Worker threads for the task-DAG translation: 1 (default) runs
   /// sequentially on the calling thread, 0 resolves to the hardware
   /// concurrency. The produced BDD is identical for every value.
   unsigned threads = 1;
 
-  /// Optional externally-owned pool (shared with the propagation phase by
-  /// core/bdd_bu.cpp); overrides \p threads when set.
-  WorkerPool* pool = nullptr;
+  /// Optional externally-owned scheduler (shared with the propagation
+  /// phase by core/bdd_bu.cpp); overrides \p threads when set.
+  TaskScheduler* pool = nullptr;
+
+  /// When set, the scheduler counters of the build run are accumulated
+  /// here (untouched on the sequential path).
+  TaskRunStats* stats = nullptr;
 };
 
 /// Builds the BDD of f_T(., ., v) for every node v of \p adt (memoized over

@@ -41,9 +41,14 @@ AnalysisResult analyze(const AugmentedAdt& aadt,
       result.front = naive_front(aadt, naive);
       break;
     }
-    case Algorithm::BottomUp:
-      result.front = bottom_up_front(aadt, options.bottom_up);
+    case Algorithm::BottomUp: {
+      BottomUpOptions bottom_up = options.bottom_up;
+      if (options.intra_model_threads != 0) {
+        bottom_up.threads = options.intra_model_threads;
+      }
+      result.front = bottom_up_front(aadt, bottom_up);
       break;
+    }
     case Algorithm::BddBu: {
       BddBuOptions bdd = options.bdd;
       if (options.intra_model_threads != 0) {

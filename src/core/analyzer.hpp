@@ -35,14 +35,13 @@ struct AnalysisOptions {
 
   /// Worker threads *inside* one analysis: 0 (default) keeps every
   /// per-algorithm setting as-is; any other value overrides the knobs of
-  /// the algorithms that can parallelize intra-model - naive.threads (the
-  /// sharded 2^|D| enumeration), bdd.threads and hybrid.bdd.threads (the
-  /// level-parallel BDD construction + propagation; the tree bottom-up
-  /// walk stays sequential). Results are identical for every value, so
-  /// the FrontCache key deliberately ignores it. analyze_batch() sets it
-  /// on items when the batch has more workers than jobs, donating the
-  /// idle threads to the in-flight analyses instead of letting an
-  /// oversized item straggle on one core.
+  /// all four intra-model parallel paths - naive.threads (the sharded
+  /// 2^|D| enumeration), bottom_up.threads (the sibling-subtree task
+  /// DAG), and bdd.threads / hybrid.bdd.threads (the task-DAG BDD
+  /// construction + propagation). Results are identical for every value,
+  /// so the FrontCache key deliberately ignores it. analyze_batch()
+  /// shares its scheduler with items' intra-model phases instead of
+  /// letting an oversized item straggle on one core.
   unsigned intra_model_threads = 0;
 };
 

@@ -4,26 +4,24 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
-#include <thread>
 
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace adtp {
 
 namespace {
 
-/// State shared by the workers of one analyze_batch() call.
+/// State shared by the item tasks of one analyze_batch() call.
 struct BatchContext {
   std::span<const BatchJob> jobs;
   const BatchOptions& options;
   BatchReport& report;
   Deadline deadline;  ///< batch-wide; disabled when deadline_seconds <= 0
-  /// intra_model_threads donated to every item that did not set its own:
-  /// floor(requested batch threads / jobs) when the pool is wider than
-  /// the job list, else 1 (no override is injected then).
-  unsigned donated_threads = 1;
+  /// The batch scheduler; shared with items' intra-model phases when
+  /// donate_intra_model is on.
+  TaskScheduler* sched = nullptr;
 
-  std::atomic<std::size_t> next{0};  ///< next unclaimed item index
   /// Serializes completion bookkeeping and the on_item callback; also
   /// guards report.completion_order and report.callback_error.
   std::mutex stream_mutex;
@@ -33,7 +31,7 @@ struct BatchContext {
   /// item (skip or in-flight abort). The report flags come from these,
   /// never from re-sampling the clock after the batch drained - a batch
   /// whose last item finished just inside the budget reports false even
-  /// if the join crosses the line.
+  /// if the teardown crosses the line.
   std::atomic<bool> saw_deadline{false};
   std::atomic<bool> saw_cancel{false};
 
@@ -49,12 +47,13 @@ bool batch_cancelled(const BatchContext& ctx) {
   return ctx.options.cancel != nullptr && ctx.options.cancel->cancelled();
 }
 
-/// Copies the job's options and threads the batch-wide guards and the
-/// worker's persistent arena into every per-algorithm slot that has not
-/// been explicitly set by the caller. Precedence: a job that carries its
-/// own deadline/cancel pointer keeps it for the in-flight phase (an
-/// explicit per-item guard is a deliberate override); the batch-wide
-/// guards still gate that item's *start* via the between-item checks.
+/// Copies the job's options and threads the batch-wide guards, the
+/// slot's persistent arena, and (when sharing is on) the batch scheduler
+/// into every per-algorithm slot that has not been explicitly set by the
+/// caller. Precedence: a job that carries its own deadline/cancel
+/// pointer keeps it for the in-flight phase (an explicit per-item guard
+/// is a deliberate override); the batch-wide guards still gate that
+/// item's *start* via the between-item checks.
 AnalysisOptions instrument_options(const BatchContext& ctx,
                                    const AnalysisOptions& base,
                                    FrontArena<ValuePoint>& arena) {
@@ -73,14 +72,24 @@ AnalysisOptions instrument_options(const BatchContext& ctx,
   if (opts.bottom_up.arena == nullptr) opts.bottom_up.arena = &arena;
   if (opts.bdd.arena == nullptr) opts.bdd.arena = &arena;
   if (opts.hybrid.bdd.arena == nullptr) opts.hybrid.bdd.arena = &arena;
-  // Idle-worker donation: a pool wider than the job list hands the
-  // surplus to each analysis as intra-model shards. An explicit per-item
-  // intra_model_threads, naive.threads, or bdd threads knob is a
-  // deliberate setting and is kept.
-  if (ctx.donated_threads > 1 && opts.intra_model_threads == 0 &&
-      opts.naive.threads == 1 && opts.bdd.threads == 1 &&
-      opts.hybrid.bdd.threads == 1) {
-    opts.intra_model_threads = ctx.donated_threads;
+  // Scheduler sharing: hand the batch scheduler to every intra-model
+  // parallel path, so an oversized item (a huge naive enumeration, one
+  // giant tree or DAG) spreads over whatever slots are idle instead of
+  // straggling on one - work stealing balances items against shards with
+  // no hand-tuned split. Each path still applies its own work floors, so
+  // small items run their cheap sequential kernels untouched. An
+  // explicit per-item thread or pool knob is a deliberate setting and
+  // disables the injection.
+  if (ctx.sched != nullptr && ctx.sched->threads() > 1 &&
+      ctx.options.donate_intra_model && opts.intra_model_threads == 0 &&
+      opts.naive.threads == 1 && opts.naive.pool == nullptr &&
+      opts.bottom_up.threads == 1 && opts.bottom_up.pool == nullptr &&
+      opts.bdd.threads == 1 && opts.bdd.pool == nullptr &&
+      opts.hybrid.bdd.threads == 1 && opts.hybrid.bdd.pool == nullptr) {
+    opts.naive.pool = ctx.sched;
+    opts.bottom_up.pool = ctx.sched;
+    opts.bdd.pool = ctx.sched;
+    opts.hybrid.bdd.pool = ctx.sched;
   }
   return opts;
 }
@@ -141,8 +150,8 @@ void run_item(BatchContext& ctx, const BatchJob& job, BatchItem& item,
     item.ok = false;
     item.error = e.what();
   } catch (...) {
-    // Custom Semiring hooks can throw anything; never let it escape a
-    // worker thread (std::terminate would take the whole batch down).
+    // Custom Semiring hooks can throw anything; never let it escape an
+    // item task (it would abort the whole batch graph).
     item.ok = false;
     item.error = "analyze_batch: non-standard exception";
   }
@@ -167,20 +176,6 @@ void finish_item(BatchContext& ctx, const BatchItem& item) {
   }
 }
 
-void worker(BatchContext& ctx) {
-  // One arena per worker thread, alive for the whole batch: combine
-  // buffers recycle across every item this worker processes, not just
-  // within one analysis.
-  FrontArena<ValuePoint> arena;
-  while (true) {
-    const std::size_t i = ctx.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= ctx.jobs.size()) break;
-    BatchItem& item = ctx.report.items[i];
-    run_item(ctx, ctx.jobs[i], item, arena);
-    finish_item(ctx, item);
-  }
-}
-
 }  // namespace
 
 BatchReport analyze_batch(std::span<const BatchJob> jobs,
@@ -190,43 +185,41 @@ BatchReport analyze_batch(std::span<const BatchJob> jobs,
   for (std::size_t i = 0; i < jobs.size(); ++i) report.items[i].index = i;
   report.completion_order.reserve(jobs.size());
 
-  unsigned requested = options.n_threads;
-  if (requested == 0) {
-    requested = std::max(1u, std::thread::hardware_concurrency());
+  // With scheduler sharing on, the full requested width stays: a batch
+  // of one giant job on an 8-wide scheduler runs that job's intra-model
+  // tasks on all 8 slots. Without sharing, extra slots could never see
+  // work, so the width is clamped to the job count.
+  unsigned requested = resolve_thread_knob(options.n_threads);
+  if (!options.donate_intra_model) {
+    requested = static_cast<unsigned>(std::min<std::size_t>(
+        requested, std::max<std::size_t>(1, jobs.size())));
   }
-  // Workers are clamped to the job count; the surplus of the *requested*
-  // width is what donation hands back as intra-model shards.
-  const unsigned n_threads = static_cast<unsigned>(
-      std::min<std::size_t>(requested, std::max<std::size_t>(1, jobs.size())));
-  report.threads_used = n_threads;
 
   Stopwatch watch;
+  TaskScheduler sched(requested);
+  report.threads_used = sched.threads();
   BatchContext ctx(jobs, options, report);
-  if (options.donate_intra_model && !jobs.empty()) {
-    ctx.donated_threads = std::max(
-        1u, static_cast<unsigned>(requested / jobs.size()));
-  }
-  report.donated_intra_model_threads = ctx.donated_threads;
-  if (n_threads == 1) {
-    worker(ctx);
-  } else {
-    // Self-balancing pool: each worker claims the next unprocessed index.
-    // Items are disjoint slots of a pre-sized vector, so only the
-    // completion stream needs a lock.
-    std::vector<std::thread> pool;
-    pool.reserve(n_threads - 1);
-    try {
-      for (unsigned t = 0; t + 1 < n_threads; ++t) {
-        pool.emplace_back([&ctx]() { worker(ctx); });
-      }
-    } catch (const std::system_error&) {
-      // Thread creation failed (resource limit): the workers that did
-      // start, plus the calling thread, still drain the whole queue.
-    }
-    worker(ctx);  // the calling thread participates
-    for (std::thread& t : pool) t.join();
-    report.threads_used = static_cast<unsigned>(pool.size()) + 1;
-  }
+  if (options.donate_intra_model) ctx.sched = &sched;
+
+  // One arena per scheduler slot, alive for the whole batch: combine
+  // buffers recycle across every item a slot processes, not just within
+  // one analysis. Item tasks are the only users (intra-model parallel
+  // kernels keep private arenas), and a slot runs one item at a time,
+  // so the arenas are never shared.
+  std::vector<FrontArena<ValuePoint>> arenas(sched.threads());
+  auto body = [&](unsigned slot, std::uint32_t i) {
+    BatchItem& item = report.items[i];
+    run_item(ctx, jobs[i], item, arenas[slot]);
+    finish_item(ctx, item);
+  };
+  TaskGraph graph;
+  graph.reserve(jobs.size());
+  for (std::uint32_t i = 0; i < jobs.size(); ++i) graph.add(body, i);
+  // run_item/finish_item capture every exception, so the graph cannot
+  // abort; the stats cover item tasks plus all shared intra-model tasks
+  // the items nested onto the scheduler.
+  report.sched = sched.run(graph);
+
   report.seconds = watch.seconds();
   report.deadline_expired =
       ctx.saw_deadline.load(std::memory_order_relaxed);

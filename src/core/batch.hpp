@@ -3,12 +3,15 @@
 ///        workload).
 ///
 /// analyze_batch() runs analyze() over a span of BatchJobs - each item
-/// carries its own model *and* its own AnalysisOptions - on a small
-/// fixed-size thread pool: workers pull the next unclaimed index from a
-/// shared atomic counter, so load balances itself without work stealing.
-/// Each item gets its own wall-clock timing and error capture - one model
-/// blowing a resource guard (LimitError) or failing validation never
-/// affects its batch neighbours.
+/// carries its own model *and* its own AnalysisOptions - as one task
+/// graph on a work-stealing TaskScheduler (util/parallel.hpp). Each item
+/// gets its own wall-clock timing and error capture - one model blowing
+/// a resource guard (LimitError) or failing validation never affects its
+/// batch neighbours. By default the items *share* the scheduler with
+/// their own intra-model phases (naive shards, bottom-up sibling folds,
+/// BDD build/propagate tasks): an oversized item fans its tasks out over
+/// whatever slots are idle, and work stealing balances items against
+/// shards with no hand-tuned thread split.
 ///
 /// Serving features (all opt-in via BatchOptions):
 ///  - Deadline: a wall-clock budget for the whole batch. Items not yet
@@ -31,9 +34,9 @@
 ///    without recomputation. The cache outlives the batch; share one
 ///    across batches for a warm serving loop.
 ///
-/// Underneath, every worker thread keeps one FrontArena alive across all
-/// items it processes, so combine-buffer recycling spans the whole batch
-/// rather than one analysis.
+/// Underneath, every scheduler slot keeps one FrontArena alive across
+/// all items it processes, so combine-buffer recycling spans the whole
+/// batch rather than one analysis.
 ///
 /// Determinism: item i's result is identical to calling analyze(*jobs[i]
 /// .model, jobs[i].options) sequentially; only the execution order across
@@ -86,8 +89,10 @@ struct BatchItem {
 /// Batch-wide serving knobs; default-constructed it behaves like the
 /// plain parallel batch of old.
 struct BatchOptions {
-  /// Worker threads (0 = std::thread::hardware_concurrency(), clamped to
-  /// the batch size).
+  /// Scheduler width (0 = std::thread::hardware_concurrency(), also
+  /// overridable via the ADTP_THREADS environment variable). Clamped to
+  /// the batch size only when donate_intra_model is off - with sharing
+  /// on, surplus slots serve the items' own intra-model tasks.
   unsigned n_threads = 0;
 
   /// Wall-clock budget for the whole batch in seconds; <= 0 means none.
@@ -106,16 +111,16 @@ struct BatchOptions {
   /// Custom semiring domains bypass the cache (see front_cache.hpp).
   FrontCache* cache = nullptr;
 
-  /// When true (default), a batch with more worker threads than jobs
-  /// donates the surplus to the in-flight analyses: each item's
-  /// AnalysisOptions::intra_model_threads is set to
-  /// floor(threads / jobs), so an oversized item (a huge naive
-  /// enumeration, or a single giant DAG's BDD build + level-parallel
-  /// propagate) shards internally instead of straggling on one core
-  /// while the rest of the pool idles. Items that set
-  /// intra_model_threads (or naive.threads / bdd.threads /
-  /// hybrid.bdd.threads) themselves keep their own value; results are
-  /// unaffected either way (intra-model parallelism is deterministic).
+  /// When true (default), the batch scheduler is shared with every
+  /// item's intra-model phases: the per-algorithm pool pointers
+  /// (naive / bottom_up / bdd / hybrid.bdd) are set to the batch
+  /// scheduler, so an oversized item (a huge naive enumeration, one
+  /// giant tree's sibling folds, a big DAG's BDD build + propagate)
+  /// fans out over idle slots instead of straggling on one core while
+  /// the rest of the pool idles. Items that set intra_model_threads (or
+  /// any per-algorithm threads/pool knob) themselves keep their own
+  /// setting; results are unaffected either way (intra-model
+  /// parallelism is deterministic).
   bool donate_intra_model = true;
 };
 
@@ -139,10 +144,10 @@ struct BatchReport {
   /// First exception message thrown by on_item, empty if none. Further
   /// callbacks are suppressed once set.
   std::string callback_error;
-  unsigned threads_used = 1;
-  /// intra_model_threads injected into items that did not set their own
-  /// (1 = no donation happened; see BatchOptions::donate_intra_model).
-  unsigned donated_intra_model_threads = 1;
+  unsigned threads_used = 1;  ///< scheduler slots serving the batch
+  /// Scheduler counters of the batch run: item tasks plus every shared
+  /// intra-model task the items nested onto the scheduler.
+  TaskRunStats sched;
   double seconds = 0;  ///< wall-clock for the whole batch
 
   /// Completed (ok) models per second of batch wall-clock. Caveat: the

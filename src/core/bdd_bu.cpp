@@ -17,36 +17,34 @@ namespace {
 
 constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
-/// Levels narrower than this are processed inline by the calling thread:
-/// the pool barrier costs more than a handful of node computations.
-constexpr std::size_t kMinParallelLevelWidth = 4;
-
 /// Aggregated diagnostics of one propagation, filled by the kernel (the
 /// caller cannot read per-worker arenas itself).
 struct PropagateCounters {
   std::size_t max_front_size = 0;
-  std::size_t parallel_levels = 0;
   std::size_t max_level_width = 0;
   CombineStats combine;
+  TaskRunStats sched;
 };
 
 /// The per-domain-pair kernel of Algorithm 3 over a built BDD, generic in
 /// the point payload; instantiated once per policy pair by
 /// dispatch_domains().
 ///
-/// Nodes are processed level by level, deepest variable first: a node's
-/// children always test strictly later variables (or are terminals), so
-/// every level depends only on levels already finished, and the nodes
-/// *within* a level are mutually independent - each one is handed to the
-/// worker pool as its own task, writing a disjoint front slot. A node's
-/// front is a pure function of its children's fronts (the arenas are
-/// scratch only), so the result is bit-identical for every thread count.
+/// Every nonterminal BDD node is one task whose dependencies are its
+/// low/high children (terminal fronts are precomputed), writing a
+/// disjoint front slot; the scheduler runs a node the moment both
+/// children finished - no level barrier. A node's front is a pure
+/// function of its children's fronts (the arenas are scratch only), so
+/// the result is bit-identical for every thread count and for the
+/// sequential path, which executes the same per-node computation in
+/// reachable order (children first).
 template <typename P, typename Dd, typename Da>
 BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
                                bdd::Ref root, const bdd::VarOrder& order,
                                PropagateCounters* counters,
-                               const BddBuOptions& options, WorkerPool* pool,
-                               const Dd& dd, const Da& da) {
+                               const BddBuOptions& options,
+                               TaskScheduler* pool, const Dd& dd,
+                               const Da& da) {
   const std::size_t max_front_points = options.max_front_points;
   const Adt& adt = aadt.adt();
   const bool root_is_attack = adt.agent(adt.root()) == Agent::Attacker;
@@ -70,7 +68,7 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
 
   // Dense slots for the reachable nodes: shared nodes are computed exactly
   // once (the memoization that gives O(|W| p^2)), and workers write
-  // disjoint slots without synchronization beyond the level barrier.
+  // disjoint slots without synchronization beyond the dependency edges.
   const std::vector<bdd::Ref> reach = manager.reachable(root);
   std::vector<std::uint32_t> slot(manager.num_nodes(), kNoSlot);
   for (std::uint32_t i = 0; i < reach.size(); ++i) {
@@ -78,28 +76,42 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
   }
   std::vector<BasicFront<P>> fronts(reach.size());
 
-  // One arena per worker. Value-front runs may borrow a caller-provided
-  // arena (persistent across batch items on one worker thread) for worker
-  // 0; every other worker - and every witness run - keeps private scratch.
-  const unsigned workers = pool != nullptr ? pool->threads() : 1;
+  const bool parallel = pool != nullptr && pool->threads() > 1;
+  const unsigned workers = parallel ? pool->threads() : 1;
+
+  // One arena per scheduler slot. The sequential value-front path may
+  // borrow a caller-provided arena (persistent across batch items on one
+  // worker thread); parallel runs - whose tasks can execute on any slot,
+  // interleaved with other nested runs - and witness runs keep private
+  // scratch.
   FrontArena<P> fallback_arena;
   FrontArena<P>* arena0 = &fallback_arena;
   if constexpr (std::is_same_v<P, ValuePoint>) {
-    if (options.arena != nullptr) arena0 = options.arena;
+    if (!parallel && options.arena != nullptr) arena0 = options.arena;
   }
   const CombineStats arena0_before = arena0->stats();
   std::vector<FrontArena<P>> extra_arenas(workers > 1 ? workers - 1 : 0);
   std::vector<std::size_t> max_p(workers, 0);
 
-  // Terminal fronts, and the level grouping of the nonterminals.
-  std::vector<std::vector<bdd::Ref>> levels(order.num_vars());
+  // Terminal fronts up front; nonterminals become tasks. reachable()
+  // returns children before parents, so the nonterminal order is itself
+  // a valid topological order of the dependency DAG.
+  std::vector<bdd::Ref> nonterms;
+  nonterms.reserve(reach.size());
+  std::vector<std::size_t> level_width(order.num_vars(), 0);
   for (bdd::Ref w : reach) {
     if (manager.is_terminal(w)) {
       const double att = (w == attacker_target) ? da.one() : da.zero();
       fronts[slot[w]] =
           BasicFront<P>::singleton(make_point(dd.one(), att));
     } else {
-      levels[manager.var(w)].push_back(w);
+      ++level_width[manager.var(w)];
+      nonterms.push_back(w);
+    }
+  }
+  if (counters != nullptr) {
+    for (const std::size_t width : level_width) {
+      counters->max_level_width = std::max(counters->max_level_width, width);
     }
   }
 
@@ -162,25 +174,29 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
     }
   };
 
-  // Deepest level first: by the ordering invariant every child of a
-  // level-v node lives in a strictly later (= already finished) level.
-  for (std::uint32_t v = order.num_vars(); v-- > 0;) {
-    const std::vector<bdd::Ref>& level = levels[v];
-    if (level.empty()) continue;
-    if (counters != nullptr) {
-      counters->max_level_width =
-          std::max(counters->max_level_width, level.size());
+  if (parallel) {
+    // Task i computes nonterms[i]; dependency edges point at the child
+    // tasks (terminals are already materialized above).
+    std::vector<std::uint32_t> task_of(manager.num_nodes(), kNoSlot);
+    for (std::uint32_t i = 0; i < nonterms.size(); ++i) {
+      task_of[nonterms[i]] = i;
     }
-    if (pool != nullptr && pool->threads() > 1 &&
-        level.size() >= kMinParallelLevelWidth) {
-      if (counters != nullptr) ++counters->parallel_levels;
-      pool->parallel_for(level.size(), 1,
-                         [&](unsigned worker, std::size_t i) {
-                           process_node(worker, level[i]);
-                         });
-    } else {
-      for (bdd::Ref w : level) process_node(0, w);
+    auto body = [&](unsigned worker, std::uint32_t i) {
+      process_node(worker, nonterms[i]);
+    };
+    TaskGraph graph;
+    graph.reserve(nonterms.size(), 2 * nonterms.size());
+    for (std::uint32_t i = 0; i < nonterms.size(); ++i) {
+      graph.add(body, i);
+      const bdd::Ref w = nonterms[i];
+      for (const bdd::Ref child : {manager.low(w), manager.high(w)}) {
+        if (!manager.is_terminal(child)) graph.depends(i, task_of[child]);
+      }
     }
+    const TaskRunStats stats = pool->run(graph);
+    if (counters != nullptr) counters->sched += stats;
+  } else {
+    for (bdd::Ref w : nonterms) process_node(0, w);
   }
 
   BasicFront<P>& root_front = fronts[slot[root]];
@@ -201,7 +217,7 @@ template <typename P>
 BasicFront<P> propagate(const AugmentedAdt& aadt, bdd::Manager& manager,
                         bdd::Ref root, const bdd::VarOrder& order,
                         PropagateCounters* counters,
-                        const BddBuOptions& options, WorkerPool* pool) {
+                        const BddBuOptions& options, TaskScheduler* pool) {
   return dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {
@@ -218,30 +234,29 @@ bdd::VarOrder resolve_order(const AugmentedAdt& aadt,
 }
 
 /// BDD managers below this many allocated nodes never trigger the
-/// late (post-build) pool spawn: their whole propagation costs less than
-/// starting the workers. Models over the ADT-node floor spawn the pool
+/// late (post-build) engagement: their whole propagation costs less than
+/// the per-node task bookkeeping. Models over the ADT-node floor engage
 /// up front regardless, so construction parallelizes too.
 constexpr std::size_t kMinBddNodesForPool = 4096;
 
-/// Lazily-spawned worker pool of one BDDBU run. A small ADT can still
+/// Lazily-engaged scheduler of one BDDBU run. A small ADT can still
 /// translate to a huge BDD (the Fig. 4 family: 43 ADT nodes, ~3 * 2^n
-/// BDD nodes), so the pool is spawned either up front - when the ADT
+/// BDD nodes), so the scheduler engages either up front - when the ADT
 /// itself clears options.parallel_node_floor - or right after the build,
-/// when the manager turns out large enough that level-parallel
-/// propagation pays for the spawn.
+/// when the manager turns out large enough that task-DAG propagation
+/// pays for itself. An external scheduler (hybrid blobs, batch
+/// donation) is subject to the same floors - it exists already, but
+/// per-node task bookkeeping on a tiny model still costs more than the
+/// sequential loop - just without the spawn cost when it does engage.
 class PoolGate {
  public:
   PoolGate(const AugmentedAdt& aadt, const BddBuOptions& options)
-      : requested_(resolve_thread_knob(options.threads)) {
-    if (options.pool != nullptr && options.pool->threads() > 1) {
-      // Externally owned (e.g. hybrid sharing one pool across blobs):
-      // it is already spawned, so no floor gating applies.
-      pool_ = options.pool;
-      return;
-    }
+      : external_(options.pool),
+        requested_(external_ != nullptr ? external_->threads()
+                                        : resolve_thread_knob(options.threads)) {
     if (requested_ > 1 &&
         aadt.adt().size() >= options.parallel_node_floor) {
-      spawn();
+      engage();
     }
   }
 
@@ -249,24 +264,29 @@ class PoolGate {
   void after_build(std::size_t manager_nodes) {
     if (pool_ == nullptr && requested_ > 1 &&
         manager_nodes >= kMinBddNodesForPool) {
-      spawn();
+      engage();
     }
   }
 
-  [[nodiscard]] WorkerPool* pool() noexcept { return pool_; }
+  [[nodiscard]] TaskScheduler* pool() noexcept { return pool_; }
   [[nodiscard]] unsigned threads_used() const noexcept {
     return pool_ != nullptr ? pool_->threads() : 1;
   }
 
  private:
-  void spawn() {
+  void engage() {
+    if (external_ != nullptr) {
+      pool_ = external_;
+      return;
+    }
     storage_.emplace(requested_);
     pool_ = &*storage_;
   }
 
+  TaskScheduler* external_;
   unsigned requested_;
-  std::optional<WorkerPool> storage_;
-  WorkerPool* pool_ = nullptr;
+  std::optional<TaskScheduler> storage_;
+  TaskScheduler* pool_ = nullptr;
 };
 
 }  // namespace
@@ -301,6 +321,7 @@ BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
   Stopwatch build_watch;
   bdd::BuildOptions build;
   build.pool = gate.pool();
+  build.stats = &report.sched;
   const bdd::Ref root =
       bdd::build_structure_function(manager, aadt.adt(), order, build);
   report.build_seconds = build_watch.seconds();
@@ -316,8 +337,8 @@ BddBuReport bdd_bu_analyze(const AugmentedAdt& aadt,
   report.propagate_seconds = prop_watch.seconds();
   report.max_front_size = counters.max_front_size;
   report.combine_stats = counters.combine;
-  report.parallel_levels = counters.parallel_levels;
   report.max_level_width = counters.max_level_width;
+  report.sched += counters.sched;
   return report;
 }
 

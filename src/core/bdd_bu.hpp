@@ -10,16 +10,17 @@
 /// Theorem 2 needs defense-first orders); at defense-labeled nodes the low
 /// front is merged with the cost-shifted high front and pruned.
 ///
-/// Intra-model parallelism: both phases are level-parallel. Construction
-/// groups ADT gates by height and folds wide gates as balanced reduction
-/// trees over the manager's striped tables (bdd/build.cpp); propagation
-/// groups BDD nodes by variable level - within a level no node depends on
-/// another (children always test strictly later variables) - and spreads
-/// each sufficiently wide level across a worker pool. Every node's front
-/// is a pure function of its children's fronts, computed with the same
-/// operations in the same order whatever worker runs it, so fronts and
-/// witnesses are bit-identical for every thread count; the threads knob
-/// is therefore excluded from the FrontCache key.
+/// Intra-model parallelism: both phases compile into task DAGs for the
+/// work-stealing TaskScheduler (util/parallel.hpp). Construction makes
+/// every apply of every gate's balanced reduction tree a task
+/// (bdd/build.cpp); propagation makes every nonterminal BDD node a task
+/// depending on its low/high children - a node's front computes the
+/// moment its children finish, with no per-level barrier, which keeps
+/// the pool busy even on models whose widest level is narrow. Every
+/// node's front is a pure function of its children's fronts, computed
+/// with the same operations in the same order whatever worker runs it,
+/// so fronts and witnesses are bit-identical for every thread count; the
+/// threads knob is therefore excluded from the FrontCache key.
 
 #pragma once
 
@@ -31,11 +32,10 @@
 #include "core/attribution.hpp"
 #include "core/pareto.hpp"
 #include "util/cancel.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace adtp {
-
-class WorkerPool;  // util/parallel.hpp
 
 struct BddBuOptions {
   /// Heuristic for the defense-first variable order.
@@ -63,12 +63,11 @@ struct BddBuOptions {
   const CancelToken* cancel = nullptr;
 
   /// Optional external combine scratch space, reused across analyses (the
-  /// value-front path only; witness runs keep a private arena). Not
-  /// thread-safe in itself: parallel runs hand it to worker 0 only and
-  /// give the other workers private arenas.
+  /// sequential value-front path only; parallel runs and witness runs
+  /// keep private per-slot arenas).
   FrontArena<ValuePoint>* arena = nullptr;
 
-  /// Worker threads for BDD construction and level-parallel propagation:
+  /// Worker threads for BDD construction and task-DAG propagation:
   /// 1 (default) runs sequentially, 0 resolves to the hardware
   /// concurrency, N > 1 uses N workers (the calling thread is one of
   /// them). Fronts and witnesses are bit-identical for every value (see
@@ -77,20 +76,21 @@ struct BddBuOptions {
   /// via AnalysisOptions::intra_model_threads.
   unsigned threads = 1;
 
-  /// Models smaller than this many ADT nodes never spawn the worker pool
-  /// even when \p threads asks for more than one (pool spawn costs tens
-  /// of microseconds - more than a small model's whole analysis). Tests
-  /// set 0 to force the parallel path on tiny models.
+  /// Models smaller than this many ADT nodes never engage a multi-slot
+  /// scheduler up front even when \p threads (or an external \p pool)
+  /// offers more than one - per-node task bookkeeping costs more than a
+  /// small model's whole analysis. A small ADT whose BDD turns out huge
+  /// still engages right after the build. Tests set 0 to force the
+  /// parallel path on tiny models.
   std::size_t parallel_node_floor = 64;
 
-  /// Optional externally-owned worker pool; when set it overrides
-  /// \p threads and the spawn gating entirely (the pool already exists,
-  /// so even tiny models use it). hybrid_analyze() shares one pool
-  /// across all its per-blob runs this way. Like \p arena, never part of
-  /// the FrontCache key. The same not-reentrant rule as WorkerPool
-  /// applies: one analysis at a time, driven from the pool's owner
-  /// thread.
-  WorkerPool* pool = nullptr;
+  /// Optional externally-owned scheduler; when set it overrides
+  /// \p threads (no pool is spawned - the external one is used once the
+  /// model clears the floors above). hybrid_analyze() shares one
+  /// scheduler across all its per-blob runs this way, and analyze_batch
+  /// injects the batch scheduler for oversized items. Like \p arena,
+  /// never part of the FrontCache key.
+  TaskScheduler* pool = nullptr;
 };
 
 /// Detailed outcome of a BDDBU run, for benches and reports.
@@ -105,10 +105,10 @@ struct BddBuReport {
   CombineStats combine_stats;
   double build_seconds = 0;       ///< ADT -> ROBDD translation time
   double propagate_seconds = 0;   ///< front propagation time
-  // Level-parallelism counters.
-  unsigned threads_used = 1;       ///< workers serving build + propagate
-  std::size_t parallel_levels = 0; ///< BDD levels split across >1 worker
+  // Parallelism counters.
+  unsigned threads_used = 1;       ///< scheduler slots serving both phases
   std::size_t max_level_width = 0; ///< nodes in the widest BDD level
+  TaskRunStats sched;              ///< build + propagate task-DAG counters
 };
 
 /// Algorithm 3 at the root of the ROBDD. Works for arbitrary (tree- or

@@ -1,5 +1,7 @@
 #include "core/bottom_up.hpp"
 
+#include <algorithm>
+#include <optional>
 #include <type_traits>
 
 #include "core/domains.hpp"
@@ -60,7 +62,54 @@ std::vector<P> defense_leaf_points(const AugmentedAdt& aadt, NodeId id,
   return {std::move(off), std::move(on)};
 }
 
-/// The per-domain-pair kernel of Algorithm 1; instantiated once per policy
+/// One node of Algorithm 1: leaves materialize their fronts, gates fold
+/// their children's fronts left to right (Alg. 1 lines 7-9; pruning
+/// after every combination is lossless by Lemma 2). Shared verbatim by
+/// the sequential walk and every parallel task, so the fold shape -
+/// and with it the result, bit for bit - cannot depend on scheduling.
+template <typename P, typename Dd, typename Da>
+void compute_node(const AugmentedAdt& aadt, NodeId v,
+                  std::vector<BasicFront<P>>& fronts, FrontArena<P>& arena,
+                  std::size_t& max_p, const BottomUpOptions& options,
+                  const Dd& dd, const Da& da) {
+  check_interrupt(options.deadline, options.cancel, "bottom_up");
+  const Adt& adt = aadt.adt();
+  const Node& n = adt.node(v);
+  if (n.type == GateType::BasicStep) {
+    if (n.agent == Agent::Attacker) {
+      fronts[v] =
+          BasicFront<P>::singleton(attack_leaf_point<P>(aadt, v, dd, da));
+    } else {
+      fronts[v] = BasicFront<P>::minimized(
+          defense_leaf_points<P>(aadt, v, dd, da), dd, da);
+    }
+    return;
+  }
+  const AttackOp op = attack_op(n.type, n.agent);
+  BasicFront<P> acc = fronts[n.children[0]];
+  for (std::size_t i = 1; i < n.children.size(); ++i) {
+    arena.combine_into(acc, fronts[n.children[i]], op, dd, da);
+    if (options.max_front_points != 0 &&
+        acc.size() > options.max_front_points) {
+      throw LimitError("bottom_up: intermediate front exceeds " +
+                       std::to_string(options.max_front_points) +
+                       " points at node '" + n.name + "'");
+    }
+  }
+  max_p = std::max(max_p, acc.size());
+  fronts[v] = std::move(acc);
+}
+
+/// Parallelism diagnostics of one run, filled by the parallel kernel
+/// (the caller cannot read the per-slot arenas itself).
+struct BuCounters {
+  unsigned threads_used = 1;
+  TaskRunStats sched;
+  CombineStats combine;
+  bool combine_valid = false;  ///< true iff the parallel kernel filled it
+};
+
+/// The sequential kernel of Algorithm 1; instantiated once per policy
 /// pair by dispatch_domains(), so combine/prefer inline with no dispatch
 /// in the merge loops. The FrontArena recycles buffers across all merges.
 template <typename P, typename Dd, typename Da>
@@ -80,51 +129,89 @@ std::vector<BasicFront<P>> bottom_up_kernel(const AugmentedAdt& aadt,
   std::size_t max_p = 0;
   std::vector<BasicFront<P>> fronts(adt.size());
   for (NodeId v : adt.topological_order()) {
-    check_interrupt(options.deadline, options.cancel, "bottom_up");
-    const Node& n = adt.node(v);
-    if (n.type == GateType::BasicStep) {
-      if (n.agent == Agent::Attacker) {
-        fronts[v] =
-            BasicFront<P>::singleton(attack_leaf_point<P>(aadt, v, dd, da));
-      } else {
-        fronts[v] = BasicFront<P>::minimized(
-            defense_leaf_points<P>(aadt, v, dd, da), dd, da);
-      }
-      continue;
-    }
-    // Fold the children's fronts pairwise (Alg. 1 lines 7-9); pruning
-    // after every combination is lossless by Lemma 2.
-    const AttackOp op = attack_op(n.type, n.agent);
-    BasicFront<P> acc = fronts[n.children[0]];
-    for (std::size_t i = 1; i < n.children.size(); ++i) {
-      arena->combine_into(acc, fronts[n.children[i]], op, dd, da);
-      if (options.max_front_points != 0 &&
-          acc.size() > options.max_front_points) {
-        throw LimitError("bottom_up: intermediate front exceeds " +
-                         std::to_string(options.max_front_points) +
-                         " points at node '" + n.name + "'");
-      }
-    }
-    max_p = std::max(max_p, acc.size());
-    fronts[v] = std::move(acc);
+    compute_node(aadt, v, fronts, *arena, max_p, options, dd, da);
   }
   if (max_front_size != nullptr) *max_front_size = max_p;
   return fronts;
 }
 
+/// The parallel kernel: one task per node, edges gate -> child, so
+/// sibling subtrees fold concurrently and a gate starts the instant its
+/// last child finishes. Tasks write disjoint front slots and use
+/// private per-slot arenas (the caller's arena is never touched - it is
+/// not safe under the scheduler's task interleaving).
+template <typename P, typename Dd, typename Da>
+std::vector<BasicFront<P>> bottom_up_parallel_kernel(
+    const AugmentedAdt& aadt, const BottomUpOptions& options,
+    TaskScheduler& pool, std::size_t* max_front_size, BuCounters* counters,
+    const Dd& dd, const Da& da) {
+  const Adt& adt = aadt.adt();
+  const unsigned workers = pool.threads();
+  std::vector<FrontArena<P>> arenas(workers);
+  std::vector<std::size_t> max_p(workers, 0);
+  std::vector<BasicFront<P>> fronts(adt.size());
+
+  auto body = [&](unsigned slot, std::uint32_t v) {
+    compute_node(aadt, static_cast<NodeId>(v), fronts, arenas[slot],
+                 max_p[slot], options, dd, da);
+  };
+  // Task ids coincide with NodeIds: one task per node, added in id
+  // order; dependency edges make each gate wait for its children.
+  TaskGraph graph;
+  graph.reserve(adt.size(), adt.size());
+  for (NodeId v = 0; v < adt.size(); ++v) {
+    graph.add(body, static_cast<std::uint32_t>(v));
+  }
+  for (NodeId v = 0; v < adt.size(); ++v) {
+    for (NodeId c : adt.node(v).children) {
+      graph.depends(static_cast<TaskGraph::TaskId>(v),
+                    static_cast<TaskGraph::TaskId>(c));
+    }
+  }
+  const TaskRunStats stats = pool.run(graph);
+
+  std::size_t max_p_all = 0;
+  for (std::size_t m : max_p) max_p_all = std::max(max_p_all, m);
+  if (max_front_size != nullptr) *max_front_size = max_p_all;
+  if (counters != nullptr) {
+    counters->threads_used = workers;
+    counters->sched += stats;
+    for (const FrontArena<P>& a : arenas) counters->combine += a.stats();
+    counters->combine_valid = true;
+  }
+  return fronts;
+}
+
 template <typename P>
-std::vector<BasicFront<P>> bottom_up_all(const AugmentedAdt& aadt,
-                                         const BottomUpOptions& options,
-                                         std::size_t* max_front_size = nullptr) {
+std::vector<BasicFront<P>> bottom_up_all(
+    const AugmentedAdt& aadt, const BottomUpOptions& options,
+    std::size_t* max_front_size = nullptr, BuCounters* counters = nullptr) {
   if (!aadt.adt().is_tree()) {
     throw ModelError(
         "bottom_up: the ADT is DAG-shaped (a node has multiple parents); "
         "the Bottom-Up algorithm is only sound for trees - use "
         "bdd_bu_front() or transform the model with unfold_to_tree()");
   }
+  // Engage the scheduler only when more than one slot is on offer and
+  // the tree clears the floor; otherwise the plain walk wins.
+  TaskScheduler* pool = options.pool;
+  const unsigned width =
+      pool != nullptr ? pool->threads() : resolve_thread_knob(options.threads);
+  const bool parallel =
+      width > 1 && aadt.adt().size() >= options.parallel_node_floor;
+  std::optional<TaskScheduler> owned;
+  if (parallel && pool == nullptr) {
+    owned.emplace(width);
+    pool = &*owned;
+  }
   return dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {
+        if (parallel && pool->threads() > 1) {
+          return bottom_up_parallel_kernel<P>(aadt, options, *pool,
+                                              max_front_size, counters, dd,
+                                              da);
+        }
         return bottom_up_kernel<P>(aadt, options, max_front_size, dd, da);
       });
 }
@@ -140,17 +227,23 @@ Front bottom_up_front(const AugmentedAdt& aadt,
 BottomUpReport bottom_up_analyze(const AugmentedAdt& aadt,
                                  const BottomUpOptions& options) {
   BottomUpReport report;
-  // Stats live on the arena; pin one locally when the caller did not
-  // provide theirs, and attribute by snapshot so a batch-shared arena
-  // reports only this run's work.
+  // Stats live on the arenas. The parallel kernel sums its private slot
+  // arenas; the sequential path attributes by snapshot so a batch-shared
+  // arena reports only this run's work.
   FrontArena<ValuePoint> local_arena;
   BottomUpOptions opts = options;
   if (opts.arena == nullptr) opts.arena = &local_arena;
   const CombineStats before = opts.arena->stats();
+  BuCounters counters;
   Stopwatch watch;
-  auto fronts = bottom_up_all<ValuePoint>(aadt, opts, &report.max_front_size);
+  auto fronts = bottom_up_all<ValuePoint>(aadt, opts, &report.max_front_size,
+                                          &counters);
   report.seconds = watch.seconds();
-  report.combine_stats = opts.arena->stats().since(before);
+  report.combine_stats = counters.combine_valid
+                             ? counters.combine
+                             : opts.arena->stats().since(before);
+  report.threads_used = counters.threads_used;
+  report.sched = counters.sched;
   report.front = std::move(fronts[aadt.adt().root()]);
   return report;
 }

@@ -11,6 +11,14 @@
 ///   BDS d:  {(1_tensor_D, 1_tensor_A), (beta_D(d), 1_oplus_A)}
 /// Gates combine children's fronts with (tensor_D, op_A) where op_A follows
 /// Table II, pruning dominated points after every combination (Lemma 2).
+///
+/// Intra-model parallelism: sibling subtrees of a tree are independent,
+/// so the walk compiles into a task DAG - one task per node, edges gate
+/// -> child - for the work-stealing TaskScheduler (util/parallel.hpp).
+/// Every gate folds its children's fronts left to right exactly like the
+/// sequential walk (the fold shape is fixed; arenas are scratch), so
+/// fronts and witnesses are bit-identical for every thread count and the
+/// threads knob stays out of the FrontCache key (docs/CONTRACTS.md).
 
 #pragma once
 
@@ -19,6 +27,7 @@
 #include "core/attribution.hpp"
 #include "core/pareto.hpp"
 #include "util/cancel.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace adtp {
@@ -40,11 +49,31 @@ struct BottomUpOptions {
   const CancelToken* cancel = nullptr;
 
   /// Optional external combine scratch space, reused across analyses (the
-  /// value-front path only; witness runs keep a private arena). Not
-  /// thread-safe: at most one analysis may use an arena at a time.
-  /// analyze_batch() hands each worker thread its own persistent arena so
-  /// buffer recycling spans the whole batch.
+  /// sequential value-front path only; parallel runs and witness runs
+  /// keep private per-slot arenas). Not thread-safe: at most one analysis
+  /// may use an arena at a time. analyze_batch() hands each worker thread
+  /// its own persistent arena so buffer recycling spans the whole batch.
   FrontArena<ValuePoint>* arena = nullptr;
+
+  /// Worker threads for the sibling-subtree task DAG: 1 (default) runs
+  /// the plain sequential walk, 0 resolves to the hardware concurrency,
+  /// N > 1 uses N workers. Fronts and witnesses are bit-identical for
+  /// every value (see the file comment), so this knob deliberately does
+  /// not participate in the FrontCache key; analyze_batch() raises it
+  /// for oversized items via AnalysisOptions::intra_model_threads.
+  unsigned threads = 1;
+
+  /// Trees smaller than this many nodes always take the sequential walk
+  /// even when \p threads (or an external \p pool) offers more - the
+  /// per-node task bookkeeping costs more than a small tree's whole
+  /// analysis. Tests set 0 to force the parallel path on tiny models.
+  std::size_t parallel_node_floor = 64;
+
+  /// Optional externally-owned scheduler; when set it overrides
+  /// \p threads (subject to the floor above). analyze_batch() injects
+  /// the batch scheduler here for oversized items. Like \p arena, never
+  /// part of the FrontCache key.
+  TaskScheduler* pool = nullptr;
 };
 
 /// Diagnostics of a Bottom-Up run, for benches and reports.
@@ -52,9 +81,12 @@ struct BottomUpReport {
   Front front;
   std::size_t max_front_size = 0;  ///< largest intermediate front
   /// Combine-path counters for this run (which merges took the sort-free
-  /// k-way path, and how many product points they examined).
+  /// k-way path, and how many product points they examined), summed
+  /// across every slot arena of a parallel run.
   CombineStats combine_stats;
   double seconds = 0;  ///< wall-clock of the propagation
+  unsigned threads_used = 1;  ///< scheduler slots serving the walk
+  TaskRunStats sched;         ///< task-DAG counters (zero when sequential)
 };
 
 /// Algorithm 1 at the root. Requires aadt.adt().is_tree(); throws

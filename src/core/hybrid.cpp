@@ -24,10 +24,10 @@ struct HybridState {
   const Da& da;
   HybridReport& report;
   FrontArena<ValuePoint>* arena;
-  /// Worker pool shared by every blob run (owned by hybrid_analyze);
+  /// Scheduler shared by every blob run (owned by hybrid_analyze);
   /// spawned lazily at the first blob that wants more than one thread,
   /// so tree-shaped models never pay for it.
-  std::optional<WorkerPool>& blob_pool;
+  std::optional<TaskScheduler>& blob_pool;
 
   /// True iff gate \p v can be combined tree-style: every child is a
   /// single-parent module and the children's descendant sets are pairwise
@@ -87,9 +87,9 @@ struct HybridState {
     blob_combines += blob.combine_stats;
     report.bdd_threads_used =
         std::max(report.bdd_threads_used, blob.threads_used);
-    report.bdd_parallel_levels += blob.parallel_levels;
     report.bdd_max_level_width =
         std::max(report.bdd_max_level_width, blob.max_level_width);
+    report.bdd_sched += blob.sched;
     return std::move(blob.front);
   }
 
@@ -134,7 +134,7 @@ HybridReport hybrid_analyze(const AugmentedAdt& aadt,
   const CombineStats before = arena->stats();
   CombineStats blob_combines;
   CombineStats blob_arena_overlap;
-  std::optional<WorkerPool> blob_pool;
+  std::optional<TaskScheduler> blob_pool;
   report.front = dispatch_domains(
       aadt.defender_domain(), aadt.attacker_domain(),
       [&](const auto& dd, const auto& da) {

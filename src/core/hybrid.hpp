@@ -33,12 +33,12 @@ struct HybridReport {
   /// combines plus every per-blob BDDBU run's merges (the blob reports
   /// are folded in, whichever arenas the blobs used).
   CombineStats combine_stats;
-  // Level-parallelism counters aggregated over the per-blob BDDBU runs
-  // (the blobs inherit options.bdd.threads; the tree-style walk itself is
-  // sequential).
+  // Parallelism counters aggregated over the per-blob BDDBU runs (the
+  // blobs inherit options.bdd.threads and share one scheduler; the
+  // tree-style walk itself is sequential).
   unsigned bdd_threads_used = 1;       ///< max workers any blob ran with
-  std::size_t bdd_parallel_levels = 0; ///< BDD levels split across workers
   std::size_t bdd_max_level_width = 0; ///< widest BDD level of any blob
+  TaskRunStats bdd_sched;              ///< summed blob task-DAG counters
 };
 
 /// Computes the Pareto front of an arbitrary ADT by modular decomposition.

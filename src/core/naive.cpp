@@ -152,12 +152,15 @@ class AttackValues {
 /// spawning than for enumerating.
 constexpr double kMinEvalsPerShard = 16384;
 
-/// The number of shard workers actually used: 0 resolves to
-/// hardware_concurrency; the count is clamped so no shard is empty and no
-/// shard falls under the work floor.
-unsigned resolve_threads(unsigned requested, std::uint64_t num_deltas,
-                         std::size_t num_attacks) {
-  std::uint64_t threads = resolve_thread_knob(requested);
+/// The number of shards actually used: an external scheduler offers its
+/// slot count, otherwise the threads knob resolves (0 = hardware
+/// concurrency); the count is clamped so no shard is empty and no shard
+/// falls under the work floor.
+unsigned resolve_shards(const NaiveOptions& options, std::uint64_t num_deltas,
+                        std::size_t num_attacks) {
+  std::uint64_t threads = options.pool != nullptr
+                              ? options.pool->threads()
+                              : resolve_thread_knob(options.threads);
   threads = std::min<std::uint64_t>(threads, std::max<std::uint64_t>(
                                                  1, num_deltas));
   // Work estimate in double: 2^(|D| + |A|) overflows uint64 only when it
@@ -217,11 +220,11 @@ std::vector<FeasibleEvent> enumerate_kernel(const AugmentedAdt& aadt,
   const std::size_t num_a = aadt.adt().num_attacks();
   const std::uint64_t total = std::uint64_t{1} << num_d;
   const unsigned threads =
-      resolve_threads(options.threads, total, aadt.adt().num_attacks());
+      resolve_shards(options, total, aadt.adt().num_attacks());
 
   const AttackValues<Da> values(aadt, da);
   std::vector<FeasibleEvent> events(total);
-  run_sharded(threads, total, [&](unsigned, std::uint64_t begin,
+  run_sharded(options.pool, threads, total, [&](unsigned, std::uint64_t begin,
                                   std::uint64_t end) {
     scan_deltas(aadt, options, da, values, begin, end,
                 [&](std::uint64_t delta, bool found, double best,
@@ -251,11 +254,12 @@ Front front_kernel(const AugmentedAdt& aadt, const NaiveOptions& options,
                    const Dd& dd, const Da& da) {
   const std::uint64_t total = std::uint64_t{1} << aadt.adt().num_defenses();
   const unsigned threads =
-      resolve_threads(options.threads, total, aadt.adt().num_attacks());
+      resolve_shards(options, total, aadt.adt().num_attacks());
 
   const AttackValues<Da> values(aadt, da);
   std::vector<std::vector<ValuePoint>> shards(threads);
-  run_sharded(threads, total, [&](unsigned shard, std::uint64_t begin,
+  run_sharded(options.pool, threads, total,
+              [&](unsigned shard, std::uint64_t begin,
                                   std::uint64_t end) {
     // Shard memory is bounded: raw points are compacted to the running
     // partial front at geometric capacity checkpoints (minimizing a
@@ -309,11 +313,12 @@ WitnessFront witness_kernel(const AugmentedAdt& aadt,
   const std::size_t num_a = aadt.adt().num_attacks();
   const std::uint64_t total = std::uint64_t{1} << num_d;
   const unsigned threads =
-      resolve_threads(options.threads, total, num_a);
+      resolve_shards(options, total, num_a);
 
   const AttackValues<Da> values(aadt, da);
   std::vector<std::vector<WitnessPoint>> shards(threads);
-  run_sharded(threads, total, [&](unsigned shard, std::uint64_t begin,
+  run_sharded(options.pool, threads, total,
+              [&](unsigned shard, std::uint64_t begin,
                                   std::uint64_t end) {
     // Witness points are heavy (two bitvecs each), so the compaction
     // floor is lower than the value path's.

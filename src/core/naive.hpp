@@ -33,6 +33,8 @@
 
 namespace adtp {
 
+class TaskScheduler;  // util/parallel.hpp
+
 struct NaiveOptions {
   /// Refuses instances with |D| + |A| above this (the enumeration would
   /// run forever); throws LimitError.
@@ -56,6 +58,12 @@ struct NaiveOptions {
   /// FrontCache key; analyze_batch() raises it for oversized items when
   /// workers would otherwise sit idle.
   unsigned threads = 1;
+
+  /// Optional externally-owned scheduler the shards run on; when set it
+  /// overrides \p threads (the shard count still honors the work floor
+  /// and delta clamp). analyze_batch() injects the batch scheduler here
+  /// for oversized items. Never part of the FrontCache key.
+  TaskScheduler* pool = nullptr;
 };
 
 /// One row of the feasible-event set S (Definition 8): a defense vector

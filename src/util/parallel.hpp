@@ -1,221 +1,211 @@
 /// \file parallel.hpp
-/// \brief Intra-model parallelism primitives shared by the analysis
-///        kernels (the naive delta sharding and the BDD level engine).
+/// \brief The work-stealing task-DAG scheduler shared by every parallel
+///        path in the system (batch items, naive shards, bottom-up
+///        sibling folds, BDD build/propagate tasks).
 ///
-/// Two execution shapes are provided:
-///  - run_sharded(): one-shot contiguous sharding of [0, total) across
-///    freshly spawned threads. Right for kernels that split their whole
-///    iteration space once (the naive 2^|D| enumeration).
-///  - WorkerPool: a reusable pool with a barriered parallel_for(). Right
-///    for kernels that dispatch many small rounds (the level-by-level BDD
-///    propagation and construction), where spawning threads per round
-///    would dominate the work.
+/// One primitive replaces the old run_sharded()/barrier-WorkerPool pair:
+/// a TaskScheduler executes TaskGraphs - explicit DAGs of tasks with
+/// dependency edges - with per-task atomic remaining-dependency counters
+/// and per-worker Chase-Lev deques. A task whose last dependency
+/// completes is pushed onto the completing worker's own deque (LIFO, so
+/// continuations run depth-first and hot); idle workers steal from the
+/// opposite end of other workers' deques (FIFO, so thieves take the
+/// oldest - widest - work). There are no level barriers anywhere: a node
+/// becomes runnable the instant its children finish, which is what lets
+/// sibling subtree folds, narrow BDD levels, and whole batch items share
+/// one pool without idling it.
 ///
-/// Both report worker exceptions deterministically enough for the
-/// determinism contracts of the callers: the computation's *results* are
-/// written to disjoint slots and never depend on scheduling; only which
-/// of several concurrently-raised exceptions wins can vary, and every such
-/// exception abandons the whole analysis anyway.
+/// Reentrancy (the property the old WorkerPool lacked): run() may be
+/// called from *inside* a running task. The nested graph's seeds go onto
+/// the calling worker's own deque and the worker helps execute them -
+/// restricted to tasks of the graph it is waiting on, so the stack depth
+/// is bounded by the nesting depth of graphs, never by the number of
+/// queued sibling tasks. This is how a batch item's intra-model phases
+/// (naive shards, BDD tasks, bottom-up folds) reuse the batch scheduler
+/// instead of the old donation handshake.
+///
+/// Determinism contract (see docs/CONTRACTS.md): the scheduler decides
+/// only *where and when* tasks run, never what they compute. Every
+/// caller writes task results to disjoint slots and fixes its fold/merge
+/// shapes up front, so fronts AND witnesses are bit-identical for every
+/// thread count; scheduler knobs therefore never enter the FrontCache
+/// key. Only which of several concurrently-raised exceptions wins can
+/// vary (ties break toward the smallest task id among those that threw),
+/// and every such exception abandons the whole analysis anyway.
+///
+/// External drivers without a slot serialize on an internal mutex: a
+/// scheduler may be driven from any thread, but concurrent top-level
+/// run() calls from different threads queue up rather than interleave.
+/// Tasks submitting nested graphs are never subject to that (they
+/// already own a slot).
 
 #pragma once
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <exception>
+#include <cstddef>
 #include <functional>
-#include <mutex>
-#include <system_error>
-#include <thread>
+#include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 namespace adtp {
 
 /// Resolves a user-facing thread-count knob: 0 means "all hardware
-/// threads", anything else is taken literally.
-[[nodiscard]] inline unsigned resolve_thread_knob(unsigned requested) {
-  if (requested != 0) return requested;
-  return std::max(1u, std::thread::hardware_concurrency());
-}
+/// threads" - overridable via the ADTP_THREADS environment variable
+/// (read once; values < 1 or non-numeric are ignored) - and anything
+/// else is taken literally.
+[[nodiscard]] unsigned resolve_thread_knob(unsigned requested);
 
-/// Runs fn(shard, begin, end) over a contiguous partition of [0, total)
-/// on \p threads workers (0 resolves to the hardware concurrency, like
-/// every other thread knob here); the calling thread runs shard 0, and
-/// any shard whose thread cannot be created (resource exhaustion) also
-/// runs on the calling thread. All shards are joined before the first
-/// exception - by shard index, so the choice is deterministic - is
-/// rethrown.
-template <typename Fn>
-void run_sharded(unsigned threads, std::uint64_t total, Fn&& fn) {
-  threads = resolve_thread_knob(threads);
-  const std::uint64_t base = total / threads;
-  const std::uint64_t rem = total % threads;
-  auto bound = [base, rem](std::uint64_t s) {
-    return base * s + std::min<std::uint64_t>(s, rem);
-  };
-  std::vector<std::exception_ptr> errors(threads);
-  auto run_shard = [&](unsigned s) {
-    try {
-      fn(s, bound(s), bound(s + 1));
-    } catch (...) {
-      errors[s] = std::current_exception();
-    }
-  };
-  std::vector<std::thread> pool;
-  std::vector<unsigned> displaced;
-  pool.reserve(threads - 1);
-  for (unsigned s = 1; s < threads; ++s) {
-    try {
-      pool.emplace_back(run_shard, s);
-    } catch (const std::system_error&) {
-      displaced.push_back(s);
-    }
-  }
-  run_shard(0);
-  for (unsigned s : displaced) run_shard(s);
-  for (std::thread& t : pool) t.join();
-  for (unsigned s = 0; s < threads; ++s) {
-    if (errors[s]) std::rethrow_exception(errors[s]);
-  }
-}
+/// Counters of one TaskScheduler::run() call, surfaced through the
+/// analysis reports so benches can see how the DAG actually executed.
+struct TaskRunStats {
+  std::uint64_t tasks = 0;   ///< tasks executed (graph size)
+  std::uint64_t steals = 0;  ///< tasks acquired from another slot's deque
+  /// Deepest any slot's ready deque got while the run was in flight -
+  /// a proxy for how much parallelism the DAG exposed at once.
+  std::size_t max_ready_depth = 0;
 
-/// A small reusable barrier pool. Construction spawns threads - 1 workers
-/// (the calling thread is always worker 0); parallel_for() hands every
-/// index of [0, count) to exactly one worker and returns only after all
-/// indices ran. Between calls the workers sleep on a condition variable,
-/// so dispatching hundreds of rounds (one per BDD level) costs wakeups,
-/// not thread spawns.
+  TaskRunStats& operator+=(const TaskRunStats& o) {
+    tasks += o.tasks;
+    steals += o.steals;
+    max_ready_depth = max_ready_depth > o.max_ready_depth
+                          ? max_ready_depth
+                          : o.max_ready_depth;
+    return *this;
+  }
+};
+
+/// An explicit task DAG: tasks are (function pointer, context, arg)
+/// triples - no per-task allocation - and depends() edges order them.
+/// Build the graph, then hand it to TaskScheduler::run(); the graph is
+/// read-only during the run and reusable afterwards.
 ///
-/// Not reentrant: at most one parallel_for() may be in flight, and only
-/// the constructing thread may call it.
-class WorkerPool {
+/// The templated add() overload binds a reference to a caller-owned
+/// callable shared by many tasks (the per-task \p arg distinguishes
+/// them); the callable must outlive the run() call, which is trivially
+/// true because run() is synchronous.
+class TaskGraph {
  public:
-  /// A pool of \p threads workers total (0 resolves to the hardware
-  /// concurrency). Thread-creation failures degrade the pool silently;
-  /// threads() reports what actually runs.
-  explicit WorkerPool(unsigned threads) {
-    const unsigned target = resolve_thread_knob(threads);
-    if (target > 1) {
-      workers_.reserve(target - 1);
-      for (unsigned t = 1; t < target; ++t) {
-        try {
-          workers_.emplace_back([this, t] { worker_loop(t); });
-        } catch (const std::system_error&) {
-          break;  // keep whatever did spawn
-        }
-      }
-    }
-    errors_.resize(workers_.size() + 1);
+  using TaskId = std::uint32_t;
+  using TaskFn = void (*)(void* ctx, unsigned slot, std::uint32_t arg);
+
+  /// Adds a task; tasks with no depends() edges are initially ready.
+  /// Ids are dense and assigned in add() order.
+  TaskId add(TaskFn fn, void* ctx, std::uint32_t arg = 0) {
+    tasks_.push_back(TaskSpec{fn, ctx, arg});
+    return static_cast<TaskId>(tasks_.size() - 1);
   }
 
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
-
-  ~WorkerPool() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      shutdown_ = true;
-      ++generation_;
-    }
-    wake_.notify_all();
-    for (std::thread& t : workers_) t.join();
+  /// Adds a task calling body(slot, arg) on a caller-owned callable.
+  template <typename F>
+  TaskId add(F& body, std::uint32_t arg = 0) {
+    return add(
+        [](void* ctx, unsigned slot, std::uint32_t a) {
+          (*static_cast<F*>(ctx))(slot, a);
+        },
+        &body, arg);
   }
 
-  /// Workers that actually run tasks, calling thread included.
-  [[nodiscard]] unsigned threads() const noexcept {
-    return static_cast<unsigned>(workers_.size()) + 1;
-  }
+  /// Declares that \p task may only start after \p on completed.
+  void depends(TaskId task, TaskId on) { edges_.emplace_back(on, task); }
 
-  /// Runs fn(worker, index) for every index in [0, count), claiming
-  /// \p grain consecutive indices per atomic fetch. Worker ids are dense
-  /// in [0, threads()); the calling thread participates as worker 0.
-  /// The first exception a worker raises aborts further claims and is
-  /// rethrown here after the barrier.
-  void parallel_for(std::size_t count, std::size_t grain,
-                    const std::function<void(unsigned, std::size_t)>& fn) {
-    if (count == 0) return;
-    if (grain == 0) grain = 1;
-    if (workers_.empty() || count <= grain) {
-      for (std::size_t i = 0; i < count; ++i) fn(0, i);
-      return;
-    }
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      fn_ = &fn;
-      count_ = count;
-      grain_ = grain;
-      next_.store(0, std::memory_order_relaxed);
-      abort_.store(false, std::memory_order_relaxed);
-      pending_ = workers_.size();
-      for (auto& e : errors_) e = nullptr;
-      ++generation_;
-    }
-    wake_.notify_all();
-    work(0);
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      drained_.wait(lock, [this] { return pending_ == 0; });
-      fn_ = nullptr;
-    }
-    for (const std::exception_ptr& e : errors_) {
-      if (e) std::rethrow_exception(e);
-    }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  void reserve(std::size_t tasks, std::size_t edges = 0) {
+    tasks_.reserve(tasks);
+    if (edges != 0) edges_.reserve(edges);
+  }
+  void clear() {
+    tasks_.clear();
+    edges_.clear();
   }
 
  private:
-  void worker_loop(unsigned id) {
-    std::uint64_t seen = 0;
-    while (true) {
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        wake_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
-        if (shutdown_) return;
-        seen = generation_;
-      }
-      work(id);
-      {
-        const std::lock_guard<std::mutex> lock(mutex_);
-        if (--pending_ == 0) drained_.notify_one();
-      }
-    }
-  }
-
-  /// Claims and runs index batches until the range drains or a worker
-  /// aborts. Exceptions land in this worker's slot and raise the abort
-  /// flag so sibling claims stop early.
-  void work(unsigned id) {
-    try {
-      while (!abort_.load(std::memory_order_relaxed)) {
-        const std::size_t begin =
-            next_.fetch_add(grain_, std::memory_order_relaxed);
-        if (begin >= count_) break;
-        const std::size_t end = std::min(count_, begin + grain_);
-        for (std::size_t i = begin; i < end; ++i) (*fn_)(id, i);
-      }
-    } catch (...) {
-      errors_[id] = std::current_exception();
-      abort_.store(true, std::memory_order_relaxed);
-    }
-  }
-
-  std::vector<std::thread> workers_;
-  std::vector<std::exception_ptr> errors_;
-
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::condition_variable drained_;
-  std::uint64_t generation_ = 0;  ///< guarded by mutex_
-  std::size_t pending_ = 0;       ///< workers still in the current round
-  bool shutdown_ = false;
-
-  // Round state: written under mutex_ before the generation bump, read by
-  // workers after they observe the bump (mutex-ordered).
-  const std::function<void(unsigned, std::size_t)>* fn_ = nullptr;
-  std::size_t count_ = 0;
-  std::size_t grain_ = 1;
-  std::atomic<std::size_t> next_{0};
-  std::atomic<bool> abort_{false};
+  friend class TaskScheduler;
+  struct TaskSpec {
+    TaskFn fn;
+    void* ctx;
+    std::uint32_t arg;
+  };
+  std::vector<TaskSpec> tasks_;
+  /// (before, after) pairs; turned into CSR dependent lists per run.
+  std::vector<std::pair<TaskId, TaskId>> edges_;
 };
+
+/// The work-stealing pool. Construction spawns threads - 1 workers (the
+/// driving thread always executes as one more slot); destruction joins
+/// them. Slot ids are dense in [0, threads()): 0 is reserved for
+/// external drivers, 1.. are the spawned workers - callers size
+/// per-slot scratch (arenas, partial results) by threads() and index it
+/// by the slot id their tasks receive.
+class TaskScheduler {
+ public:
+  /// A scheduler of \p threads execution slots (0 resolves like every
+  /// other thread knob). Thread-creation failures degrade the pool
+  /// silently; threads() reports what actually runs.
+  explicit TaskScheduler(unsigned threads);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Execution slots, the driving thread included.
+  [[nodiscard]] unsigned threads() const noexcept;
+
+  /// Runs every task of \p graph respecting its dependency edges and
+  /// returns when all completed. Callable from any thread - including
+  /// from inside a running task (the nested graph shares the workers).
+  /// Throws Error on a dependency cycle (detected up front, nothing
+  /// runs). If tasks throw, the graph still drains (pending tasks are
+  /// skipped, not abandoned) and the exception of the smallest-id
+  /// throwing task is rethrown.
+  TaskRunStats run(const TaskGraph& graph);
+
+  /// Convenience fan-out of the old parallel_for shape: runs fn(slot,
+  /// index) for every index in [0, count), \p grain consecutive indices
+  /// per task, as one dependency-free graph.
+  TaskRunStats parallel_for(std::size_t count, std::size_t grain,
+                            const std::function<void(unsigned, std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Runs fn(shard, begin, end) over a contiguous partition of [0, total)
+/// into exactly \p shards pieces. Shard results must index by the shard
+/// id (stable, scheduling-independent), not the slot id. When \p pool is
+/// null or single-slot and more than one shard is asked for, a temporary
+/// scheduler of \p shards slots is spawned for the call - the old
+/// one-shot run_sharded() shape. Exceptions rethrow by the smallest
+/// shard index, like the scheduler itself.
+template <typename Fn>
+void run_sharded(TaskScheduler* pool, unsigned shards, std::uint64_t total,
+                 Fn&& fn) {
+  if (shards <= 1) {
+    fn(0u, std::uint64_t{0}, total);
+    return;
+  }
+  const std::uint64_t base = total / shards;
+  const std::uint64_t rem = total % shards;
+  auto bound = [base, rem](std::uint64_t s) {
+    return base * s + std::min<std::uint64_t>(s, rem);
+  };
+  std::optional<TaskScheduler> owned;
+  if (pool == nullptr || pool->threads() <= 1) {
+    owned.emplace(shards);
+    pool = &*owned;
+  }
+  auto body = [&](unsigned, std::uint32_t s) {
+    fn(static_cast<unsigned>(s), bound(s), bound(std::uint64_t{s} + 1));
+  };
+  TaskGraph graph;
+  graph.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) graph.add(body, s);
+  pool->run(graph);
+}
 
 }  // namespace adtp

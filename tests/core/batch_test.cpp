@@ -434,10 +434,11 @@ TEST(BatchServing, CacheKeysOnOptionsNotJustTheModel) {
             report.items[1].result.front.to_string());
 }
 
-TEST(BatchServing, IdleWorkersAreDonatedToOversizedItems) {
-  // One naive job on a four-wide pool: the three idle workers are donated
-  // as intra-model shards. Only the donation bookkeeping is observable
-  // from outside - the result must equal the sequential run exactly.
+TEST(BatchServing, IdleSlotsServeOversizedItemsIntraModelTasks) {
+  // One naive job on a four-wide scheduler: the item's 2^|D| shards run
+  // on the shared scheduler, so the full width stays engaged. Only the
+  // width bookkeeping is observable from outside - the result must
+  // equal the sequential run exactly (sharding is deterministic).
   const AugmentedAdt dag = catalog::money_theft_dag();
   AnalysisOptions naive;
   naive.algorithm = Algorithm::Naive;
@@ -449,31 +450,38 @@ TEST(BatchServing, IdleWorkersAreDonatedToOversizedItems) {
   BatchOptions batch;
   batch.n_threads = 4;
   BatchReport report = analyze_batch(jobs, batch);
-  EXPECT_EQ(report.threads_used, 1u);  // workers clamp to the job count
-  EXPECT_EQ(report.donated_intra_model_threads, 4u);
+  // Sharing on: the width is NOT clamped to the job count.
+  EXPECT_EQ(report.threads_used, 4u);
+  EXPECT_GE(report.sched.tasks, 1u);  // at least the item task itself
   ASSERT_TRUE(report.items[0].ok) << report.items[0].error;
   EXPECT_EQ(report.items[0].result.front.to_string(),
             sequential.front.to_string());
 
-  // Donation off: no intra-model override is injected.
+  // Sharing off: extra slots could never see work, so the width clamps
+  // to the job count and exactly one item task runs.
   batch.donate_intra_model = false;
   report = analyze_batch(jobs, batch);
-  EXPECT_EQ(report.donated_intra_model_threads, 1u);
+  EXPECT_EQ(report.threads_used, 1u);
+  EXPECT_EQ(report.sched.tasks, 1u);
   EXPECT_EQ(report.items[0].result.front.to_string(),
             sequential.front.to_string());
 
-  // A pool no wider than the job list has nothing to donate.
-  std::vector<BatchJob> two(2, jobs[0]);
+  // An explicit per-item thread knob is respected: the item spawns its
+  // own shards instead of borrowing the batch scheduler, and the result
+  // is still identical.
+  jobs[0].options.naive.threads = 2;
   batch.donate_intra_model = true;
   batch.n_threads = 2;
-  report = analyze_batch(two, batch);
-  EXPECT_EQ(report.donated_intra_model_threads, 1u);
+  report = analyze_batch(jobs, batch);
+  ASSERT_TRUE(report.items[0].ok) << report.items[0].error;
+  EXPECT_EQ(report.items[0].result.front.to_string(),
+            sequential.front.to_string());
 }
 
-TEST(BatchServing, DonatedRunsShareTheCacheWithSequentialRuns) {
-  // intra_model_threads is excluded from the cache key (sharding is
-  // result-invariant), so a donated run must hit the entry a sequential
-  // run stored.
+TEST(BatchServing, SharedSchedulerRunsShareTheCacheWithSequentialRuns) {
+  // The scheduler/pool knobs are excluded from the cache key
+  // (intra-model parallelism is result-invariant), so a run with the
+  // batch scheduler injected must hit the entry a sequential run stored.
   const AugmentedAdt dag = catalog::money_theft_dag();
   AnalysisOptions naive;
   naive.algorithm = Algorithm::Naive;
@@ -484,15 +492,15 @@ TEST(BatchServing, DonatedRunsShareTheCacheWithSequentialRuns) {
   jobs[0].options = naive;
 
   BatchOptions cold;
-  cold.n_threads = 1;  // sequential, no donation possible
+  cold.n_threads = 1;  // sequential, nothing to share
   cold.cache = &cache;
   EXPECT_EQ(analyze_batch(jobs, cold).cache_hits, 0u);
 
   BatchOptions warm;
-  warm.n_threads = 4;  // donation active
+  warm.n_threads = 4;  // scheduler sharing active
   warm.cache = &cache;
   const BatchReport report = analyze_batch(jobs, warm);
-  EXPECT_EQ(report.donated_intra_model_threads, 4u);
+  EXPECT_EQ(report.threads_used, 4u);
   EXPECT_EQ(report.cache_hits, 1u);
 }
 

@@ -152,6 +152,76 @@ TEST(BottomUp, SingleLeafModels) {
   }
 }
 
+// Determinism contract of the sibling-subtree task DAG (see
+// docs/CONTRACTS.md): the parallel walk folds every gate exactly like the
+// sequential walk, so fronts AND witnesses are bit-identical at every
+// thread count. parallel_node_floor = 0 forces the scheduler even on
+// these small catalog trees.
+TEST(BottomUp, ParallelWalkMatchesSequentialBitForBit) {
+  const AugmentedAdt models[] = {catalog::fig5_example(),
+                                 catalog::money_theft_tree(),
+                                 catalog::fig4_exponential(10)};
+  for (const AugmentedAdt& aadt : models) {
+    const BottomUpReport sequential = bottom_up_analyze(aadt);
+    EXPECT_EQ(sequential.threads_used, 1u);
+    EXPECT_EQ(sequential.sched.tasks, 0u);
+    for (unsigned threads : {2u, 8u}) {
+      BottomUpOptions options;
+      options.threads = threads;
+      options.parallel_node_floor = 0;
+      const BottomUpReport parallel = bottom_up_analyze(aadt, options);
+      EXPECT_TRUE(
+          parallel.front.bit_identical_values(sequential.front))
+          << "front diverged at " << threads << " threads";
+      EXPECT_EQ(parallel.threads_used, threads);
+      // One task per node: the whole tree went through the scheduler.
+      EXPECT_EQ(parallel.sched.tasks, aadt.adt().size());
+      EXPECT_EQ(parallel.max_front_size, sequential.max_front_size);
+    }
+  }
+}
+
+TEST(BottomUp, ParallelWitnessesMatchSequentialBitForBit) {
+  const AugmentedAdt tree = catalog::money_theft_tree();
+  const WitnessFront sequential = bottom_up_front_witness(tree);
+  for (unsigned threads : {2u, 8u}) {
+    BottomUpOptions options;
+    options.threads = threads;
+    options.parallel_node_floor = 0;
+    const WitnessFront parallel = bottom_up_front_witness(tree, options);
+    ASSERT_TRUE(parallel.bit_identical_values(sequential));
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      EXPECT_EQ(parallel.points()[i].defense, sequential.points()[i].defense);
+      EXPECT_EQ(parallel.points()[i].attack, sequential.points()[i].attack);
+    }
+  }
+}
+
+TEST(BottomUp, NodeFloorKeepsSmallTreesSequential) {
+  // Below the floor the walk must not spin up a scheduler even when the
+  // threads knob asks for one (the default-floor path of every analyze()
+  // call on small models).
+  BottomUpOptions options;
+  options.threads = 8;
+  options.parallel_node_floor = 1000;
+  const BottomUpReport report =
+      bottom_up_analyze(catalog::fig5_example(), options);
+  EXPECT_EQ(report.threads_used, 1u);
+  EXPECT_EQ(report.sched.tasks, 0u);
+  EXPECT_EQ(report.front.to_string(), "{(0, 5), (4, 10), (12, inf)}");
+}
+
+TEST(BottomUp, ExternalPoolIsUsedForLargeTrees) {
+  TaskScheduler pool(4);
+  BottomUpOptions options;
+  options.pool = &pool;
+  options.parallel_node_floor = 0;
+  const BottomUpReport report =
+      bottom_up_analyze(catalog::fig4_exponential(8), options);
+  EXPECT_EQ(report.threads_used, 4u);
+  EXPECT_EQ(report.front.size(), std::size_t{1} << 8);
+}
+
 TEST(BottomUp, MinTimeParallelDomain) {
   // AND under parallel time takes the max of children times.
   Adt adt;

@@ -1,7 +1,7 @@
 /// Cross-algorithm differential fuzz harness.
 ///
 /// Four algorithms now share one semantics (Theorems 1-2 plus the hybrid
-/// decomposition), and three of them are additionally parameterized by an
+/// decomposition), and all four are additionally parameterized by an
 /// intra-model thread count that must not change a single bit of output.
 /// This suite pits them all against each other on seeded random models:
 ///
@@ -12,6 +12,9 @@
 ///    (this is what keeps the thread knobs out of the FrontCache key);
 ///  - witness validity: every witness must replay through the structure
 ///    function and match its claimed metric values.
+///
+/// This suite pins the determinism and cache-key-neutrality invariants
+/// of docs/CONTRACTS.md - update both together.
 ///
 /// On failure the offending model is dumped as a .adt file (plus its
 /// generator seed) so the case can be replayed with
@@ -179,10 +182,27 @@ TEST_P(DifferentialFuzz, AlgorithmsAgreeAcrossThreadCounts) {
         << "hybrid@" << threads << " threads diverged";
   }
 
-  // Bottom-up only applies to trees (no thread knob; one comparison).
+  // Bottom-up only applies to trees: oracle-equal in value, and the
+  // sibling-subtree task DAG must be bit-identical to the sequential
+  // walk - front AND witnesses - at every thread count.
   if (aadt.adt().is_tree()) {
-    EXPECT_TRUE(bottom_up_front(aadt).approx_same_values(oracle))
+    BottomUpOptions bu_base;
+    bu_base.parallel_node_floor = 0;  // force the task DAG on tiny trees
+    const Front bu_reference = bottom_up_front(aadt);
+    EXPECT_TRUE(bu_reference.approx_same_values(oracle))
         << "bottom-up diverged from naive";
+    const WitnessFront bu_witness = bottom_up_front_witness(aadt);
+    expect_witnesses_valid(aadt, bu_witness, "bottom-up");
+    for (unsigned threads : kThreadCounts) {
+      BottomUpOptions bu = bu_base;
+      bu.threads = threads;
+      EXPECT_TRUE(
+          bit_identical_values(bottom_up_front(aadt, bu), bu_reference))
+          << "bottom-up@" << threads << " threads diverged";
+      EXPECT_TRUE(bit_identical_witnesses(bottom_up_front_witness(aadt, bu),
+                                          bu_witness))
+          << "bottom-up witness@" << threads << " threads diverged";
+    }
   }
 
   // Witness paths: bit-identical (values AND events) across thread
@@ -273,8 +293,13 @@ TEST_P(SimdVsScalar, AutoDispatchMatchesForcedScalarBitForBit) {
         << "hybrid@" << threads << " threads diverged from scalar";
   }
   if (tree) {
-    EXPECT_TRUE(bit_identical_values(bottom_up_front(aadt), scalar_bu))
-        << "bottom-up diverged from scalar";
+    for (unsigned threads : kThreadCounts) {
+      BottomUpOptions bu;
+      bu.parallel_node_floor = 0;
+      bu.threads = threads;
+      EXPECT_TRUE(bit_identical_values(bottom_up_front(aadt, bu), scalar_bu))
+          << "bottom-up@" << threads << " threads diverged from scalar";
+    }
   }
 
   if (HasFailure()) {

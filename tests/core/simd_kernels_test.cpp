@@ -5,6 +5,10 @@
 /// (simd_lanes_used excepted, which is a throughput diagnostic). The
 /// inputs deliberately include attacker plateaus, duplicate points,
 /// infinities, and endgame-forcing shapes (singleton x long staircase).
+///
+/// This suite pins the SIMD scalar-oracle invariant of docs/CONTRACTS.md
+/// (the end-to-end version lives in differential_fuzz_test.cpp) - update
+/// both together.
 
 #include <gtest/gtest.h>
 
