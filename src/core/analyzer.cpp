@@ -1,5 +1,6 @@
 #include "core/analyzer.hpp"
 
+#include "core/node_memo.hpp"
 #include "util/error.hpp"
 #include "util/timer.hpp"
 
@@ -31,6 +32,7 @@ AnalysisResult analyze(const AugmentedAdt& aadt,
 
   AnalysisResult result;
   result.used = algorithm;
+  NodeMemoStats memo_stats;
   Stopwatch watch;
   switch (algorithm) {
     case Algorithm::Naive: {
@@ -46,7 +48,10 @@ AnalysisResult analyze(const AugmentedAdt& aadt,
       if (options.intra_model_threads != 0) {
         bottom_up.threads = options.intra_model_threads;
       }
+      if (bottom_up.memo_stats == nullptr) bottom_up.memo_stats = &memo_stats;
       result.front = bottom_up_front(aadt, bottom_up);
+      result.memo_hits = bottom_up.memo_stats->hits;
+      result.memo_misses = bottom_up.memo_stats->misses;
       break;
     }
     case Algorithm::BddBu: {
@@ -62,7 +67,10 @@ AnalysisResult analyze(const AugmentedAdt& aadt,
       if (options.intra_model_threads != 0) {
         hybrid.bdd.threads = options.intra_model_threads;
       }
+      if (hybrid.memo_stats == nullptr) hybrid.memo_stats = &memo_stats;
       result.front = hybrid_front(aadt, hybrid);
+      result.memo_hits = hybrid.memo_stats->hits;
+      result.memo_misses = hybrid.memo_stats->misses;
       break;
     }
     case Algorithm::Auto:
@@ -70,6 +78,22 @@ AnalysisResult analyze(const AugmentedAdt& aadt,
   }
   result.seconds = watch.seconds();
   return result;
+}
+
+AnalysisResult analyze_incremental(const AugmentedAdt& aadt,
+                                   NodeFrontMemo& memo,
+                                   const AnalysisOptions& options) {
+  AnalysisOptions opts = options;
+  if (opts.algorithm == Algorithm::Auto) {
+    // Resolve here instead of deferring to analyze(): the incremental
+    // DAG path is Hybrid (BddBu has no per-node memo - its BDD nodes are
+    // not ADT subtrees).
+    opts.algorithm =
+        aadt.adt().is_tree() ? Algorithm::BottomUp : Algorithm::Hybrid;
+  }
+  if (opts.bottom_up.memo == nullptr) opts.bottom_up.memo = &memo;
+  if (opts.hybrid.memo == nullptr) opts.hybrid.memo = &memo;
+  return analyze(aadt, opts);
 }
 
 }  // namespace adtp

@@ -49,11 +49,30 @@ struct AnalysisResult {
   Front front;
   Algorithm used = Algorithm::Auto;  ///< the algorithm actually executed
   double seconds = 0;                ///< wall-clock analysis time
+  /// Per-node memo counters of this run; zero unless a NodeFrontMemo was
+  /// threaded into the executed kernel (bottom-up or hybrid).
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
 };
 
 /// Computes PF(T) with the requested (or automatically selected)
 /// algorithm.
 [[nodiscard]] AnalysisResult analyze(const AugmentedAdt& aadt,
                                      const AnalysisOptions& options = {});
+
+class NodeFrontMemo;
+
+/// As analyze(), but consulting (and filling) \p memo, the per-node front
+/// memo of node_memo.hpp: a model that differs from a previously analyzed
+/// one in a single subtree recomputes only the root-ward spine of the
+/// edit. Auto resolves to BottomUp for trees and to Hybrid (not BddBu)
+/// for DAGs - the hybrid walker is the DAG kernel with a memo path. An
+/// explicit Naive/BddBu request runs cold (those kernels have no per-node
+/// memo); explicit per-algorithm memo pointers in \p options win over
+/// \p memo. Results are bit-identical to analyze() without a memo, at
+/// every thread count (docs/CONTRACTS.md).
+[[nodiscard]] AnalysisResult analyze_incremental(
+    const AugmentedAdt& aadt, NodeFrontMemo& memo,
+    const AnalysisOptions& options = {});
 
 }  // namespace adtp

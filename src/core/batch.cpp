@@ -72,6 +72,14 @@ AnalysisOptions instrument_options(const BatchContext& ctx,
   if (opts.bottom_up.arena == nullptr) opts.bottom_up.arena = &arena;
   if (opts.bdd.arena == nullptr) opts.bdd.arena = &arena;
   if (opts.hybrid.bdd.arena == nullptr) opts.hybrid.bdd.arena = &arena;
+  // Shared-memo serving: every item consults one per-node front memo, so
+  // edited variants of one model recompute only their dirty spines. The
+  // memo is thread-safe and hit results are bit-identical, so injection
+  // is invisible to the determinism guarantee above.
+  if (ctx.options.memo != nullptr) {
+    if (opts.bottom_up.memo == nullptr) opts.bottom_up.memo = ctx.options.memo;
+    if (opts.hybrid.memo == nullptr) opts.hybrid.memo = ctx.options.memo;
+  }
   // Scheduler sharing: hand the batch scheduler to every intra-model
   // parallel path, so an oversized item (a huge naive enumeration, one
   // giant tree or DAG) spreads over whatever slots are idle instead of
@@ -131,6 +139,10 @@ void run_item(BatchContext& ctx, const BatchJob& job, BatchItem& item,
     } else {
       item.result = analyze(*job.model, opts);
       item.ok = true;
+    }
+    if (!item.cached) {
+      item.memo_hits = item.result.memo_hits;
+      item.memo_misses = item.result.memo_misses;
     }
   } catch (const CancelledError& e) {
     // Attribute to the batch token only if it is the one that fired (the
@@ -229,6 +241,8 @@ BatchReport analyze_batch(std::span<const BatchJob> jobs,
     if (!item.ok) ++report.failures;
     if (item.skipped) ++report.skipped;
     if (item.cached) ++report.cache_hits;
+    report.memo_hits += item.memo_hits;
+    report.memo_misses += item.memo_misses;
   }
   return report;
 }

@@ -77,6 +77,11 @@ struct BatchItem {
   /// True iff the result was served from the FrontCache (ok is also true;
   /// result.seconds still reports the original computation's time).
   bool cached = false;
+  /// Per-node memo counters of this item's analysis (zero for FrontCache
+  /// hits - a whole-result hit never reaches the kernels - and for items
+  /// without a memo).
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
   /// True iff the item never started: the batch deadline had expired or
   /// the batch was cancelled before a worker claimed it (ok is false and
   /// error says which).
@@ -111,6 +116,17 @@ struct BatchOptions {
   /// Custom semiring domains bypass the cache (see front_cache.hpp).
   FrontCache* cache = nullptr;
 
+  /// Optional shared per-node front memo (node_memo.hpp), injected into
+  /// every item's bottom-up and hybrid options: items that are edited
+  /// variants of each other - the interactive serving workload - share
+  /// every untouched subtree front across the batch (and across batches,
+  /// when the memo outlives them). The memo is thread-safe; items fill
+  /// and consult it concurrently. Results are unaffected (a memo hit is
+  /// bit-identical to recomputation), so this knob - unlike the model
+  /// content - never enters the FrontCacheKey. Items that set their own
+  /// per-algorithm memo pointer keep it.
+  NodeFrontMemo* memo = nullptr;
+
   /// When true (default), the batch scheduler is shared with every
   /// item's intra-model phases: the per-algorithm pool pointers
   /// (naive / bottom_up / bdd / hybrid.bdd) are set to the batch
@@ -130,6 +146,8 @@ struct BatchReport {
   std::size_t failures = 0;      ///< number of items with !ok (incl. skipped)
   std::size_t skipped = 0;       ///< items never started (deadline/cancel)
   std::size_t cache_hits = 0;    ///< items served from the FrontCache
+  std::uint64_t memo_hits = 0;   ///< summed per-node memo hits of all items
+  std::uint64_t memo_misses = 0; ///< summed per-node memo misses
   /// Item indices in the order they completed (= the on_item invocation
   /// order). A permutation of [0, items.size()).
   std::vector<std::size_t> completion_order;

@@ -175,22 +175,67 @@ BasicFront<P> propagate_kernel(const AugmentedAdt& aadt, bdd::Manager& manager,
   };
 
   if (parallel) {
-    // Task i computes nonterms[i]; dependency edges point at the child
-    // tasks (terminals are already materialized above).
-    std::vector<std::uint32_t> task_of(manager.num_nodes(), kNoSlot);
-    for (std::uint32_t i = 0; i < nonterms.size(); ++i) {
-      task_of[nonterms[i]] = i;
+    // Granularity: a task per nonterminal drowns the scheduler in
+    // bookkeeping wherever per-node work is tiny - attack-variable nodes
+    // always carry singleton fronts, and on attack-heavy BDDs they are
+    // the bulk of |W|. Estimate each node's front work (1 for terminals
+    // and attack variables, capped child sum for defense variables) and
+    // fold contiguous runs of the children-first order into one task
+    // until the estimate reaches the grain budget. A chunk processes its
+    // nodes in that same order, so the per-node computation is identical
+    // to the sequential path and to every other grain: results stay
+    // bit-identical (grain 1 reproduces the old task-per-node graph).
+    const std::size_t grain =
+        std::max<std::size_t>(1, options.task_grain_points);
+    std::vector<std::size_t> est(reach.size(), 1);
+    for (const bdd::Ref w : nonterms) {
+      if (order.is_defense_var(manager.var(w))) {
+        est[slot[w]] = std::min(
+            grain, est[slot[manager.low(w)]] + est[slot[manager.high(w)]]);
+      }
     }
-    auto body = [&](unsigned worker, std::uint32_t i) {
-      process_node(worker, nonterms[i]);
-    };
-    TaskGraph graph;
-    graph.reserve(nonterms.size(), 2 * nonterms.size());
+    std::vector<std::uint32_t> chunk_begin;  // index into nonterms
+    std::size_t acc = 0;
     for (std::uint32_t i = 0; i < nonterms.size(); ++i) {
-      graph.add(body, i);
-      const bdd::Ref w = nonterms[i];
-      for (const bdd::Ref child : {manager.low(w), manager.high(w)}) {
-        if (!manager.is_terminal(child)) graph.depends(i, task_of[child]);
+      if (acc == 0) chunk_begin.push_back(i);
+      acc += est[slot[nonterms[i]]];
+      if (acc >= grain) acc = 0;
+    }
+    const std::uint32_t num_chunks =
+        static_cast<std::uint32_t>(chunk_begin.size());
+    auto chunk_end = [&](std::uint32_t c) {
+      return c + 1 < num_chunks ? chunk_begin[c + 1]
+                                : static_cast<std::uint32_t>(nonterms.size());
+    };
+    std::vector<std::uint32_t> chunk_of(manager.num_nodes(), kNoSlot);
+    for (std::uint32_t c = 0; c < num_chunks; ++c) {
+      for (std::uint32_t i = chunk_begin[c]; i < chunk_end(c); ++i) {
+        chunk_of[nonterms[i]] = c;
+      }
+    }
+    auto body = [&](unsigned worker, std::uint32_t c) {
+      for (std::uint32_t i = chunk_begin[c]; i < chunk_end(c); ++i) {
+        process_node(worker, nonterms[i]);
+      }
+    };
+    // Dependency edges point at the chunks holding the nodes' children
+    // (always earlier chunks - the order is children-first; terminals
+    // are already materialized above). last_dep deduplicates edges per
+    // consuming chunk.
+    TaskGraph graph;
+    graph.reserve(num_chunks, 2 * num_chunks);
+    std::vector<std::uint32_t> last_dep(num_chunks, kNoSlot);
+    for (std::uint32_t c = 0; c < num_chunks; ++c) {
+      graph.add(body, c);
+      for (std::uint32_t i = chunk_begin[c]; i < chunk_end(c); ++i) {
+        const bdd::Ref w = nonterms[i];
+        for (const bdd::Ref child : {manager.low(w), manager.high(w)}) {
+          if (manager.is_terminal(child)) continue;
+          const std::uint32_t producer = chunk_of[child];
+          if (producer == c || last_dep[producer] == c) continue;
+          last_dep[producer] = c;
+          graph.depends(c, producer);
+        }
       }
     }
     const TaskRunStats stats = pool->run(graph);

@@ -13,14 +13,17 @@
 /// Intra-model parallelism: both phases compile into task DAGs for the
 /// work-stealing TaskScheduler (util/parallel.hpp). Construction makes
 /// every apply of every gate's balanced reduction tree a task
-/// (bdd/build.cpp); propagation makes every nonterminal BDD node a task
-/// depending on its low/high children - a node's front computes the
-/// moment its children finish, with no per-level barrier, which keeps
-/// the pool busy even on models whose widest level is narrow. Every
-/// node's front is a pure function of its children's fronts, computed
-/// with the same operations in the same order whatever worker runs it,
-/// so fronts and witnesses are bit-identical for every thread count; the
-/// threads knob is therefore excluded from the FrontCache key.
+/// (bdd/build.cpp); propagation chunks contiguous runs of the
+/// children-first node order into tasks of roughly task_grain_points of
+/// estimated front work (attack-variable nodes always carry singleton
+/// fronts, so vast low-work regions collapse into few tasks instead of
+/// drowning the scheduler in per-node bookkeeping), each task depending
+/// on the chunks holding its nodes' children - a chunk runs the moment
+/// its producers finish, with no per-level barrier. Every node's front
+/// is a pure function of its children's fronts, computed with the same
+/// operations in the same (children-first) order whatever worker or
+/// chunk runs it, so fronts and witnesses are bit-identical for every
+/// thread count and grain; neither knob enters the FrontCache key.
 
 #pragma once
 
@@ -83,6 +86,17 @@ struct BddBuOptions {
   /// still engages right after the build. Tests set 0 to force the
   /// parallel path on tiny models.
   std::size_t parallel_node_floor = 64;
+
+  /// Work-estimate budget for one parallel propagation task: contiguous
+  /// runs of the children-first BDD node order fold into a single task
+  /// until their estimated front points (1 per attack-variable node -
+  /// their fronts are always singletons - and a capped child sum per
+  /// defense-variable node) reach this budget. This collapses the many
+  /// near-empty tasks of low-work BDD regions into few substantial ones;
+  /// 1 reproduces the old task-per-node graph. Per-node computation and
+  /// order are unchanged, so results are bit-identical for every value
+  /// and - like \p threads - the knob never enters the FrontCache key.
+  std::size_t task_grain_points = 1024;
 
   /// Optional externally-owned scheduler; when set it overrides
   /// \p threads (no pool is spawned - the external one is used once the

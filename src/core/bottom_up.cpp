@@ -5,6 +5,7 @@
 #include <type_traits>
 
 #include "core/domains.hpp"
+#include "core/node_memo.hpp"
 #include "util/error.hpp"
 
 namespace adtp {
@@ -109,6 +110,90 @@ struct BuCounters {
   bool combine_valid = false;  ///< true iff the parallel kernel filled it
 };
 
+/// The dirty-spine plan of one memoized run: which nodes were preloaded
+/// from the NodeFrontMemo and which must be computed. Built once on the
+/// caller thread; both kernels consume it. When the memo is off (or the
+/// model is not memoizable) the plan degenerates to "compute everything"
+/// and store() is a no-op, so the kernels have a single code path.
+template <typename P>
+struct MemoPlan {
+  NodeFrontMemo* memo = nullptr;
+  std::vector<NodeMemoKey> keys;  ///< per NodeId; empty when memo off
+  std::vector<NodeId> order;      ///< nodes to compute, topological
+  NodeMemoStats stats;
+
+  /// Preloads memo hits into \p fronts, marks the dirty spine, and
+  /// returns the topological compute order. Only nodes reachable from a
+  /// missing ancestor are visited: a hit prunes its whole subtree.
+  static MemoPlan build(const AugmentedAdt& aadt,
+                        const BottomUpOptions& options,
+                        std::vector<BasicFront<P>>& fronts) {
+    MemoPlan plan;
+    const Adt& adt = aadt.adt();
+    if (options.memo == nullptr || options.memo->capacity() == 0 ||
+        !memoizable(aadt)) {
+      plan.order = adt.topological_order();
+      return plan;
+    }
+    plan.memo = options.memo;
+    const std::vector<std::uint64_t> subtree = subtree_value_hashes(aadt);
+    const std::uint64_t context =
+        bottom_up_memo_context(aadt, options.max_front_points);
+    std::uint64_t layout_root = 0;
+    std::vector<std::uint64_t> layout;
+    if constexpr (std::is_same_v<P, WitnessPoint>) {
+      layout = subtree_layout_hashes(adt);
+    }
+    plan.keys.resize(adt.size());
+    for (NodeId v = 0; v < adt.size(); ++v) {
+      if constexpr (std::is_same_v<P, WitnessPoint>) {
+        layout_root = layout[v];
+      }
+      plan.keys[v] = NodeMemoKey{subtree[v], context, layout_root};
+    }
+    // Descend from the root through lookup misses: a gate that hits is
+    // materialized from the memo and its subtree never visited; leaves
+    // are always computed (cheaper to rebuild than to look up).
+    enum : char { kUnvisited = 0, kCompute = 1, kPreloaded = 2 };
+    std::vector<char> state(adt.size(), kUnvisited);
+    std::vector<NodeId> stack{adt.root()};
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      if (state[v] != kUnvisited) continue;
+      const Node& n = adt.node(v);
+      if (n.type != GateType::BasicStep &&
+          plan.memo->template lookup<P>(plan.keys[v], fronts[v])) {
+        state[v] = kPreloaded;
+        ++plan.stats.hits;
+        continue;
+      }
+      state[v] = kCompute;
+      if (n.type != GateType::BasicStep) {
+        ++plan.stats.misses;
+        for (NodeId c : n.children) stack.push_back(c);
+      }
+    }
+    for (NodeId v : adt.topological_order()) {
+      if (state[v] == kCompute) plan.order.push_back(v);
+    }
+    return plan;
+  }
+
+  /// Memoizes a freshly computed gate front. Thread-safe; called from
+  /// worker tasks by the parallel kernel.
+  void store(const AugmentedAdt& aadt, NodeId v,
+             const BasicFront<P>& front) const {
+    if (memo == nullptr) return;
+    if (aadt.adt().type(v) == GateType::BasicStep) return;
+    memo->template insert<P>(keys[v], front);
+  }
+
+  void publish(const BottomUpOptions& options) const {
+    if (options.memo_stats != nullptr) *options.memo_stats = stats;
+  }
+};
+
 /// The sequential kernel of Algorithm 1; instantiated once per policy
 /// pair by dispatch_domains(), so combine/prefer inline with no dispatch
 /// in the merge loops. The FrontArena recycles buffers across all merges.
@@ -128,9 +213,12 @@ std::vector<BasicFront<P>> bottom_up_kernel(const AugmentedAdt& aadt,
   }
   std::size_t max_p = 0;
   std::vector<BasicFront<P>> fronts(adt.size());
-  for (NodeId v : adt.topological_order()) {
+  const MemoPlan<P> plan = MemoPlan<P>::build(aadt, options, fronts);
+  for (NodeId v : plan.order) {
     compute_node(aadt, v, fronts, *arena, max_p, options, dd, da);
+    plan.store(aadt, v, fronts[v]);
   }
+  plan.publish(options);
   if (max_front_size != nullptr) *max_front_size = max_p;
   return fronts;
 }
@@ -151,24 +239,34 @@ std::vector<BasicFront<P>> bottom_up_parallel_kernel(
   std::vector<std::size_t> max_p(workers, 0);
   std::vector<BasicFront<P>> fronts(adt.size());
 
+  const MemoPlan<P> plan = MemoPlan<P>::build(aadt, options, fronts);
   auto body = [&](unsigned slot, std::uint32_t v) {
     compute_node(aadt, static_cast<NodeId>(v), fronts, arenas[slot],
                  max_p[slot], options, dd, da);
+    plan.store(aadt, static_cast<NodeId>(v), fronts[v]);
   };
-  // Task ids coincide with NodeIds: one task per node, added in id
-  // order; dependency edges make each gate wait for its children.
+  // One task per node of the dirty spine (every node when the memo is
+  // off), added in topological order; dependency edges make each gate
+  // wait for its still-dirty children (preloaded children are already
+  // materialized). The per-node fold shape is compute_node either way,
+  // so memoization never changes what a computed node computes.
+  std::vector<std::uint32_t> task_of(adt.size(), 0xFFFFFFFFu);
   TaskGraph graph;
-  graph.reserve(adt.size(), adt.size());
-  for (NodeId v = 0; v < adt.size(); ++v) {
-    graph.add(body, static_cast<std::uint32_t>(v));
+  graph.reserve(plan.order.size(), plan.order.size());
+  for (std::uint32_t i = 0; i < plan.order.size(); ++i) {
+    task_of[plan.order[i]] = i;
+    graph.add(body, static_cast<std::uint32_t>(plan.order[i]));
   }
-  for (NodeId v = 0; v < adt.size(); ++v) {
-    for (NodeId c : adt.node(v).children) {
-      graph.depends(static_cast<TaskGraph::TaskId>(v),
-                    static_cast<TaskGraph::TaskId>(c));
+  for (std::uint32_t i = 0; i < plan.order.size(); ++i) {
+    for (NodeId c : adt.node(plan.order[i]).children) {
+      if (task_of[c] != 0xFFFFFFFFu) {
+        graph.depends(static_cast<TaskGraph::TaskId>(i),
+                      static_cast<TaskGraph::TaskId>(task_of[c]));
+      }
     }
   }
   const TaskRunStats stats = pool.run(graph);
+  plan.publish(options);
 
   std::size_t max_p_all = 0;
   for (std::size_t m : max_p) max_p_all = std::max(max_p_all, m);
@@ -233,12 +331,16 @@ BottomUpReport bottom_up_analyze(const AugmentedAdt& aadt,
   FrontArena<ValuePoint> local_arena;
   BottomUpOptions opts = options;
   if (opts.arena == nullptr) opts.arena = &local_arena;
+  NodeMemoStats memo_stats;
+  if (opts.memo_stats == nullptr) opts.memo_stats = &memo_stats;
   const CombineStats before = opts.arena->stats();
   BuCounters counters;
   Stopwatch watch;
   auto fronts = bottom_up_all<ValuePoint>(aadt, opts, &report.max_front_size,
                                           &counters);
   report.seconds = watch.seconds();
+  report.memo_hits = opts.memo_stats->hits;
+  report.memo_misses = opts.memo_stats->misses;
   report.combine_stats = counters.combine_valid
                              ? counters.combine
                              : opts.arena->stats().since(before);

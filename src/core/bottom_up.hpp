@@ -32,6 +32,9 @@
 
 namespace adtp {
 
+class NodeFrontMemo;
+struct NodeMemoStats;
+
 /// Table II: the attacker-coordinate operator for a gate of type \p gate
 /// owned by \p agent. The defender coordinate always uses tensor_D.
 [[nodiscard]] AttackOp attack_op(GateType gate, Agent agent);
@@ -74,6 +77,19 @@ struct BottomUpOptions {
   /// the batch scheduler here for oversized items. Like \p arena, never
   /// part of the FrontCache key.
   TaskScheduler* pool = nullptr;
+
+  /// Optional per-node front memo (node_memo.hpp): gate fronts found
+  /// under their subtree content key are replayed instead of recomputed,
+  /// so a one-node edit re-analyzes only the root-ward dirty spine.
+  /// Memoized fronts are bit-identical to a cold run by construction
+  /// (docs/CONTRACTS.md), so this knob - like threads and pool - never
+  /// enters the FrontCache key. Models with Custom domains bypass it.
+  /// analyze_incremental() and analyze_batch()'s shared-memo mode set it.
+  NodeFrontMemo* memo = nullptr;
+
+  /// When set (and \p memo is active), receives this run's gate-level
+  /// memo hit/miss counts.
+  NodeMemoStats* memo_stats = nullptr;
 };
 
 /// Diagnostics of a Bottom-Up run, for benches and reports.
@@ -87,6 +103,8 @@ struct BottomUpReport {
   double seconds = 0;  ///< wall-clock of the propagation
   unsigned threads_used = 1;  ///< scheduler slots serving the walk
   TaskRunStats sched;         ///< task-DAG counters (zero when sequential)
+  std::uint64_t memo_hits = 0;    ///< gate fronts replayed from the memo
+  std::uint64_t memo_misses = 0;  ///< gate fronts computed (memo active)
 };
 
 /// Algorithm 1 at the root. Requires aadt.adt().is_tree(); throws

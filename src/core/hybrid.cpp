@@ -6,6 +6,7 @@
 #include "adt/transform.hpp"
 #include "core/bottom_up.hpp"
 #include "core/domains.hpp"
+#include "core/node_memo.hpp"
 #include "util/parallel.hpp"
 
 namespace adtp {
@@ -96,22 +97,49 @@ struct HybridState {
   CombineStats blob_combines{};       ///< summed blob report counters
   CombineStats blob_arena_overlap{};  ///< blob work that hit the shared arena
 
+  /// Per-node front memo; populated by hybrid_analyze when
+  /// options.memo is set and the model is memoizable.
+  NodeFrontMemo* memo = nullptr;
+  std::vector<std::uint64_t> memo_subtree{};  ///< subtree content hashes
+  std::uint64_t memo_context = 0;
+  NodeMemoStats memo_stats{};
+
   Front front(NodeId v) {
     // The per-blob guards live in options.bdd and are honored inside
     // bdd_bu_front; this check covers the tree-style walk between blobs.
     check_interrupt(options.bdd.deadline, options.bdd.cancel, "hybrid");
     const Adt& adt = aadt.adt();
     if (adt.type(v) == GateType::BasicStep) return leaf_front(v);
-    if (!children_are_independent(v)) return blob_front(v);
 
-    const AttackOp op = attack_op(adt.type(v), adt.agent(v));
-    const auto& children = adt.children(v);
-    Front acc = front(children[0]);
-    for (std::size_t i = 1; i < children.size(); ++i) {
-      const Front child = front(children[i]);
-      arena->combine_into(acc, child, op, dd, da);
+    // A memo hit replays the gate's (or whole blob's) front and prunes
+    // its entire subtree from the walk - the dirty spine of an edit is
+    // the only part that recomputes. Replay is bit-identical: the key
+    // covers everything the front is a function of (node_memo.hpp).
+    NodeMemoKey key;
+    if (memo != nullptr) {
+      key = NodeMemoKey{memo_subtree[v], memo_context, 0};
+      Front replayed;
+      if (memo->lookup(key, replayed)) {
+        ++memo_stats.hits;
+        return replayed;
+      }
+      ++memo_stats.misses;
     }
-    ++report.tree_combines;
+
+    Front acc;
+    if (!children_are_independent(v)) {
+      acc = blob_front(v);
+    } else {
+      const AttackOp op = attack_op(adt.type(v), adt.agent(v));
+      const auto& children = adt.children(v);
+      acc = front(children[0]);
+      for (std::size_t i = 1; i < children.size(); ++i) {
+        const Front child = front(children[i]);
+        arena->combine_into(acc, child, op, dd, da);
+      }
+      ++report.tree_combines;
+    }
+    if (memo != nullptr) memo->insert(key, acc);
     return acc;
   }
 };
@@ -140,9 +168,20 @@ HybridReport hybrid_analyze(const AugmentedAdt& aadt,
       [&](const auto& dd, const auto& da) {
         HybridState state{aadt, options,  modules, dd,
                           da,   report,   arena,   blob_pool};
+        if (options.memo != nullptr && options.memo->capacity() != 0 &&
+            memoizable(aadt)) {
+          state.memo = options.memo;
+          state.memo_subtree = subtree_value_hashes(aadt);
+          state.memo_context = hybrid_memo_context(aadt, options.bdd);
+        }
         Front front = state.front(aadt.adt().root());
         blob_combines = state.blob_combines;
         blob_arena_overlap = state.blob_arena_overlap;
+        report.memo_hits = state.memo_stats.hits;
+        report.memo_misses = state.memo_stats.misses;
+        if (options.memo_stats != nullptr) {
+          *options.memo_stats = state.memo_stats;
+        }
         return front;
       });
   // The arena delta covers the tree-style combines plus whatever blob

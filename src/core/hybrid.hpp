@@ -18,9 +18,24 @@
 
 namespace adtp {
 
+class NodeFrontMemo;
+struct NodeMemoStats;
+
 struct HybridOptions {
   /// Options forwarded to the per-blob BDDBU runs.
   BddBuOptions bdd;
+
+  /// Optional per-node front memo (node_memo.hpp): gate and blob fronts
+  /// found under their subtree content key are replayed instead of
+  /// recomputed, so an edited DAG re-analyzes only the dirty spine.
+  /// Replayed fronts are bit-identical to a cold run by construction
+  /// (docs/CONTRACTS.md), so this knob never enters the FrontCache key.
+  /// Models with Custom domains bypass it.
+  NodeFrontMemo* memo = nullptr;
+
+  /// When set (and \p memo is active), receives this run's memo
+  /// hit/miss counts.
+  NodeMemoStats* memo_stats = nullptr;
 };
 
 /// Diagnostics of a hybrid run.
@@ -39,6 +54,8 @@ struct HybridReport {
   unsigned bdd_threads_used = 1;       ///< max workers any blob ran with
   std::size_t bdd_max_level_width = 0; ///< widest BDD level of any blob
   TaskRunStats bdd_sched;              ///< summed blob task-DAG counters
+  std::uint64_t memo_hits = 0;    ///< node fronts replayed from the memo
+  std::uint64_t memo_misses = 0;  ///< node fronts computed (memo active)
 };
 
 /// Computes the Pareto front of an arbitrary ADT by modular decomposition.
