@@ -1,0 +1,224 @@
+/// Store-restart bench: cold analysis of a random fleet vs a store-warm
+/// "process restart" served from the persistent front store, the
+/// daemon's recovery path (examples/serving_daemon.cpp) in bench form.
+///
+/// Cold: a fresh PersistentFrontCache over an empty directory analyzes
+/// every model once (every result is persisted on the way). Warm: a new
+/// cache over the same directory - recovery scan included in the timing -
+/// serves the identical fleet again. The bench exits nonzero if any warm
+/// item is not a cache hit, if any warm front is not bit-identical to the
+/// cold run (contract 5, docs/CONTRACTS.md), or if the warm speedup falls
+/// below --min-speedup (0 disables the gate).
+///
+/// Usage: bench_store_restart [--count N] [--nodes N] [--threads T]
+///                            [--repeats R] [--min-speedup S] [--json PATH]
+///
+/// CI runs this in bench-smoke; BENCH_9.json pins a reference run.
+
+#include <cstdint>
+#include <memory>
+#include <filesystem>
+#include <unistd.h>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/batch.hpp"
+#include "gen/catalog.hpp"
+#include "gen/random_adt.hpp"
+#include "store/persistent_cache.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace adtp;
+
+namespace {
+
+/// A scratch store directory under the system temp dir, removed on exit.
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("adtp_bench_store_" + tag + "_" +
+              std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::filesystem::path path;
+};
+
+struct BenchResult {
+  double cold_seconds = 0;
+  double warm_seconds = 0;      ///< median over --repeats restarts
+  double recovery_seconds = 0;  ///< median store open + scan alone
+  double speedup = 0;
+  bool identical = true;
+  bool all_hits = true;
+  std::uint64_t entries_recovered = 0;
+  std::uint64_t store_hits = 0;
+};
+
+[[nodiscard]] bool write_json(const std::string& path, std::size_t count,
+                              std::size_t nodes, unsigned threads,
+                              const BenchResult& r) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("store_restart");
+  json.key("count").value(static_cast<std::uint64_t>(count));
+  json.key("nodes").value(static_cast<std::uint64_t>(nodes));
+  json.key("threads").value(static_cast<std::uint64_t>(threads));
+  json.key("cold_seconds").value(r.cold_seconds);
+  json.key("warm_seconds").value(r.warm_seconds);
+  json.key("recovery_seconds").value(r.recovery_seconds);
+  json.key("speedup").value(r.speedup);
+  json.key("identical").value(r.identical);
+  json.key("entries_recovered").value(r.entries_recovered);
+  json.key("store_hits").value(r.store_hits);
+  json.key("warm_hit_rate").value(r.all_hits ? 1.0 : 0.0);
+  json.end_object();
+  std::ofstream out(path);
+  out << json.str() << "\n";
+  if (!out.good()) {
+    std::cerr << "FAILED to write " << path << "\n";
+    return false;
+  }
+  std::cout << "wrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t count = bench::arg_size_t(argc, argv, "--count", 24);
+  const std::size_t nodes = bench::arg_size_t(argc, argv, "--nodes", 45);
+  const unsigned threads =
+      static_cast<unsigned>(bench::arg_size_t(argc, argv, "--threads", 4));
+  const std::size_t repeats = bench::arg_size_t(argc, argv, "--repeats", 3);
+  const double min_speedup =
+      std::stod(bench::arg_value(argc, argv, "--min-speedup").value_or("3"));
+  const auto json_path = bench::arg_value(argc, argv, "--json");
+
+  bench::banner("Store-warm restart vs cold analysis (persistent front store)");
+  bench::assert_kernel_guards(catalog::fig3_example());
+
+  RandomAdtOptions gen;
+  gen.target_nodes = nodes;
+  gen.share_probability = 0.25;
+  gen.max_defenses = 12;
+  std::vector<AugmentedAdt> fleet;
+  for (std::uint64_t seed = 1; seed <= count; ++seed) {
+    fleet.push_back(generate_random_aadt(gen, seed, Semiring::min_cost(),
+                                         Semiring::min_cost()));
+  }
+  std::cout << "fleet: " << count << " random models of ~" << nodes
+            << " nodes, " << threads << " batch thread(s), " << repeats
+            << " warm restart(s)\n\n";
+
+  const ScratchDir dir("restart");
+  store::PersistentCacheOptions cache_options;
+  cache_options.memory_capacity = 2 * count;
+
+  BenchResult result;
+  BatchReport cold;
+  {
+    store::PersistentFrontCache cache(dir.path.string(), cache_options);
+    if (!cache.persistent()) {
+      std::cerr << "FAILED: store did not open under " << dir.path << "\n";
+      return 1;
+    }
+    BatchOptions batch;
+    batch.cache = &cache;
+    batch.n_threads = threads;
+    result.cold_seconds =
+        bench::time_call([&] { cold = analyze_batch(fleet, {}, batch); });
+    if (cold.failures != 0) {
+      std::cerr << "FAILED: " << cold.failures << " cold item(s) failed\n";
+      return 1;
+    }
+    if (cache.persistence_stats().store_writes != count) {
+      std::cerr << "FAILED: only " << cache.persistence_stats().store_writes
+                << "/" << count << " fronts persisted\n";
+      return 1;
+    }
+  }
+
+  // Warm restarts: each repeat is a fresh "process" over the same
+  // directory - construction (recovery scan) plus the warm serve are both
+  // inside the timed window, because a restarting daemon pays both.
+  std::vector<double> warm_times;
+  std::vector<double> recovery_times;
+  for (std::size_t r = 0; r < repeats; ++r) {
+    BatchReport warm;
+    std::unique_ptr<store::PersistentFrontCache> cache_ptr;
+    const double total = bench::time_call([&] {
+      recovery_times.push_back(bench::time_call([&] {
+        cache_ptr = std::make_unique<store::PersistentFrontCache>(
+            dir.path.string(), cache_options);
+      }));
+      BatchOptions batch;
+      batch.cache = cache_ptr.get();
+      batch.n_threads = threads;
+      warm = analyze_batch(fleet, {}, batch);
+    });
+    warm_times.push_back(total);
+
+    store::PersistentFrontCache& cache = *cache_ptr;
+    if (!cache.persistent() || !cache.recovery().has_value()) {
+      std::cerr << "FAILED: warm restart " << r << " found no store\n";
+      return 1;
+    }
+    result.entries_recovered = cache.recovery()->entries_recovered;
+    result.store_hits = cache.persistence_stats().store_hits;
+    if (result.entries_recovered != count) {
+      std::cerr << "FAILED: restart " << r << " recovered "
+                << result.entries_recovered << "/" << count << " entries\n";
+      return 1;
+    }
+    if (warm.failures != 0 || warm.cache_hits != count) {
+      result.all_hits = false;
+      std::cerr << "FAILED: restart " << r << " served " << warm.cache_hits
+                << "/" << count << " from cache\n";
+    }
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      if (!warm.items[i].result.front.bit_identical_values(
+              cold.items[i].result.front)) {
+        result.identical = false;
+        std::cerr << "MISMATCH: restart " << r << " item " << i
+                  << ": store-warm front differs from cold analysis\n";
+      }
+    }
+
+  }
+
+  result.warm_seconds = bench::median(warm_times);
+  result.recovery_seconds = bench::median(recovery_times);
+  result.speedup = result.warm_seconds > 0
+                       ? result.cold_seconds / result.warm_seconds
+                       : 0.0;
+
+  TextTable table({"phase", "median time", "speedup"});
+  table.add_row({"cold analysis + persist", format_seconds(result.cold_seconds),
+                 "1.00x"});
+  table.add_row({"warm restart (recover + serve)",
+                 format_seconds(result.warm_seconds),
+                 format_value(result.speedup, 2) + "x"});
+  table.add_row({"  of which recovery scan",
+                 format_seconds(result.recovery_seconds), "-"});
+  std::cout << table.to_text();
+  std::cout << "\nEvery warm item is a store hit decoded from disk; the "
+               "speedup is analysis cost avoided by the crash-safe store "
+               "across a process restart.\n";
+
+  if (json_path && !write_json(*json_path, count, nodes, threads, result)) {
+    return 1;
+  }
+  if (!result.identical || !result.all_hits) return 1;
+  if (min_speedup > 0 && result.speedup < min_speedup) {
+    std::cerr << "FAILED: warm-restart speedup " << result.speedup
+              << "x below the --min-speedup bar " << min_speedup << "x\n";
+    return 1;
+  }
+  std::cout << "\n[store_restart] done\n";
+  return 0;
+}

@@ -126,15 +126,26 @@ void run_item(BatchContext& ctx, const BatchJob& job, BatchItem& item,
     const AnalysisOptions opts = instrument_options(ctx, job.options, arena);
     FrontCache* cache = ctx.options.cache;
     if (cache != nullptr && cacheable(*job.model)) {
+      // Single-flight: duplicated jobs in one batch (fleet scenarios,
+      // sweeps with repeated points) analyze once; every other worker on
+      // the key blocks on the computer and takes the published result as
+      // a hit. The reservation MUST be resolved - publish on success,
+      // abandon on any failure - or waiters hang.
       const FrontCacheKey key = front_cache_key(*job.model, opts);
-      if (auto hit = cache->lookup(key)) {
-        item.result = std::move(*hit);
+      FrontCache::FlightLookup flight = cache->lookup_or_reserve(key);
+      if (flight.result.has_value()) {
+        item.result = std::move(*flight.result);
         item.cached = true;
         item.ok = true;
       } else {
-        item.result = analyze(*job.model, opts);
+        try {
+          item.result = analyze(*job.model, opts);
+        } catch (...) {
+          cache->abandon(key);
+          throw;
+        }
         item.ok = true;
-        cache->insert(key, item.result);
+        cache->publish(key, item.result);
       }
     } else {
       item.result = analyze(*job.model, opts);

@@ -95,6 +95,8 @@ std::size_t FrontCache::KeyHash::operator()(
 
 FrontCache::FrontCache(std::size_t capacity) : capacity_(capacity) {}
 
+FrontCache::~FrontCache() = default;
+
 std::optional<AnalysisResult> FrontCache::lookup(const FrontCacheKey& key) {
   std::shared_ptr<const AnalysisResult> hit;
   {
@@ -111,17 +113,20 @@ std::optional<AnalysisResult> FrontCache::lookup(const FrontCacheKey& key) {
   return *hit;  // deep copy outside the lock
 }
 
-void FrontCache::insert(const FrontCacheKey& key,
+bool FrontCache::insert(const FrontCacheKey& key,
                         const AnalysisResult& result) {
-  if (capacity_ == 0) return;
+  if (capacity_ == 0) return false;
   // Deep-copy before taking the mutex for the same reason as lookup().
   auto stored = std::make_shared<const AnalysisResult>(result);
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
-    it->second->second = std::move(stored);
+    // First writer wins: the values are identical by the determinism
+    // contract, so only recency moves. Callers layering persistence key
+    // off the false return to avoid storing the same entry twice.
     lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+    ++stats_.duplicate_inserts;
+    return false;
   }
   lru_.emplace_front(key, std::move(stored));
   map_.emplace(key, lru_.begin());
@@ -131,6 +136,53 @@ void FrontCache::insert(const FrontCacheKey& key,
     lru_.pop_back();
     ++stats_.evictions;
   }
+  return true;
+}
+
+void FrontCache::settle_flight_stats(std::uint64_t n, bool coalesced) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stats_.misses -= n;
+  if (coalesced) ++stats_.coalesced;
+}
+
+FrontCache::FlightLookup FrontCache::lookup_or_reserve(
+    const FrontCacheKey& key) {
+  std::unique_lock<std::mutex> flight(flight_mutex_);
+  // Each loop iteration's failed lookup() books a miss; all but the one
+  // that sticks (the reserving worker's first) are provisional and get
+  // uncounted on resolution, so a logical query counts exactly one of
+  // {hit, miss}.
+  std::uint64_t provisional = 0;
+  for (;;) {
+    if (auto hit = lookup(key)) {
+      settle_flight_stats(provisional, /*coalesced=*/provisional > 0);
+      return FlightLookup{std::move(hit), /*must_compute=*/false};
+    }
+    ++provisional;
+    if (in_flight_.insert(key).second) {
+      settle_flight_stats(provisional - 1, /*coalesced=*/false);
+      return FlightLookup{std::nullopt, /*must_compute=*/true};
+    }
+    flight_cv_.wait(flight);
+  }
+}
+
+void FrontCache::publish(const FrontCacheKey& key,
+                         const AnalysisResult& result) {
+  {
+    const std::lock_guard<std::mutex> flight(flight_mutex_);
+    insert(key, result);
+    in_flight_.erase(key);
+  }
+  flight_cv_.notify_all();
+}
+
+void FrontCache::abandon(const FrontCacheKey& key) {
+  {
+    const std::lock_guard<std::mutex> flight(flight_mutex_);
+    in_flight_.erase(key);
+  }
+  flight_cv_.notify_all();
 }
 
 FrontCache::Stats FrontCache::stats() const {

@@ -1,0 +1,122 @@
+#include "store/persistent_cache.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "store/codec.hpp"
+
+namespace adtp::store {
+
+PersistentFrontCache::PersistentFrontCache(std::string dir,
+                                           PersistentCacheOptions options)
+    : FrontCache(options.memory_capacity), options_(std::move(options)) {
+  try {
+    store_ = std::make_unique<FrontStore>(std::move(dir), options_.store);
+    recovery_ = store_->recovery();
+  } catch (const StoreError& e) {
+    ++pstats_.store_errors;
+    degrade(std::string("open failed: ") + e.what());
+  }
+}
+
+PersistentFrontCache::~PersistentFrontCache() = default;
+
+void PersistentFrontCache::note(const std::string& what) {
+  if (options_.on_store_error) options_.on_store_error(what);
+}
+
+void PersistentFrontCache::degrade(const std::string& why) {
+  store_.reset();
+  pstats_.degraded = true;
+  note("persistent front cache degraded to memory-only: " + why);
+}
+
+template <typename Fn>
+auto PersistentFrontCache::with_retry(const char* doing, Fn&& fn)
+    -> std::optional<decltype(fn())> {
+  double backoff = options_.retry_backoff_seconds;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const StoreError& e) {
+      ++pstats_.store_errors;
+      if (!e.transient() || attempt >= options_.max_retries) {
+        degrade(std::string(doing) + ": " + e.what());
+        return std::nullopt;
+      }
+      ++pstats_.retries;
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= 2;
+      }
+    }
+  }
+}
+
+std::optional<AnalysisResult> PersistentFrontCache::lookup(
+    const FrontCacheKey& key) {
+  if (auto hit = FrontCache::lookup(key)) return hit;
+  // Memory miss (booked as such in the base stats); consult the store.
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return std::nullopt;
+  const auto payload = with_retry("get", [&] { return store_->get(key); });
+  if (!payload.has_value() || !payload->has_value()) return std::nullopt;
+  AnalysisResult result;
+  try {
+    result = decode_result((*payload)->data(), (*payload)->size());
+  } catch (const CodecError& e) {
+    // Checksums passed but the bytes don't decode (version skew, codec
+    // bug). Count it, never serve it; the store itself stays up.
+    ++pstats_.decode_failures;
+    note(std::string("stored payload failed to decode: ") + e.what());
+    return std::nullopt;
+  }
+  ++pstats_.store_hits;
+  FrontCache::insert(key, result);  // promote so the next hit is memory
+  return result;
+}
+
+bool PersistentFrontCache::insert(const FrontCacheKey& key,
+                                  const AnalysisResult& result) {
+  const bool fresh = FrontCache::insert(key, result);
+  if (!fresh) return false;
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return true;
+  const std::vector<std::uint8_t> payload = encode_result(result);
+  const auto wrote =
+      with_retry("put", [&] { return store_->put(key, payload); });
+  if (wrote.has_value() && *wrote) ++pstats_.store_writes;
+  return true;
+}
+
+bool PersistentFrontCache::persistent() const {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  return store_ != nullptr;
+}
+
+PersistentCacheStats PersistentFrontCache::persistence_stats() const {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  return pstats_;
+}
+
+std::optional<RecoveryReport> PersistentFrontCache::recovery() const {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  return recovery_;
+}
+
+std::optional<StoreStats> PersistentFrontCache::store_stats() const {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return std::nullopt;
+  return store_->stats();
+}
+
+void PersistentFrontCache::compact() {
+  const std::lock_guard<std::mutex> lock(store_mutex_);
+  if (store_ == nullptr) return;
+  (void)with_retry("compact", [&] {
+    store_->compact(/*force=*/true);
+    return true;
+  });
+}
+
+}  // namespace adtp::store

@@ -1,0 +1,107 @@
+/// \file persistent_cache.hpp
+/// \brief The in-process FrontCache layered over a crash-safe FrontStore.
+///
+/// A PersistentFrontCache behaves exactly like the FrontCache it
+/// subclasses - same lookup/insert/single-flight surface, so
+/// analyze_batch() and the serving daemon take it through a plain
+/// FrontCache* - with a disk tier underneath:
+///
+///   lookup: memory -> store (decode, promote to memory) -> miss
+///   insert: memory first; a *fresh* entry is also encoded and appended
+///           to the store (first-writer-wins upstream means each result
+///           is persisted once)
+///
+/// The store is strictly advisory. The constructor never throws for
+/// store trouble, and no store failure ever surfaces to an analysis
+/// caller: transient I/O errors (IoError/StoreError with the transient
+/// flag) are retried with bounded exponential backoff; a permanent
+/// error, or transient ones beyond the retry budget, *degrade* the cache
+/// to memory-only - the store is dropped, on_store_error is told why,
+/// and every later call behaves like a plain FrontCache. Analysis never
+/// fails because persistence did (docs/CONTRACTS.md contract 5).
+///
+/// A payload the store serves has already passed its checksums; decode
+/// failures (version skew, codec bugs) are counted and treated as
+/// misses, never served and never fatal.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "core/front_cache.hpp"
+#include "store/shard.hpp"
+
+namespace adtp::store {
+
+struct PersistentCacheOptions {
+  /// Capacity of the in-memory FrontCache tier.
+  std::size_t memory_capacity = 256;
+  /// Passed through to the FrontStore (seam, bounds, sync policy).
+  StoreOptions store;
+  /// Transient store failures are retried this many times per operation
+  /// before the cache degrades to memory-only.
+  int max_retries = 3;
+  /// First retry backoff; doubles on each further retry.
+  double retry_backoff_seconds = 0.001;
+  /// Called (with a reason) when the store degrades to memory-only and
+  /// on non-fatal anomalies (decode failures). Invoked under an internal
+  /// lock: keep it cheap and do not call back into the cache.
+  std::function<void(const std::string&)> on_store_error;
+};
+
+/// Counters for the persistence tier (the memory tier keeps its own
+/// FrontCache::Stats; a store hit is a memory miss there).
+struct PersistentCacheStats {
+  std::uint64_t store_hits = 0;    ///< lookups served from disk
+  std::uint64_t store_writes = 0;  ///< fresh entries appended
+  std::uint64_t store_errors = 0;  ///< errors observed (retried included)
+  std::uint64_t retries = 0;       ///< transient errors retried
+  std::uint64_t decode_failures = 0;
+  bool degraded = false;  ///< store dropped; memory-only from then on
+};
+
+class PersistentFrontCache final : public FrontCache {
+ public:
+  /// Opens (creating or recovering) the store under \p dir. Store
+  /// failure here does not throw: the cache starts degraded.
+  explicit PersistentFrontCache(std::string dir,
+                                PersistentCacheOptions options = {});
+  ~PersistentFrontCache() override;
+
+  [[nodiscard]] std::optional<AnalysisResult> lookup(
+      const FrontCacheKey& key) override;
+  bool insert(const FrontCacheKey& key, const AnalysisResult& result) override;
+
+  /// True while the store tier is alive (not degraded).
+  [[nodiscard]] bool persistent() const;
+  [[nodiscard]] PersistentCacheStats persistence_stats() const;
+  /// What recovery found at open; nullopt when the store never opened.
+  [[nodiscard]] std::optional<RecoveryReport> recovery() const;
+  [[nodiscard]] std::optional<StoreStats> store_stats() const;
+  /// Forces a store compaction (no-op when degraded).
+  void compact();
+
+ private:
+  /// Runs \p fn against the live store with transient-failure retry;
+  /// returns nullopt after degrading. store_mutex_ must be held.
+  template <typename Fn>
+  auto with_retry(const char* doing, Fn&& fn)
+      -> std::optional<decltype(fn())>;
+  /// Drops the store and flips to memory-only. store_mutex_ must be held.
+  void degrade(const std::string& why);
+  void note(const std::string& what);
+
+  PersistentCacheOptions options_;
+  mutable std::mutex store_mutex_;
+  std::unique_ptr<FrontStore> store_;  ///< null once degraded
+  PersistentCacheStats pstats_;
+  std::optional<RecoveryReport> recovery_;
+};
+
+}  // namespace adtp::store

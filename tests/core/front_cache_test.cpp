@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "core/analyzer.hpp"
@@ -126,15 +128,92 @@ TEST(FrontCache, LruEvictsTheLeastRecentlyUsed) {
   EXPECT_NEAR(stats.hit_rate(), 0.75, 1e-12);
 }
 
-TEST(FrontCache, ReinsertRefreshesInsteadOfDuplicating) {
+TEST(FrontCache, ReinsertKeepsFirstValueAndRefreshesRecency) {
+  // First writer wins: a reinsert never replaces the stored value (the
+  // determinism contract makes a differing value a caller bug, and
+  // layered persistence relies on the false return to store each entry
+  // exactly once). It still counts as a touch for LRU purposes.
   FrontCache cache(2);
   const FrontCacheKey key{7, 7, 7};
-  cache.insert(key, result_with_front(1, 1));
-  cache.insert(key, result_with_front(2, 2));
+  EXPECT_TRUE(cache.insert(key, result_with_front(1, 1)));
+  EXPECT_FALSE(cache.insert(key, result_with_front(2, 2)));
   const auto hit = cache.lookup(key);
   ASSERT_TRUE(hit.has_value());
-  EXPECT_EQ(hit->front.front_point().def, 2);
-  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(hit->front.front_point().def, 1);
+  const FrontCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.duplicate_inserts, 1u);
+
+  // Recency: reinserting the LRU key saves it from the next eviction.
+  const FrontCacheKey other{8, 8, 8};
+  EXPECT_TRUE(cache.insert(other, result_with_front(3, 3)));
+  EXPECT_FALSE(cache.insert(key, result_with_front(1, 1)));  // touch key
+  EXPECT_TRUE(cache.insert(FrontCacheKey{9, 9, 9}, result_with_front(4, 4)));
+  EXPECT_TRUE(cache.lookup(key).has_value());
+  EXPECT_FALSE(cache.lookup(other).has_value());  // other was evicted
+}
+
+TEST(FrontCache, ConcurrentSameKeyInsertsConvergeToOneEntry) {
+  // Many workers racing lookup_or_reserve/publish on one key: exactly
+  // one computes, everyone gets the first value, and hits + misses add
+  // up to the number of logical queries (no double counting).
+  constexpr int kWorkers = 8;
+  constexpr int kRounds = 25;
+  FrontCache cache(16);
+  for (int round = 0; round < kRounds; ++round) {
+    const FrontCacheKey key{static_cast<std::uint64_t>(round) + 1, 2, 3};
+    std::atomic<int> computed{0};
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        FrontCache::FlightLookup flight = cache.lookup_or_reserve(key);
+        if (flight.must_compute) {
+          computed.fetch_add(1);
+          cache.publish(key, result_with_front(w + 1, w + 1));
+        } else {
+          ASSERT_TRUE(flight.result.has_value());
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+    EXPECT_EQ(computed.load(), 1) << "round " << round;
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->front.size(), 1u);
+  }
+  const FrontCache::Stats stats = cache.stats();
+  // kRounds verification lookups after the races are all hits.
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kWorkers + 1) * kRounds);
+  EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(stats.insertions, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(stats.duplicate_inserts, 0u);
+  // Workers that arrived while the computation was in flight resolved by
+  // waiting; late arrivals hit directly. Either way they are hits, so
+  // coalesced is bounded by the non-computing workers.
+  EXPECT_LE(stats.coalesced,
+            static_cast<std::uint64_t>(kWorkers - 1) * kRounds);
+}
+
+TEST(FrontCache, AbandonedReservationHandsOffToAWaiter) {
+  // The computer failing must not strand waiters: abandon() wakes them
+  // and one takes over the computation.
+  FrontCache cache(4);
+  const FrontCacheKey key{1, 2, 3};
+  FrontCache::FlightLookup first = cache.lookup_or_reserve(key);
+  ASSERT_TRUE(first.must_compute);
+  std::thread waiter([&] {
+    FrontCache::FlightLookup takeover = cache.lookup_or_reserve(key);
+    EXPECT_TRUE(takeover.must_compute);
+    cache.publish(key, result_with_front(5, 5));
+  });
+  cache.abandon(key);
+  waiter.join();
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->front.front_point().def, 5);
 }
 
 TEST(FrontCache, ZeroCapacityDisablesCaching) {

@@ -1,0 +1,235 @@
+/// The fault-injection seam and what the layers above do with it: the
+/// store stays consistent (and throws) on injected failures, and the
+/// PersistentFrontCache retries transient errors, then degrades to
+/// memory-only - analysis never fails because persistence did.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/persistent_cache.hpp"
+#include "store/shard.hpp"
+#include "store_test_util.hpp"
+#include "util/fault.hpp"
+
+namespace adtp::store {
+namespace {
+
+using testutil::make_key;
+using testutil::make_result;
+using testutil::ScratchDir;
+
+using Op = FaultFileOps::Op;
+
+std::vector<std::uint8_t> payload_of(char fill, std::size_t n) {
+  return std::vector<std::uint8_t>(n, static_cast<std::uint8_t>(fill));
+}
+
+// ---- the wrapper itself ----------------------------------------------------
+
+TEST(FaultFileOps, ShortWritesAreResumedByWriteAll) {
+  const ScratchDir dir("shortw");
+  FaultFileOps ops(real_file_ops());
+  ops.make_dir(dir.str());
+  const int fd = ops.open_file(dir.str() + "/f", FileOps::OpenMode::Truncate);
+  ops.short_write(0);  // the very next write_some is cut in half
+  const std::string body = "0123456789abcdef";
+  ops.write_all(fd, body.data(), body.size());
+  std::string back(body.size(), '\0');
+  ASSERT_TRUE(ops.pread_all(fd, back.data(), back.size(), 0));
+  EXPECT_EQ(back, body) << "write_all must resume after a short write";
+  ops.close_fd(fd);
+}
+
+TEST(FaultFileOps, FailOpFiresAtTheArmedCountdownThenDisarms) {
+  const ScratchDir dir("failop");
+  FaultFileOps ops(real_file_ops());
+  ops.make_dir(dir.str());
+  const int fd = ops.open_file(dir.str() + "/f", FileOps::OpenMode::Truncate);
+  ops.fail_op(Op::Write, /*countdown=*/1, /*transient=*/true);
+  char b = 'x';
+  ops.write_all(fd, &b, 1);  // countdown ticks
+  try {
+    ops.write_all(fd, &b, 1);
+    FAIL() << "armed write fault did not fire";
+  } catch (const IoError& e) {
+    EXPECT_TRUE(e.transient());
+  }
+  ops.write_all(fd, &b, 1);  // disarmed again
+  ops.close_fd(fd);
+}
+
+TEST(FaultFileOps, ByteBudgetCrashPersistsExactlyThePrefix) {
+  const ScratchDir dir("budget");
+  FaultFileOps ops(real_file_ops());
+  ops.make_dir(dir.str());
+  const int fd = ops.open_file(dir.str() + "/f", FileOps::OpenMode::Truncate);
+  ops.set_write_byte_budget(5);
+  const std::string body = "0123456789";
+  EXPECT_THROW(ops.write_all(fd, body.data(), body.size()), IoError);
+  EXPECT_TRUE(ops.crashed());
+  EXPECT_THROW((void)ops.file_size(fd), IoError) << "dead after the crash";
+  ops.close_fd(fd);
+
+  FileOps& real = real_file_ops();
+  const int check = real.open_file(dir.str() + "/f", FileOps::OpenMode::Read);
+  EXPECT_EQ(real.file_size(check), 5u);
+  std::string prefix(5, '\0');
+  ASSERT_TRUE(real.pread_all(check, prefix.data(), 5, 0));
+  EXPECT_EQ(prefix, "01234");
+  real.close_fd(check);
+}
+
+// ---- the store under injected faults ---------------------------------------
+
+TEST(FrontStoreFault, FailedPutThrowsAndLeavesTheStoreConsistent) {
+  const ScratchDir dir("putfail");
+  FaultFileOps ops(real_file_ops());
+  StoreOptions options;
+  options.ops = &ops;
+  FrontStore store(dir.str(), options);
+  ASSERT_TRUE(store.put(make_key(1), payload_of('a', 32)));
+
+  ops.fail_op(Op::Write, 0);
+  EXPECT_THROW((void)store.put(make_key(2), payload_of('b', 32)), StoreError);
+  // The failed entry is invisible; the survivor still reads clean.
+  EXPECT_FALSE(store.contains(make_key(2)));
+  EXPECT_EQ(store.get(make_key(1)), payload_of('a', 32));
+  // And the put can simply be retried now that the fault cleared.
+  EXPECT_TRUE(store.put(make_key(2), payload_of('b', 32)));
+  EXPECT_EQ(store.get(make_key(2)), payload_of('b', 32));
+}
+
+TEST(FrontStoreFault, TransientFlagPropagatesThroughStoreError) {
+  const ScratchDir dir("transient");
+  FaultFileOps ops(real_file_ops());
+  StoreOptions options;
+  options.ops = &ops;
+  FrontStore store(dir.str(), options);
+  ops.fail_op(Op::Write, 0, /*transient=*/true);
+  try {
+    (void)store.put(make_key(1), payload_of('a', 8));
+    FAIL() << "injected fault did not surface";
+  } catch (const StoreError& e) {
+    EXPECT_TRUE(e.transient());
+  }
+}
+
+TEST(FrontStoreFault, FailedCompactionLeavesTheOldGenerationServing) {
+  const ScratchDir dir("compactfail");
+  FaultFileOps ops(real_file_ops());
+  StoreOptions options;
+  options.ops = &ops;
+  options.max_entries = 2;
+  options.compact_dead_fraction = 0;
+  FrontStore store(dir.str(), options);
+  for (std::uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(store.put(make_key(i), payload_of('a', 16)));
+  }
+  // Fail the rename that would publish the new CURRENT.
+  ops.fail_op(Op::Rename, 0);
+  EXPECT_THROW(store.compact(), StoreError);
+  EXPECT_EQ(store.generation(), 1u);
+  EXPECT_EQ(store.get(make_key(3)), payload_of('a', 16));
+  EXPECT_EQ(store.get(make_key(4)), payload_of('a', 16));
+  // With the fault gone the compaction goes through.
+  store.compact();
+  EXPECT_EQ(store.generation(), 2u);
+  EXPECT_EQ(store.get(make_key(4)), payload_of('a', 16));
+}
+
+// ---- graceful degradation in the cache layer -------------------------------
+
+TEST(PersistentCacheFault, TransientPutErrorsAreRetriedToSuccess) {
+  const ScratchDir dir("retry");
+  FaultFileOps ops(real_file_ops());
+  PersistentCacheOptions options;
+  options.store.ops = &ops;
+  options.retry_backoff_seconds = 0;  // no need to sleep in tests
+  PersistentFrontCache cache(dir.str(), options);
+  ASSERT_TRUE(cache.persistent());
+
+  ops.fail_op(Op::Write, 0, /*transient=*/true, /*times=*/2);
+  EXPECT_TRUE(cache.insert(make_key(1), make_result({{1, 2}})));
+  const PersistentCacheStats stats = cache.persistence_stats();
+  EXPECT_TRUE(cache.persistent()) << "transient errors must not degrade";
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.store_errors, 2u);
+  EXPECT_EQ(stats.store_writes, 1u);
+  EXPECT_FALSE(stats.degraded);
+}
+
+TEST(PersistentCacheFault, PermanentErrorDegradesToMemoryOnly) {
+  const ScratchDir dir("degrade");
+  FaultFileOps ops(real_file_ops());
+  PersistentCacheOptions options;
+  options.store.ops = &ops;
+  std::vector<std::string> log;
+  options.on_store_error = [&](const std::string& what) {
+    log.push_back(what);
+  };
+  PersistentFrontCache cache(dir.str(), options);
+  ASSERT_TRUE(cache.persistent());
+
+  ops.fail_op(Op::Write, 0, /*transient=*/false);
+  EXPECT_TRUE(cache.insert(make_key(1), make_result({{1, 2}})))
+      << "the memory insert must succeed regardless of the store";
+  EXPECT_FALSE(cache.persistent());
+  EXPECT_TRUE(cache.persistence_stats().degraded);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_NE(log[0].find("degraded to memory-only"), std::string::npos);
+
+  // Memory-only from here on: lookups and inserts keep working.
+  EXPECT_TRUE(cache.lookup(make_key(1)).has_value());
+  EXPECT_TRUE(cache.insert(make_key(2), make_result({{3, 4}})));
+  EXPECT_TRUE(cache.lookup(make_key(2)).has_value());
+}
+
+TEST(PersistentCacheFault, ExhaustedRetriesDegrade) {
+  const ScratchDir dir("exhaust");
+  FaultFileOps ops(real_file_ops());
+  PersistentCacheOptions options;
+  options.store.ops = &ops;
+  options.max_retries = 2;
+  options.retry_backoff_seconds = 0;
+  PersistentFrontCache cache(dir.str(), options);
+  ops.fail_op(Op::Write, 0, /*transient=*/true, /*times=*/10);
+  EXPECT_TRUE(cache.insert(make_key(1), make_result({{1, 2}})));
+  EXPECT_FALSE(cache.persistent());
+  EXPECT_EQ(cache.persistence_stats().retries, 2u);
+}
+
+TEST(PersistentCacheFault, UnopenableStoreStartsDegradedNotThrowing) {
+  const ScratchDir dir("noopen");
+  FaultFileOps ops(real_file_ops());
+  PersistentCacheOptions options;
+  options.store.ops = &ops;
+  ops.fail_op(Op::Mkdir, 0);
+  PersistentFrontCache cache(dir.str(), options);
+  EXPECT_FALSE(cache.persistent());
+  EXPECT_FALSE(cache.recovery().has_value());
+  EXPECT_TRUE(cache.insert(make_key(1), make_result({{1, 2}})));
+  EXPECT_TRUE(cache.lookup(make_key(1)).has_value());
+}
+
+TEST(PersistentCacheFault, ReadErrorDegradesButServesTheMiss) {
+  const ScratchDir dir("readfail");
+  FaultFileOps ops(real_file_ops());
+  PersistentCacheOptions options;
+  options.store.ops = &ops;
+  options.memory_capacity = 1;  // force the second key out of memory
+  {
+    PersistentFrontCache cache(dir.str(), options);
+    cache.insert(make_key(1), make_result({{1, 2}}));
+    cache.insert(make_key(2), make_result({{3, 4}}));
+  }
+  PersistentFrontCache cache(dir.str(), options);
+  ops.fail_op(Op::Read, 0, /*transient=*/false);
+  EXPECT_FALSE(cache.lookup(make_key(1)).has_value())
+      << "a failed store read is a miss, never an exception";
+  EXPECT_FALSE(cache.persistent());
+}
+
+}  // namespace
+}  // namespace adtp::store

@@ -1,0 +1,164 @@
+/// End-to-end persistence: a PersistentFrontCache plugged into
+/// analyze_batch as a plain FrontCache*, a process "restart" (new cache
+/// over the same directory), and the contract-5 claim - a store-warm
+/// restart serves fronts bit-identical to cold analysis, at 1, 2 and 8
+/// threads.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "gen/random_adt.hpp"
+#include "store/persistent_cache.hpp"
+#include "store_test_util.hpp"
+
+namespace adtp::store {
+namespace {
+
+using testutil::bits_equal;
+using testutil::make_key;
+using testutil::make_result;
+using testutil::ScratchDir;
+
+TEST(PersistentCache, LookupFallsThroughToTheStoreAndPromotes) {
+  const ScratchDir dir("fallthrough");
+  PersistentCacheOptions options;
+  options.memory_capacity = 1;
+  {
+    PersistentFrontCache cache(dir.str(), options);
+    EXPECT_TRUE(cache.insert(make_key(1), make_result({{1, 10}})));
+    EXPECT_TRUE(cache.insert(make_key(2), make_result({{2, 20}})));
+    // Key 1 was evicted from the one-slot memory tier but persists.
+    const auto hit = cache.lookup(make_key(1));
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->front.front_point().def, 1);
+    EXPECT_EQ(cache.persistence_stats().store_hits, 1u);
+    // Promoted: the repeat lookup is a memory hit, not another store read.
+    ASSERT_TRUE(cache.lookup(make_key(1)).has_value());
+    EXPECT_EQ(cache.persistence_stats().store_hits, 1u);
+  }
+  // "Restart": a fresh cache over the same directory serves both.
+  PersistentFrontCache restarted(dir.str(), options);
+  ASSERT_TRUE(restarted.recovery().has_value());
+  EXPECT_EQ(restarted.recovery()->entries_recovered, 2u);
+  ASSERT_TRUE(restarted.lookup(make_key(2)).has_value());
+  EXPECT_EQ(restarted.lookup(make_key(2))->front.front_point().att, 20);
+}
+
+TEST(PersistentCache, DuplicateInsertIsPersistedOnce) {
+  const ScratchDir dir("duponce");
+  PersistentFrontCache cache(dir.str());
+  EXPECT_TRUE(cache.insert(make_key(1), make_result({{1, 2}})));
+  EXPECT_FALSE(cache.insert(make_key(1), make_result({{1, 2}})));
+  const auto stats = cache.store_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->puts, 1u);
+  EXPECT_EQ(cache.persistence_stats().store_writes, 1u);
+}
+
+TEST(PersistentCache, ResultMetadataSurvivesTheStore) {
+  const ScratchDir dir("metadata");
+  AnalysisResult in = make_result({{1, 2}, {3, 1}}, Algorithm::Hybrid);
+  in.memo_hits = 12345;
+  in.memo_misses = 999;
+  {
+    PersistentFrontCache cache(dir.str());
+    cache.insert(make_key(5), in);
+  }
+  PersistentFrontCache cache(dir.str());
+  const auto out = cache.lookup(make_key(5));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(bits_equal(in.front, out->front));
+  EXPECT_EQ(out->used, Algorithm::Hybrid);
+  EXPECT_EQ(out->memo_hits, 12345u);
+  EXPECT_EQ(out->memo_misses, 999u);
+}
+
+TEST(PersistentCache, WarmRestartServesBitIdenticalFrontsAcrossThreadCounts) {
+  // Cold: analyze a mixed fleet once, persisting every result. Restart,
+  // then serve the same fleet warm at 1/2/8 threads - every item must be
+  // a cache hit and every front bit-identical to the cold run.
+  RandomAdtOptions gen;
+  gen.target_nodes = 40;
+  gen.share_probability = 0.25;
+  gen.max_defenses = 10;
+  std::vector<AugmentedAdt> fleet;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    fleet.push_back(generate_random_aadt(
+        gen, seed, Semiring::min_cost(), Semiring::min_cost()));
+  }
+
+  const ScratchDir dir("warm");
+  PersistentCacheOptions options;
+  options.memory_capacity = 64;
+  BatchReport cold;
+  {
+    PersistentFrontCache cache(dir.str(), options);
+    BatchOptions batch;
+    batch.cache = &cache;
+    batch.n_threads = 2;
+    cold = analyze_batch(fleet, {}, batch);
+    ASSERT_EQ(cold.failures, 0u);
+    ASSERT_EQ(cold.cache_hits, 0u);
+    ASSERT_TRUE(cache.persistent());
+    EXPECT_EQ(cache.persistence_stats().store_writes, fleet.size());
+  }
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    PersistentFrontCache warm_cache(dir.str(), options);
+    ASSERT_TRUE(warm_cache.persistent());
+    ASSERT_TRUE(warm_cache.recovery().has_value());
+    ASSERT_EQ(warm_cache.recovery()->entries_recovered, fleet.size());
+
+    BatchOptions batch;
+    batch.cache = &warm_cache;
+    batch.n_threads = threads;
+    const BatchReport warm = analyze_batch(fleet, {}, batch);
+    ASSERT_EQ(warm.failures, 0u) << threads << " threads";
+    EXPECT_EQ(warm.cache_hits, fleet.size()) << threads << " threads";
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+      EXPECT_TRUE(warm.items[i].cached) << threads << " threads, item " << i;
+      ASSERT_TRUE(
+          bits_equal(warm.items[i].result.front, cold.items[i].result.front))
+          << threads << " threads, item " << i
+          << ": store-warm front differs from cold analysis";
+    }
+    EXPECT_EQ(warm_cache.persistence_stats().store_hits, fleet.size())
+        << threads << " threads";
+  }
+}
+
+TEST(PersistentCache, DegradedCacheStillServesBatches) {
+  // No store at all (unopenable path): analyze_batch still works and
+  // still caches in memory within the process.
+  PersistentCacheOptions options;
+  options.on_store_error = [](const std::string&) {};
+  // A path under a file (not a directory) cannot be created.
+  const ScratchDir dir("degraded_batch");
+  std::filesystem::create_directories(dir.path());
+  testutil::write_file(dir.path() / "blocker", {1});
+  PersistentFrontCache cache((dir.path() / "blocker" / "store").string(),
+                             options);
+  EXPECT_FALSE(cache.persistent());
+
+  RandomAdtOptions gen;
+  gen.target_nodes = 25;
+  std::vector<AugmentedAdt> fleet;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    fleet.push_back(generate_random_aadt(
+        gen, seed, Semiring::min_cost(), Semiring::min_cost()));
+  }
+  BatchOptions batch;
+  batch.cache = &cache;
+  batch.n_threads = 2;
+  const BatchReport cold = analyze_batch(fleet, {}, batch);
+  EXPECT_EQ(cold.failures, 0u);
+  const BatchReport warm = analyze_batch(fleet, {}, batch);
+  EXPECT_EQ(warm.failures, 0u);
+  EXPECT_EQ(warm.cache_hits, fleet.size());
+}
+
+}  // namespace
+}  // namespace adtp::store

@@ -1,0 +1,319 @@
+/// FrontStore behavior and the hand-corrupted recovery corpus. Each
+/// corruption scenario - flipped payload byte, flipped record checksum,
+/// truncated tail, stale format version, duplicate key, malformed
+/// CURRENT - must be *detected* (skipped, truncated, or refused), never
+/// served as a wrong front. Corruption is applied with std::filesystem /
+/// raw streams, deliberately behind the store's back.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "store/shard.hpp"
+#include "store_test_util.hpp"
+
+namespace adtp::store {
+namespace {
+
+using testutil::make_key;
+using testutil::read_file;
+using testutil::ScratchDir;
+using testutil::write_file;
+
+std::vector<std::uint8_t> payload_of(char fill, std::size_t n) {
+  return std::vector<std::uint8_t>(n, static_cast<std::uint8_t>(fill));
+}
+
+TEST(FrontStore, PutGetAndDedup) {
+  const ScratchDir dir("putget");
+  FrontStore store(dir.str());
+  const auto p1 = payload_of('a', 40);
+  const auto p2 = payload_of('b', 10);
+  EXPECT_TRUE(store.put(make_key(1), p1));
+  EXPECT_TRUE(store.put(make_key(2), p2));
+  EXPECT_FALSE(store.put(make_key(1), p2)) << "duplicate key must not write";
+
+  EXPECT_EQ(store.get(make_key(1)), p1);
+  EXPECT_EQ(store.get(make_key(2)), p2);
+  EXPECT_FALSE(store.get(make_key(3)).has_value());
+  EXPECT_TRUE(store.contains(make_key(2)));
+  EXPECT_FALSE(store.contains(make_key(9)));
+
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_EQ(stats.duplicate_puts, 1u);
+  EXPECT_EQ(stats.gets, 3u);
+  EXPECT_EQ(stats.get_hits, 2u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(FrontStore, ReopenRecoversEverything) {
+  const ScratchDir dir("reopen");
+  {
+    FrontStore store(dir.str());
+    for (std::uint64_t i = 1; i <= 20; ++i) {
+      ASSERT_TRUE(store.put(make_key(i), payload_of('a' + i % 7, i * 3)));
+    }
+  }
+  FrontStore store(dir.str());
+  const RecoveryReport& rec = store.recovery();
+  EXPECT_EQ(rec.entries_recovered, 20u);
+  EXPECT_EQ(rec.records_skipped, 0u);
+  EXPECT_EQ(rec.tail_bytes_truncated, 0u);
+  EXPECT_FALSE(rec.stale_generation);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    EXPECT_EQ(store.get(make_key(i)), payload_of('a' + i % 7, i * 3));
+  }
+}
+
+TEST(FrontStore, EmptyStoreZeroLengthPayloadAndReopen) {
+  const ScratchDir dir("empty");
+  {
+    FrontStore store(dir.str());
+    EXPECT_TRUE(store.put(make_key(1), payload_of('x', 0)));
+  }
+  FrontStore store(dir.str());
+  EXPECT_EQ(store.recovery().entries_recovered, 1u);
+  const auto got = store.get(make_key(1));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+// ---- the corruption corpus -------------------------------------------------
+
+/// Builds a three-entry store and returns its directory file paths.
+struct Corpus {
+  explicit Corpus(const ScratchDir& dir)
+      : data(dir.path() / "shard-1.data"), idx(dir.path() / "shard-1.idx") {
+    FrontStore store(dir.str());
+    EXPECT_TRUE(store.put(make_key(1), payload_of('a', 64)));
+    EXPECT_TRUE(store.put(make_key(2), payload_of('b', 64)));
+    EXPECT_TRUE(store.put(make_key(3), payload_of('c', 64)));
+  }
+  std::filesystem::path data;
+  std::filesystem::path idx;
+};
+
+constexpr std::size_t kHeader = 16;
+constexpr std::size_t kRecord = 56;
+
+TEST(FrontStoreRecovery, FlippedPayloadByteSkipsOnlyThatEntry) {
+  const ScratchDir dir("flip_payload");
+  const Corpus corpus(dir);
+  auto bytes = read_file(corpus.data);
+  bytes[kHeader + 64 + 10] ^= 0x40;  // middle entry's payload
+
+  write_file(corpus.data, bytes);
+  FrontStore store(dir.str());
+  const RecoveryReport& rec = store.recovery();
+  EXPECT_EQ(rec.entries_recovered, 2u);
+  EXPECT_EQ(rec.records_skipped, 1u);
+  EXPECT_EQ(store.get(make_key(1)), payload_of('a', 64));
+  EXPECT_FALSE(store.get(make_key(2)).has_value()) << "corrupt, never served";
+  EXPECT_EQ(store.get(make_key(3)), payload_of('c', 64));
+}
+
+TEST(FrontStoreRecovery, FlippedRecordChecksumSkipsOnlyThatRecord) {
+  const ScratchDir dir("flip_record");
+  const Corpus corpus(dir);
+  auto bytes = read_file(corpus.idx);
+  bytes[kHeader + kRecord + 48] ^= 0x01;  // record 2's own checksum
+  write_file(corpus.idx, bytes);
+
+  FrontStore store(dir.str());
+  EXPECT_EQ(store.recovery().entries_recovered, 2u);
+  EXPECT_EQ(store.recovery().records_skipped, 1u);
+  EXPECT_FALSE(store.get(make_key(2)).has_value());
+  EXPECT_EQ(store.get(make_key(3)), payload_of('c', 64));
+}
+
+TEST(FrontStoreRecovery, CorruptKeyFieldServesNoWrongFront) {
+  // Corrupting the *key* of a record makes its record checksum fail; the
+  // danger case would be serving entry 2's payload under a garbled key.
+  const ScratchDir dir("flip_key");
+  const Corpus corpus(dir);
+  auto bytes = read_file(corpus.idx);
+  bytes[kHeader + kRecord + 3] ^= 0xff;
+  write_file(corpus.idx, bytes);
+
+  FrontStore store(dir.str());
+  EXPECT_EQ(store.recovery().records_skipped, 1u);
+  EXPECT_FALSE(store.get(make_key(2)).has_value());
+}
+
+TEST(FrontStoreRecovery, TruncatedIndexTailDropsOnlyThePartialRecord) {
+  const ScratchDir dir("torn_idx");
+  const Corpus corpus(dir);
+  auto bytes = read_file(corpus.idx);
+  const std::size_t torn = kHeader + 2 * kRecord + kRecord / 2;
+  bytes.resize(torn);  // record 3 is half-written
+  write_file(corpus.idx, bytes);
+
+  FrontStore store(dir.str());
+  const RecoveryReport& rec = store.recovery();
+  EXPECT_EQ(rec.entries_recovered, 2u);
+  EXPECT_EQ(rec.records_skipped, 0u) << "a torn tail is truncation, not skip";
+  EXPECT_GT(rec.tail_bytes_truncated, 0u);
+  EXPECT_EQ(store.get(make_key(1)), payload_of('a', 64));
+  EXPECT_EQ(store.get(make_key(2)), payload_of('b', 64));
+  EXPECT_FALSE(store.get(make_key(3)).has_value());
+  // The torn bytes are gone from disk: a second reopen is clean.
+  FrontStore again(dir.str());
+  EXPECT_EQ(again.recovery().tail_bytes_truncated, 0u);
+  EXPECT_EQ(again.recovery().entries_recovered, 2u);
+}
+
+TEST(FrontStoreRecovery, TruncatedDataTailDropsTheUnreachableEntry) {
+  const ScratchDir dir("torn_data");
+  const Corpus corpus(dir);
+  auto bytes = read_file(corpus.data);
+  bytes.resize(kHeader + 2 * 64 + 20);  // entry 3's payload cut short
+  write_file(corpus.data, bytes);
+
+  FrontStore store(dir.str());
+  EXPECT_EQ(store.recovery().entries_recovered, 2u);
+  EXPECT_FALSE(store.get(make_key(3)).has_value());
+  EXPECT_EQ(store.get(make_key(2)), payload_of('b', 64));
+}
+
+TEST(FrontStoreRecovery, StaleFormatVersionStartsFreshAndServesNothing) {
+  const ScratchDir dir("stale");
+  const Corpus corpus(dir);
+  auto bytes = read_file(corpus.idx);
+  bytes[8] = 99;  // format version field of the header
+  write_file(corpus.idx, bytes);
+
+  FrontStore store(dir.str());
+  EXPECT_TRUE(store.recovery().stale_generation);
+  EXPECT_EQ(store.recovery().entries_recovered, 0u);
+  EXPECT_FALSE(store.get(make_key(1)).has_value());
+  EXPECT_GT(store.generation(), 1u);
+  // The fresh generation is fully functional and survives reopen.
+  EXPECT_TRUE(store.put(make_key(9), payload_of('z', 8)));
+  const std::uint64_t gen = store.generation();
+  FrontStore reopened(dir.str());
+  EXPECT_EQ(reopened.generation(), gen);
+  EXPECT_EQ(reopened.get(make_key(9)), payload_of('z', 8));
+}
+
+TEST(FrontStoreRecovery, ForeignMagicStartsFresh) {
+  const ScratchDir dir("magic");
+  const Corpus corpus(dir);
+  auto bytes = read_file(corpus.data);
+  bytes[0] = 'X';
+  write_file(corpus.data, bytes);
+  FrontStore store(dir.str());
+  EXPECT_TRUE(store.recovery().stale_generation);
+  EXPECT_EQ(store.recovery().entries_recovered, 0u);
+}
+
+TEST(FrontStoreRecovery, DuplicateKeyRecordFirstWins) {
+  const ScratchDir dir("dup");
+  const Corpus corpus(dir);
+  // Append a verbatim copy of record 1 (a valid record re-claiming key 1,
+  // as a buggy or adversarial writer might): the original must win.
+  auto idx = read_file(corpus.idx);
+  std::vector<std::uint8_t> dup(idx.begin() + kHeader,
+                                idx.begin() + kHeader + kRecord);
+  idx.insert(idx.end(), dup.begin(), dup.end());
+  write_file(corpus.idx, idx);
+
+  FrontStore store(dir.str());
+  EXPECT_EQ(store.recovery().entries_recovered, 3u);
+  EXPECT_EQ(store.recovery().duplicates_skipped, 1u);
+  EXPECT_EQ(store.get(make_key(1)), payload_of('a', 64));
+}
+
+TEST(FrontStoreRecovery, MalformedCurrentStartsFresh) {
+  const ScratchDir dir("current");
+  const Corpus corpus(dir);
+  write_file(dir.path() / "CURRENT", {'j', 'u', 'n', 'k', '\n'});
+  FrontStore store(dir.str());
+  EXPECT_TRUE(store.recovery().stale_generation);
+  EXPECT_EQ(store.recovery().entries_recovered, 0u);
+  EXPECT_TRUE(store.put(make_key(4), payload_of('d', 4)));
+  EXPECT_EQ(store.get(make_key(4)), payload_of('d', 4));
+}
+
+TEST(FrontStoreRecovery, BitRotAfterOpenIsCaughtAtReadTime) {
+  const ScratchDir dir("bitrot");
+  FrontStore store(dir.str());
+  ASSERT_TRUE(store.put(make_key(1), payload_of('a', 64)));
+  // Rot the payload underneath the open store.
+  auto bytes = read_file(dir.path() / "shard-1.data");
+  bytes[kHeader + 5] ^= 0x10;
+  write_file(dir.path() / "shard-1.data", bytes);
+  EXPECT_FALSE(store.get(make_key(1)).has_value());
+  EXPECT_EQ(store.stats().corrupt_reads, 1u);
+  EXPECT_FALSE(store.contains(make_key(1))) << "dropped after detection";
+}
+
+// ---- eviction and compaction -----------------------------------------------
+
+TEST(FrontStore, MaxEntriesEvictsOldestFirst) {
+  const ScratchDir dir("evict");
+  StoreOptions options;
+  options.max_entries = 3;
+  options.compact_dead_fraction = 0;  // keep eviction observable on disk
+  FrontStore store(dir.str(), options);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(store.put(make_key(i), payload_of('a', 16)));
+  }
+  EXPECT_FALSE(store.contains(make_key(1)));
+  EXPECT_FALSE(store.contains(make_key(2)));
+  EXPECT_TRUE(store.contains(make_key(3)));
+  EXPECT_TRUE(store.contains(make_key(5)));
+  EXPECT_EQ(store.stats().evictions, 2u);
+  EXPECT_EQ(store.stats().dead_bytes, 32u);
+}
+
+TEST(FrontStore, CompactionRewritesLiveEntriesAndSurvivesReopen) {
+  const ScratchDir dir("compact");
+  StoreOptions options;
+  options.max_entries = 4;
+  options.compact_dead_fraction = 0;
+  {
+    FrontStore store(dir.str(), options);
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+      ASSERT_TRUE(store.put(make_key(i), payload_of('a' + i % 7, 32)));
+    }
+    ASSERT_EQ(store.stats().entries, 4u);
+    const std::uint64_t before = store.stats().data_bytes;
+    store.compact();
+    EXPECT_EQ(store.generation(), 2u);
+    EXPECT_EQ(store.stats().compactions, 1u);
+    EXPECT_EQ(store.stats().dead_bytes, 0u);
+    EXPECT_LT(store.stats().data_bytes, before);
+    for (std::uint64_t i = 7; i <= 10; ++i) {
+      EXPECT_EQ(store.get(make_key(i)), payload_of('a' + i % 7, 32));
+    }
+    // Old generation files are gone.
+    EXPECT_FALSE(std::filesystem::exists(dir.path() / "shard-1.data"));
+  }
+  FrontStore reopened(dir.str(), options);
+  EXPECT_EQ(reopened.generation(), 2u);
+  EXPECT_EQ(reopened.recovery().entries_recovered, 4u);
+  for (std::uint64_t i = 7; i <= 10; ++i) {
+    EXPECT_EQ(reopened.get(make_key(i)), payload_of('a' + i % 7, 32));
+  }
+}
+
+TEST(FrontStore, AutoCompactionTriggersOnDeadFraction) {
+  const ScratchDir dir("autocompact");
+  StoreOptions options;
+  options.max_entries = 2;
+  options.compact_dead_fraction = 0.4;
+  FrontStore store(dir.str(), options);
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    ASSERT_TRUE(store.put(make_key(i), payload_of('p', 100)));
+  }
+  EXPECT_GT(store.stats().compactions, 0u);
+  // Whatever the compaction cadence, the live tail is always intact.
+  EXPECT_EQ(store.get(make_key(11)), payload_of('p', 100));
+  EXPECT_EQ(store.get(make_key(12)), payload_of('p', 100));
+}
+
+}  // namespace
+}  // namespace adtp::store

@@ -1,0 +1,93 @@
+/// Shared plumbing for the store suites: scratch directories under the
+/// test's working directory (removed on scope exit) and terse builders
+/// for results and keys. Tests reach around the FileOps seam with
+/// std::filesystem on purpose - hand-corrupting shard files must not go
+/// through the interface whose error handling is under test.
+
+#pragma once
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hpp"
+#include "core/front_cache.hpp"
+
+namespace adtp::store::testutil {
+
+/// A unique scratch directory, recursively deleted on destruction.
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    static std::uint64_t counter = 0;
+    path_ = std::filesystem::temp_directory_path() /
+            ("adtp_store_" + tag + "_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    std::filesystem::remove_all(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+
+  [[nodiscard]] std::string str() const { return path_.string(); }
+  [[nodiscard]] std::filesystem::path path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+inline AnalysisResult make_result(std::initializer_list<ValuePoint> points,
+                                  Algorithm used = Algorithm::BottomUp) {
+  AnalysisResult result;
+  result.front = Front::from_staircase(std::vector<ValuePoint>(points));
+  result.used = used;
+  result.seconds = 0.125;
+  result.memo_hits = 3;
+  result.memo_misses = 7;
+  return result;
+}
+
+inline FrontCacheKey make_key(std::uint64_t n) {
+  return FrontCacheKey{n, n * 31 + 1, n * 131 + 7};
+}
+
+/// Reads a whole file as bytes (empty when absent).
+inline std::vector<std::uint8_t> read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+}
+
+/// Overwrites a file with bytes.
+inline void write_file(const std::filesystem::path& p,
+                       const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// True iff the two fronts match by IEEE-754 bit pattern, point by point
+/// (stricter than operator== style compares: distinguishes -0.0 / +0.0
+/// and treats equal NaN payloads as equal).
+inline bool bits_equal(const Front& a, const Front& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a.points()[i].def) !=
+        std::bit_cast<std::uint64_t>(b.points()[i].def)) {
+      return false;
+    }
+    if (std::bit_cast<std::uint64_t>(a.points()[i].att) !=
+        std::bit_cast<std::uint64_t>(b.points()[i].att)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace adtp::store::testutil
