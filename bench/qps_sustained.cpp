@@ -1,0 +1,369 @@
+/// Sustained-QPS bench: a closed-loop client swarm against a live
+/// in-process serving daemon (src/serve/daemon.hpp) over a heavy-tailed
+/// model-size mix - the catalog models plus the fig4 exponential family,
+/// Zipf-weighted so small popular models dominate and big fig4 instances
+/// form the tail, the request distribution a fleet front-end actually
+/// produces.
+///
+/// Each client owns one connection and issues back-to-back ANALYZE
+/// requests for --duration seconds (closed loop: offered load tracks
+/// service rate, so the reported QPS is *sustained*, not peak-burst).
+/// Admission rejections (max-inflight / max-connections) are retried
+/// with backoff and counted, never failed. With --churn K every K-th
+/// request the client hangs up abruptly - sometimes right after sending,
+/// so the daemon writes into a closed socket - and reconnects: the
+/// disconnect storm of satellite fix 1, exercised under full load.
+///
+/// Reported: sustained QPS, p50/p95/p99 latency, warm share (fraction
+/// served from memory or store), rejections, disconnects. The bench
+/// exits nonzero on any hard failure, on a daemon that lost requests,
+/// or below --min-qps (0 disables). CI pins BENCH_10.json as the
+/// regression baseline.
+///
+/// Usage: bench_qps_sustained [--clients N] [--duration S] [--churn K]
+///                            [--max-inflight N] [--max-connections N]
+///                            [--min-qps Q] [--json PATH]
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adt/adtool_xml.hpp"
+#include "adt/text_format.hpp"
+#include "bench_common.hpp"
+#include "gen/catalog.hpp"
+#include "serve/daemon.hpp"
+#include "serve/socket.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace adtp;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct ScratchDir {
+  explicit ScratchDir(const std::string& tag)
+      : path(std::filesystem::temp_directory_path() /
+             ("adtp_qps_" + tag + "_" + std::to_string(::getpid()))) {
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScratchDir() { std::filesystem::remove_all(path); }
+  std::filesystem::path path;
+};
+
+struct RequestItem {
+  std::string name;
+  std::string format;
+  std::string body;
+};
+
+/// The catalog + fig4-family mix. Order matters: Zipf weight 1/(i+1)^s
+/// makes the head (small catalog models) hot and the fig4 tail heavy.
+std::vector<RequestItem> build_mix() {
+  std::vector<RequestItem> items;
+  items.push_back({"fig3", "text", to_text_format(catalog::fig3_example())});
+  items.push_back({"fig5", "text", to_text_format(catalog::fig5_example())});
+  {
+    const AugmentedAdt money = catalog::money_theft_dag();
+    items.push_back({"money_dag", "xml",
+                     export_adtool_xml(money.adt(), money.attribution())});
+  }
+  items.push_back(
+      {"money_tree", "text", to_text_format(catalog::money_theft_tree())});
+  {
+    const AugmentedAdt fig5 = catalog::fig5_example();
+    JsonWriter envelope;
+    envelope.begin_object();
+    envelope.key("format").value("text");
+    envelope.key("model").value(to_text_format(fig5));
+    envelope.key("algorithm").value("naive");
+    envelope.end_object();
+    items.push_back({"fig5_json", "json", envelope.str()});
+  }
+  for (int n = 4; n <= 12; ++n) {
+    items.push_back({"fig4_" + std::to_string(n), "text",
+                     to_text_format(catalog::fig4_exponential(n))});
+  }
+  return items;
+}
+
+/// Zipf(s) sampler over [0, n): cumulative weights, binary search.
+class ZipfPicker {
+ public:
+  ZipfPicker(std::size_t n, double s) {
+    cumulative_.reserve(n);
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cumulative_.push_back(total);
+    }
+  }
+
+  template <typename Rng>
+  std::size_t operator()(Rng& rng) const {
+    std::uniform_real_distribution<double> uniform(0.0, cumulative_.back());
+    const double u = uniform(rng);
+    return static_cast<std::size_t>(
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u) -
+        cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+struct ClientTotals {
+  std::vector<double> latencies_ms;  ///< successful requests only
+  std::uint64_t served = 0;
+  std::uint64_t rejected_retries = 0;  ///< retryable rejections absorbed
+  std::uint64_t churns = 0;            ///< abrupt hangups we caused
+  std::uint64_t failures = 0;          ///< ok=false, not retryable
+};
+
+/// One closed-loop client: its own connection, its own RNG, back-to-back
+/// requests until the deadline.
+ClientTotals run_client(const serve::Endpoint& ep,
+                        const std::vector<RequestItem>& items,
+                        const ZipfPicker& pick, std::uint64_t seed,
+                        std::size_t churn_every, Clock::time_point until) {
+  ClientTotals totals;
+  std::mt19937_64 rng(seed);
+  int fd = serve::connect_with_retry(ep);
+  std::uint64_t sent = 0;
+  while (Clock::now() < until) {
+    const RequestItem& item = items[pick(rng)];
+    const std::string header = "ANALYZE " + item.format + " " +
+                               std::to_string(item.body.size()) + "\n";
+    ++sent;
+    if (churn_every > 0 && sent % churn_every == 0) {
+      // Abrupt hangup: send a full request, then vanish without reading
+      // the reply - the daemon's write lands on a dead socket. Half the
+      // time, hang up before even sending, exercising the read side.
+      ++totals.churns;
+      try {
+        if (rng() % 2 == 0) {
+          serve::write_all_fd(fd, (header + item.body).data(),
+                              header.size() + item.body.size());
+        }
+      } catch (const serve::SocketError&) {
+        // The daemon may already have dropped us; reconnect regardless.
+      }
+      ::close(fd);
+      fd = serve::connect_with_retry(ep);
+      continue;
+    }
+    double backoff = 0.005;
+    for (int attempt = 0;; ++attempt) {
+      const Clock::time_point start = Clock::now();
+      std::string reply_line;
+      try {
+        reply_line = serve::request_line(fd, header + item.body);
+      } catch (const serve::SocketError&) {
+        // Dropped (likely an earlier churn raced the daemon's close);
+        // reconnect and retry the same request.
+        ::close(fd);
+        fd = serve::connect_with_retry(ep);
+        if (attempt >= 8) {
+          ++totals.failures;
+          break;
+        }
+        continue;
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count();
+      const JsonValue reply = parse_json(reply_line);
+      if (reply.at("ok").as_bool()) {
+        ++totals.served;
+        totals.latencies_ms.push_back(ms);
+        break;
+      }
+      const bool retryable =
+          reply.has("retryable") && reply.at("retryable").as_bool();
+      if (!retryable || attempt >= 8) {
+        ++totals.failures;
+        break;
+      }
+      ++totals.rejected_retries;
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2, 0.2);
+    }
+  }
+  ::close(fd);
+  return totals;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const std::size_t clients = bench::arg_size_t(argc, argv, "--clients", 8);
+  const double duration = std::stod(
+      bench::arg_value(argc, argv, "--duration").value_or("10"));
+  const std::size_t churn = bench::arg_size_t(argc, argv, "--churn", 50);
+  const std::size_t max_inflight =
+      bench::arg_size_t(argc, argv, "--max-inflight", 8);
+  const std::size_t max_connections =
+      bench::arg_size_t(argc, argv, "--max-connections", 2 * clients);
+  const double min_qps = std::stod(
+      bench::arg_value(argc, argv, "--min-qps").value_or("0"));
+  const auto json_path = bench::arg_value(argc, argv, "--json");
+
+  bench::banner("Sustained QPS under a heavy-tailed serving mix");
+  bench::assert_kernel_guards(catalog::fig3_example());
+
+  const std::vector<RequestItem> items = build_mix();
+  const ZipfPicker pick(items.size(), 1.1);
+  std::cout << "mix: " << items.size() << " models (catalog head, fig4 tail), "
+            << clients << " closed-loop client(s), " << duration
+            << "s, churn every "
+            << (churn > 0 ? std::to_string(churn) : std::string("-"))
+            << " request(s)\n";
+
+  const ScratchDir dir("swarm");
+  serve::Endpoint ep;
+  ep.path = (dir.path / "d.sock").string();
+
+  serve::DaemonConfig config;
+  config.store_dir = (dir.path / "store").string();
+  config.max_inflight = max_inflight;
+  config.max_connections = max_connections;
+  config.deadline_seconds = 30.0;
+  config.memory_capacity = 4 * items.size();
+  serve::DaemonServer server(ep, config);
+  if (!server.cache().persistent()) {
+    std::cerr << "FAILED: store did not open under " << config.store_dir
+              << "\n";
+    return 1;
+  }
+  server.start();
+
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point until =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double>(duration));
+  std::vector<ClientTotals> totals(clients);
+  std::vector<std::thread> swarm;
+  swarm.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    swarm.emplace_back([&, c] {
+      totals[c] = run_client(ep, items, pick, 0x9e3779b9u + 977u * c, churn,
+                             until);
+    });
+  }
+  for (std::thread& t : swarm) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> latencies;
+  std::uint64_t served = 0, rejected_retries = 0, churns = 0, failures = 0;
+  for (const ClientTotals& t : totals) {
+    latencies.insert(latencies.end(), t.latencies_ms.begin(),
+                     t.latencies_ms.end());
+    served += t.served;
+    rejected_retries += t.rejected_retries;
+    churns += t.churns;
+    failures += t.failures;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps = elapsed > 0 ? static_cast<double>(served) / elapsed : 0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+
+  const serve::DaemonMetrics& m = server.metrics();
+  const std::uint64_t daemon_served =
+      m.computed.load() + m.cache_hits.load();
+  const double warm_share =
+      daemon_served > 0 ? static_cast<double>(m.cache_hits.load()) /
+                              static_cast<double>(daemon_served)
+                        : 0;
+  const std::uint64_t disconnects = m.disconnects.load();
+  server.stop();
+
+  TextTable table({"metric", "value"});
+  table.add_row({"sustained QPS", format_value(qps, 1)});
+  table.add_row({"p50 latency", format_value(p50, 3) + " ms"});
+  table.add_row({"p95 latency", format_value(p95, 3) + " ms"});
+  table.add_row({"p99 latency", format_value(p99, 3) + " ms"});
+  table.add_row({"served", std::to_string(served)});
+  table.add_row({"warm share", format_value(100 * warm_share, 1) + " %"});
+  table.add_row({"admission retries", std::to_string(rejected_retries)});
+  table.add_row({"abrupt hangups", std::to_string(churns)});
+  table.add_row({"daemon disconnects", std::to_string(disconnects)});
+  table.add_row({"client failures", std::to_string(failures)});
+  std::cout << table.to_text();
+  std::cout << "\nClosed loop: every client waits for its reply, so QPS is "
+               "what the daemon sustains, not what was offered; the churn "
+               "column is the disconnect storm it absorbed while serving.\n";
+
+  if (json_path) {
+    JsonWriter json;
+    json.begin_object();
+    json.key("bench").value("qps_sustained");
+    json.key("clients").value(static_cast<std::uint64_t>(clients));
+    json.key("duration_seconds").value(elapsed);
+    json.key("served").value(served);
+    json.key("qps").value(qps);
+    json.key("p50_ms").value(p50);
+    json.key("p95_ms").value(p95);
+    json.key("p99_ms").value(p99);
+    json.key("warm_share").value(warm_share);
+    json.key("admission_retries").value(rejected_retries);
+    json.key("hangups").value(churns);
+    json.key("disconnects").value(disconnects);
+    json.key("failures").value(failures);
+    json.end_object();
+    std::ofstream out(*json_path);
+    out << json.str() << "\n";
+    if (!out.good()) {
+      std::cerr << "FAILED to write " << *json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << *json_path << "\n";
+  }
+
+  if (failures != 0) {
+    std::cerr << "FAILED: " << failures << " request(s) hard-failed\n";
+    return 1;
+  }
+  if (served == 0) {
+    std::cerr << "FAILED: nothing served\n";
+    return 1;
+  }
+  if (churn > 0 && disconnects == 0) {
+    std::cerr << "FAILED: churned " << churns
+              << " connection(s) but the daemon counted no disconnect\n";
+    return 1;
+  }
+  if (min_qps > 0 && qps < min_qps) {
+    std::cerr << "FAILED: sustained " << qps << " QPS below the --min-qps bar "
+              << min_qps << "\n";
+    return 1;
+  }
+  std::cout << "\n[qps_sustained] done\n";
+  return 0;
+}

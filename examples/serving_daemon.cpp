@@ -3,59 +3,39 @@
 /// formats, results stream back as JSON lines, and every computed front is
 /// persisted through the crash-safe store (src/store/) so a restarted
 /// daemon serves the same fleet warm - bit-identical to the cold run, by
-/// contract 5 of docs/CONTRACTS.md. Store trouble never fails a request:
-/// the PersistentFrontCache retries transient errors with bounded
-/// exponential backoff and degrades to memory-only on permanent ones.
+/// contract 5 of docs/CONTRACTS.md. The serving core (bounded worker
+/// pool, wire protocol, admission control, follower refresh) lives in
+/// src/serve/daemon.hpp; this executable is the process shell plus a
+/// command-line client.
 ///
-/// Wire protocol (one request per line; responses are single JSON lines):
-///
-///   ANALYZE <format> <nbytes>\n<payload>   format in {text, xml, json}
-///   STATS\n                                serving + cache + store metrics
-///   PING\n                                 liveness probe
-///
-/// The text payload is src/adt/text_format.hpp's language; xml is ADTool
-/// tree XML (src/adt/adtool_xml.hpp); json is an envelope
-/// {"format":"text"|"xml","model":"...","algorithm":"...","deadline":S}
-/// wrapping either of the other two (there is no native JSON model
-/// format). An ANALYZE response:
-///
-///   {"ok":true,"cached":false,"algorithm":"bdd_bu","nodes":31,
-///    "seconds":0.0012,"front":[[0,"inf"],[4,12.5]]}
-///
-/// or {"ok":false,"error":"...","retryable":true|false} - retryable marks
-/// admission-control rejections (the in-flight cap) that a client should
-/// retry with backoff, as the bundled client mode does.
-///
-/// Admission control runs against the same deadline guards the analysis
-/// kernels honor: every request is analyzed under --deadline seconds (a
-/// kernel-level Deadline, not a socket timeout), and at most
-/// --max-inflight analyses run concurrently; excess requests are rejected
-/// up front instead of queueing past their deadline.
+/// Multi-process sharing: several daemons may point --store at one
+/// directory. Exactly one holds the writer lease; the others attach with
+/// --store-follower and trail its appends (--store-refresh S, or the
+/// client's --refresh), serving the shared fronts warm. When the writer
+/// dies, `--connect FOLLOWER --promote` turns a follower into the writer
+/// (docs/CONTRACTS.md contract 6).
 ///
 /// Server:  serving_daemon --socket /tmp/adtp.sock [--store DIR]
 ///          serving_daemon --port 7411 [--store DIR]
-///            [--deadline S] [--max-inflight N] [--threads N]
-///            [--memory-capacity N]
+///            [--deadline S] [--max-inflight N] [--max-connections N]
+///            [--threads N] [--memory-capacity N]
+///            [--store-follower] [--store-refresh S]
 /// Client:  serving_daemon --connect /tmp/adtp.sock --ping
 ///          serving_daemon --connect 127.0.0.1:7411 --stats
 ///          serving_daemon --connect SOCK --analyze FILE --format text
+///          serving_daemon --connect SOCK --analyze-random SEED
+///          serving_daemon --connect SOCK --refresh | --promote
 ///          serving_daemon --connect SOCK --round      (built-in catalog
 ///            round exercising all three formats; exits nonzero on any
 ///            failed item - the CI smoke workload)
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdint>
-#include <cstring>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -63,434 +43,20 @@
 
 #include "adt/adtool_xml.hpp"
 #include "adt/text_format.hpp"
-#include "core/analyzer.hpp"
 #include "example_args.hpp"
 #include "gen/catalog.hpp"
-#include "store/persistent_cache.hpp"
-#include "util/cancel.hpp"
+#include "gen/random_adt.hpp"
+#include "serve/daemon.hpp"
+#include "serve/socket.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
 using namespace adtp;
 using examples::flag;
 using examples::flag_d;
+using serve::Endpoint;
 
 namespace {
-
-// ---- tiny socket layer -----------------------------------------------------
-
-void write_all_fd(int fd, const char* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      throw Error("socket write failed: " + std::string(std::strerror(errno)));
-    }
-    data += w;
-    n -= static_cast<std::size_t>(w);
-  }
-}
-
-/// Reads one '\n'-terminated line (the terminator is consumed, not
-/// returned). Empty optional on clean EOF before any byte.
-std::optional<std::string> read_line_fd(int fd, std::size_t max = 4096) {
-  std::string line;
-  char c = 0;
-  while (true) {
-    const ssize_t r = ::read(fd, &c, 1);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw Error("socket read failed: " + std::string(std::strerror(errno)));
-    }
-    if (r == 0) {
-      if (line.empty()) return std::nullopt;
-      return line;  // EOF mid-line: hand back what arrived
-    }
-    if (c == '\n') return line;
-    if (line.size() >= max) throw Error("request line too long");
-    line += c;
-  }
-}
-
-std::string read_exact_fd(int fd, std::size_t n) {
-  std::string body(n, '\0');
-  std::size_t got = 0;
-  while (got < n) {
-    const ssize_t r = ::read(fd, body.data() + got, n - got);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      throw Error("socket read failed: " + std::string(std::strerror(errno)));
-    }
-    if (r == 0) throw Error("connection closed mid-payload");
-    got += static_cast<std::size_t>(r);
-  }
-  return body;
-}
-
-struct Endpoint {
-  bool is_unix = true;
-  std::string path;         ///< unix socket path
-  std::string host;         ///< tcp host
-  std::uint16_t port = 0;   ///< tcp port
-};
-
-Endpoint parse_endpoint(const std::string& spec) {
-  Endpoint ep;
-  const std::size_t colon = spec.rfind(':');
-  if (colon != std::string::npos &&
-      spec.find('/') == std::string::npos) {
-    ep.is_unix = false;
-    ep.host = spec.substr(0, colon);
-    ep.port = static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)));
-  } else {
-    ep.path = spec;
-  }
-  return ep;
-}
-
-int listen_on(const Endpoint& ep) {
-  if (ep.is_unix) {
-    ::unlink(ep.path.c_str());
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) throw Error("socket() failed");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (ep.path.size() >= sizeof(addr.sun_path)) {
-      throw Error("unix socket path too long: " + ep.path);
-    }
-    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      throw Error("bind(" + ep.path + ") failed: " + std::strerror(errno));
-    }
-    if (::listen(fd, 64) != 0) throw Error("listen() failed");
-    return fd;
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw Error("socket() failed");
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(ep.port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw Error("bind(port " + std::to_string(ep.port) +
-                ") failed: " + std::strerror(errno));
-  }
-  if (::listen(fd, 64) != 0) throw Error("listen() failed");
-  return fd;
-}
-
-int connect_to(const Endpoint& ep) {
-  if (ep.is_unix) {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0) throw Error("socket() failed");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    std::strncpy(addr.sun_path, ep.path.c_str(), sizeof(addr.sun_path) - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-      ::close(fd);
-      throw Error("connect(" + ep.path + ") failed: " + std::strerror(errno));
-    }
-    return fd;
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) throw Error("socket() failed");
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(ep.port);
-  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw Error("bad host: " + ep.host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    throw Error("connect(" + ep.host + ":" + std::to_string(ep.port) +
-                ") failed: " + std::strerror(errno));
-  }
-  return fd;
-}
-
-// ---- the server ------------------------------------------------------------
-
-struct ServerConfig {
-  double deadline_seconds = 10.0;
-  std::size_t max_inflight = 8;
-  unsigned threads = 0;  ///< intra-model threads per analysis (0 = default)
-};
-
-struct ServingMetrics {
-  std::atomic<std::uint64_t> requests{0};   ///< ANALYZE requests accepted
-  std::atomic<std::uint64_t> computed{0};   ///< served by running a kernel
-  std::atomic<std::uint64_t> cache_hits{0}; ///< served from memory or store
-  std::atomic<std::uint64_t> rejected{0};   ///< admission-control rejections
-  std::atomic<std::uint64_t> failed{0};     ///< parse/model/deadline errors
-};
-
-struct ParsedRequest {
-  std::optional<AugmentedAdt> aadt;  ///< engaged after a successful parse
-  AnalysisOptions options;
-  double deadline_override = 0;  ///< json envelope only; 0 = server default
-};
-
-Algorithm parse_algorithm(const std::string& name) {
-  if (name == "auto") return Algorithm::Auto;
-  if (name == "naive") return Algorithm::Naive;
-  if (name == "bottom_up" || name == "bottom-up") return Algorithm::BottomUp;
-  if (name == "bdd_bu" || name == "bdd-bu") return Algorithm::BddBu;
-  if (name == "hybrid") return Algorithm::Hybrid;
-  throw Error("unknown algorithm: " + name);
-}
-
-AugmentedAdt model_from(const std::string& format, const std::string& body) {
-  if (format == "text") return parse_adt_text(body).augmented();
-  if (format == "xml") {
-    AdtoolImport imported = import_adtool_xml(body);
-    return AugmentedAdt(std::move(imported.adt), std::move(imported.attribution),
-                        Semiring::min_cost(), Semiring::min_cost());
-  }
-  throw Error("unknown model format: " + format);
-}
-
-ParsedRequest parse_request(const std::string& format,
-                            const std::string& body) {
-  ParsedRequest req;
-  if (format == "json") {
-    const JsonValue doc = parse_json(body);
-    const std::string inner =
-        doc.has("format") ? doc.at("format").as_string() : "text";
-    if (inner == "json") throw Error("json envelope cannot nest json");
-    req.aadt = model_from(inner, doc.at("model").as_string());
-    if (doc.has("algorithm")) {
-      req.options.algorithm = parse_algorithm(doc.at("algorithm").as_string());
-    }
-    if (doc.has("deadline")) {
-      req.deadline_override = doc.at("deadline").as_number();
-    }
-    return req;
-  }
-  req.aadt = model_from(format, body);
-  return req;
-}
-
-std::string error_json(const std::string& what, bool retryable) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("ok").value(false);
-  json.key("error").value(what);
-  json.key("retryable").value(retryable);
-  json.end_object();
-  return json.str();
-}
-
-std::string result_json(const AnalysisResult& result, bool cached,
-                        std::size_t nodes) {
-  JsonWriter json;
-  json.begin_object();
-  json.key("ok").value(true);
-  json.key("cached").value(cached);
-  json.key("algorithm").value(to_string(result.used));
-  json.key("nodes").value(static_cast<std::uint64_t>(nodes));
-  json.key("seconds").value(result.seconds);
-  json.key("front").begin_array();
-  for (const ValuePoint& p : result.front.points()) {
-    json.begin_array();
-    json.value(p.def);
-    json.value(p.att);
-    json.end_array();
-  }
-  json.end_array();
-  json.end_object();
-  return json.str();
-}
-
-std::string stats_json(const store::PersistentFrontCache& cache,
-                       const ServingMetrics& metrics) {
-  const FrontCache::Stats memory = cache.stats();
-  const store::PersistentCacheStats persistence = cache.persistence_stats();
-  JsonWriter json;
-  json.begin_object();
-  json.key("ok").value(true);
-  json.key("requests").value(metrics.requests.load());
-  json.key("computed").value(metrics.computed.load());
-  json.key("cache_hits").value(metrics.cache_hits.load());
-  json.key("rejected").value(metrics.rejected.load());
-  json.key("failed").value(metrics.failed.load());
-  const std::uint64_t served =
-      metrics.computed.load() + metrics.cache_hits.load();
-  json.key("hit_rate")
-      .value(served == 0 ? 0.0
-                         : static_cast<double>(metrics.cache_hits.load()) /
-                               static_cast<double>(served));
-  json.key("memory").begin_object();
-  json.key("hits").value(memory.hits);
-  json.key("misses").value(memory.misses);
-  json.key("entries").value(static_cast<std::uint64_t>(memory.entries));
-  json.key("coalesced").value(memory.coalesced);
-  json.end_object();
-  json.key("persistent").value(cache.persistent());
-  json.key("store").begin_object();
-  json.key("hits").value(persistence.store_hits);
-  json.key("writes").value(persistence.store_writes);
-  json.key("errors").value(persistence.store_errors);
-  json.key("retries").value(persistence.retries);
-  json.key("decode_failures").value(persistence.decode_failures);
-  json.key("degraded").value(persistence.degraded);
-  json.end_object();
-  if (const auto recovery = cache.recovery()) {
-    json.key("recovery").begin_object();
-    json.key("entries_recovered").value(recovery->entries_recovered);
-    json.key("records_skipped").value(recovery->records_skipped);
-    json.key("tail_bytes_truncated").value(recovery->tail_bytes_truncated);
-    json.key("stale_generation").value(recovery->stale_generation);
-    json.end_object();
-  }
-  json.end_object();
-  return json.str();
-}
-
-/// Serves one ANALYZE request body; returns the JSON response line.
-/// Identical concurrent requests coalesce on the cache's single-flight
-/// path, so a thundering herd computes each front exactly once.
-std::string serve_analyze(store::PersistentFrontCache& cache,
-                          const ServerConfig& config, ServingMetrics& metrics,
-                          const std::string& format, const std::string& body,
-                          std::atomic<std::size_t>& inflight) {
-  ParsedRequest req;
-  try {
-    req = parse_request(format, body);
-  } catch (const std::exception& e) {
-    metrics.failed.fetch_add(1);
-    return error_json(e.what(), /*retryable=*/false);
-  }
-
-  // Admission: reject past the in-flight cap instead of queueing a
-  // request that would expire before a worker even picks it up.
-  if (inflight.fetch_add(1) >= config.max_inflight) {
-    inflight.fetch_sub(1);
-    metrics.rejected.fetch_add(1);
-    return error_json("over capacity (max-inflight reached)",
-                      /*retryable=*/true);
-  }
-  struct InflightRelease {
-    std::atomic<std::size_t>& n;
-    ~InflightRelease() { n.fetch_sub(1); }
-  } release{inflight};
-
-  metrics.requests.fetch_add(1);
-  const double budget = req.deadline_override > 0 ? req.deadline_override
-                                                  : config.deadline_seconds;
-  const Deadline deadline(budget);
-  req.options.naive.deadline = &deadline;
-  req.options.bottom_up.deadline = &deadline;
-  req.options.bdd.deadline = &deadline;
-  req.options.hybrid.bdd.deadline = &deadline;
-  if (config.threads > 0) req.options.intra_model_threads = config.threads;
-
-  const FrontCacheKey key = front_cache_key(*req.aadt, req.options);
-  FrontCache::FlightLookup flight = cache.lookup_or_reserve(key);
-  if (flight.result.has_value()) {
-    metrics.cache_hits.fetch_add(1);
-    return result_json(*flight.result, /*cached=*/true, req.aadt->adt().size());
-  }
-  AnalysisResult result;
-  try {
-    result = analyze(*req.aadt, req.options);
-  } catch (const std::exception& e) {
-    cache.abandon(key);
-    metrics.failed.fetch_add(1);
-    return error_json(e.what(), /*retryable=*/false);
-  }
-  cache.publish(key, result);
-  metrics.computed.fetch_add(1);
-  return result_json(result, /*cached=*/false, req.aadt->adt().size());
-}
-
-void serve_connection(int fd, store::PersistentFrontCache& cache,
-                      const ServerConfig& config, ServingMetrics& metrics,
-                      std::atomic<std::size_t>& inflight) {
-  try {
-    while (true) {
-      const std::optional<std::string> line = read_line_fd(fd);
-      if (!line.has_value()) break;
-      std::istringstream words(*line);
-      std::string verb;
-      words >> verb;
-      std::string response;
-      if (verb == "PING") {
-        response = R"({"ok":true,"pong":true})";
-      } else if (verb == "STATS") {
-        response = stats_json(cache, metrics);
-      } else if (verb == "ANALYZE") {
-        std::string format;
-        std::size_t nbytes = 0;
-        if (!(words >> format >> nbytes) || nbytes > (16u << 20)) {
-          response = error_json("malformed ANALYZE header", false);
-        } else {
-          const std::string body = read_exact_fd(fd, nbytes);
-          response =
-              serve_analyze(cache, config, metrics, format, body, inflight);
-        }
-      } else {
-        response = error_json("unknown verb: " + verb, false);
-      }
-      response += "\n";
-      write_all_fd(fd, response.data(), response.size());
-    }
-  } catch (const std::exception& e) {
-    // A broken connection only takes itself down.
-    std::cerr << "[conn] " << e.what() << "\n";
-  }
-  ::close(fd);
-}
-
-int run_server(const Endpoint& ep, const std::string& store_dir,
-               const ServerConfig& config, std::size_t memory_capacity) {
-  store::PersistentCacheOptions cache_options;
-  cache_options.memory_capacity = memory_capacity;
-  cache_options.on_store_error = [](const std::string& what) {
-    std::cerr << "[store] " << what << "\n";
-  };
-  store::PersistentFrontCache cache(store_dir, cache_options);
-  if (cache.persistent()) {
-    const auto recovery = cache.recovery();
-    std::cout << "[daemon] store " << store_dir << ": recovered "
-              << (recovery ? recovery->entries_recovered : 0) << " front(s)";
-    if (recovery && recovery->tail_bytes_truncated > 0) {
-      std::cout << ", truncated " << recovery->tail_bytes_truncated
-                << " torn tail byte(s)";
-    }
-    std::cout << "\n";
-  } else {
-    std::cout << "[daemon] store unavailable; serving memory-only\n";
-  }
-
-  const int listener = listen_on(ep);
-  std::cout << "[daemon] listening on "
-            << (ep.is_unix ? ep.path
-                           : ep.host + ":" + std::to_string(ep.port))
-            << " (deadline " << config.deadline_seconds << "s, max-inflight "
-            << config.max_inflight << ")\n"
-            << std::flush;
-
-  ServingMetrics metrics;
-  std::atomic<std::size_t> inflight{0};
-  while (true) {
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      std::cerr << "[daemon] accept failed: " << std::strerror(errno) << "\n";
-      break;
-    }
-    std::thread(serve_connection, fd, std::ref(cache), std::cref(config),
-                std::ref(metrics), std::ref(inflight))
-        .detach();
-  }
-  ::close(listener);
-  return 1;
-}
-
-// ---- the client ------------------------------------------------------------
 
 bool has_flag(int argc, char** argv, const std::string& name) {
   for (int i = 1; i < argc; ++i) {
@@ -507,28 +73,38 @@ std::string string_flag(int argc, char** argv, const std::string& name,
   return fallback;
 }
 
-/// Connects with bounded retry (the daemon may still be booting, or a
-/// previous instance may just have been killed): doubling backoff from
-/// 50ms, ~6s total before giving up.
-int connect_with_retry(const Endpoint& ep) {
-  double backoff = 0.05;
-  for (int attempt = 0;; ++attempt) {
-    try {
-      return connect_to(ep);
-    } catch (const Error&) {
-      if (attempt >= 7) throw;
-      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-      backoff *= 2;
+// ---- the server ------------------------------------------------------------
+
+int run_server(const Endpoint& ep, serve::DaemonConfig config) {
+  config.log = [](const std::string& what) { std::cerr << what << "\n"; };
+  serve::DaemonServer server(ep, config);
+
+  if (server.cache().persistent()) {
+    const auto recovery = server.cache().recovery();
+    std::cout << "[daemon] store " << config.store_dir << ": recovered "
+              << (recovery ? recovery->entries_recovered : 0) << " front(s)";
+    if (recovery && recovery->tail_bytes_truncated > 0) {
+      std::cout << ", truncated " << recovery->tail_bytes_truncated
+                << " torn tail byte(s)";
     }
+    if (server.cache().follower()) std::cout << " [follower]";
+    std::cout << "\n";
+  } else {
+    std::cout << "[daemon] store unavailable; serving memory-only\n";
   }
+
+  server.start();
+  std::cout << "[daemon] listening on " << server.endpoint().describe()
+            << " (deadline " << config.deadline_seconds << "s, max-inflight "
+            << config.max_inflight << ", max-connections "
+            << config.max_connections << ")\n"
+            << std::flush;
+  // The daemon runs until killed (the CI smoke jobs kill -9 it on
+  // purpose); the serving threads do all the work.
+  while (true) ::pause();
 }
 
-std::string request_line(int fd, const std::string& line) {
-  write_all_fd(fd, line.data(), line.size());
-  const auto response = read_line_fd(fd, 1u << 22);
-  if (!response.has_value()) throw Error("daemon closed the connection");
-  return *response;
-}
+// ---- the client ------------------------------------------------------------
 
 /// Sends one ANALYZE, retrying retryable (admission) rejections with
 /// doubling backoff - the client half of the daemon's backpressure.
@@ -538,7 +114,8 @@ JsonValue client_analyze(int fd, const std::string& format,
       "ANALYZE " + format + " " + std::to_string(body.size()) + "\n";
   double backoff = 0.05;
   for (int attempt = 0;; ++attempt) {
-    const JsonValue reply = parse_json(request_line(fd, header + body));
+    const JsonValue reply =
+        parse_json(serve::request_line(fd, header + body));
     if (reply.at("ok").as_bool()) return reply;
     const bool retryable =
         reply.has("retryable") && reply.at("retryable").as_bool();
@@ -598,18 +175,49 @@ int client_round(int fd) {
 }
 
 int run_client(const Endpoint& ep, int argc, char** argv) {
-  const int fd = connect_with_retry(ep);
+  const int fd = serve::connect_with_retry(ep);
   int rc = 0;
   if (has_flag(argc, argv, "--ping")) {
-    std::cout << request_line(fd, "PING\n") << "\n";
+    std::cout << serve::request_line(fd, "PING\n") << "\n";
   } else if (has_flag(argc, argv, "--stats")) {
-    std::cout << request_line(fd, "STATS\n") << "\n";
+    std::cout << serve::request_line(fd, "STATS\n") << "\n";
+  } else if (has_flag(argc, argv, "--refresh")) {
+    const std::string reply = serve::request_line(fd, "REFRESH\n");
+    std::cout << reply << "\n";
+    rc = parse_json(reply).at("ok").as_bool() ? 0 : 1;
+  } else if (has_flag(argc, argv, "--promote")) {
+    const std::string reply = serve::request_line(fd, "PROMOTE\n");
+    std::cout << reply << "\n";
+    rc = parse_json(reply).at("ok").as_bool() ? 0 : 1;
   } else if (has_flag(argc, argv, "--round")) {
     rc = client_round(fd);
+  } else if (has_flag(argc, argv, "--analyze-random")) {
+    // A deterministic random model per seed: lets a smoke script prove
+    // the daemon computes and persists something it has never seen.
+    const std::uint64_t seed = flag(argc, argv, "analyze-random", 1);
+    RandomAdtOptions options;
+    options.target_nodes = 24;
+    options.max_defenses = 6;
+    const AugmentedAdt aadt = generate_random_aadt(
+        options, seed, Semiring::min_cost(), Semiring::min_cost());
+    const JsonValue reply =
+        client_analyze(fd, "text", to_text_format(aadt));
+    const bool ok = reply.at("ok").as_bool();
+    if (ok) {
+      std::cout << "random seed " << seed << ": "
+                << reply.at("algorithm").as_string() << ", "
+                << reply.at("front").size() << " point(s)"
+                << (reply.at("cached").as_bool() ? " [cached]" : "") << "\n";
+    } else {
+      std::cout << "random seed " << seed
+                << ": FAILED: " << reply.at("error").as_string() << "\n";
+    }
+    rc = ok ? 0 : 1;
   } else {
     const std::string path = string_flag(argc, argv, "--analyze", "");
     if (path.empty()) {
-      std::cerr << "client needs one of --ping, --stats, --round, "
+      std::cerr << "client needs one of --ping, --stats, --round, --refresh, "
+                   "--promote, --analyze-random SEED, "
                    "--analyze FILE [--format text|xml|json]\n";
       ::close(fd);
       return 2;
@@ -627,7 +235,7 @@ int run_client(const Endpoint& ep, int argc, char** argv) {
     // caller can pipe it into whatever reads JSON.
     const std::string header =
         "ANALYZE " + format + " " + std::to_string(body.str().size()) + "\n";
-    const std::string reply = request_line(fd, header + body.str());
+    const std::string reply = serve::request_line(fd, header + body.str());
     std::cout << reply << "\n";
     rc = parse_json(reply).at("ok").as_bool() ? 0 : 1;
   }
@@ -638,6 +246,9 @@ int run_client(const Endpoint& ep, int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The library writes with MSG_NOSIGNAL, but ignore SIGPIPE anyway so
+  // no stray pipe write can ever kill the process.
+  std::signal(SIGPIPE, SIG_IGN);
   try {
     std::string connect_spec;
     std::string socket_path;
@@ -646,7 +257,7 @@ int main(int argc, char** argv) {
       if (std::string(argv[i]) == "--socket") socket_path = argv[i + 1];
     }
     if (!connect_spec.empty()) {
-      return run_client(parse_endpoint(connect_spec), argc, argv);
+      return run_client(serve::parse_endpoint(connect_spec), argc, argv);
     }
 
     const std::size_t port = flag(argc, argv, "port", 0);
@@ -663,17 +274,16 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    std::string store_dir = "adtp_store";
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string(argv[i]) == "--store") store_dir = argv[i + 1];
-    }
-    ServerConfig config;
+    serve::DaemonConfig config;
+    config.store_dir = string_flag(argc, argv, "--store", "adtp_store");
     config.deadline_seconds = flag_d(argc, argv, "deadline", 10.0);
     config.max_inflight = flag(argc, argv, "max-inflight", 8);
+    config.max_connections = flag(argc, argv, "max-connections", 64);
     config.threads = static_cast<unsigned>(flag(argc, argv, "threads", 0));
-    const std::size_t memory_capacity =
-        flag(argc, argv, "memory-capacity", 256);
-    return run_server(ep, store_dir, config, memory_capacity);
+    config.memory_capacity = flag(argc, argv, "memory-capacity", 256);
+    config.store_follower = has_flag(argc, argv, "--store-follower");
+    config.store_refresh_seconds = flag_d(argc, argv, "store-refresh", 0.0);
+    return run_server(ep, config);
   } catch (const std::exception& e) {
     std::cerr << "serving_daemon: " << e.what() << "\n";
     return 1;

@@ -18,7 +18,19 @@
 /// error, or transient ones beyond the retry budget, *degrade* the cache
 /// to memory-only - the store is dropped, on_store_error is told why,
 /// and every later call behaves like a plain FrontCache. Analysis never
-/// fails because persistence did (docs/CONTRACTS.md contract 5).
+/// fails because persistence did (docs/CONTRACTS.md contract 5). The
+/// backoff sleeps with no lock held: the store is reached through a
+/// shared_ptr snapshot (the FrontStore is internally synchronized), so
+/// one key's retry storm never serializes lookups on other keys - the
+/// internal mutex only guards the pointer swap and the counters.
+///
+/// Follower mode (PersistentCacheOptions::follower) attaches the store
+/// read-only for daemon fleets sharing one directory: lookups are
+/// served from disk as usual, fresh inserts stay memory-only instead of
+/// appending, refresh() follows the writer's appends, and promote()
+/// takes over a dead writer's lease - after which inserts persist
+/// again (the write-skip consults the store's live mode, not the
+/// construction flag).
 ///
 /// A payload the store serves has already passed its checksums; decode
 /// failures (version skew, codec bugs) are counted and treated as
@@ -44,9 +56,18 @@ struct PersistentCacheOptions {
   std::size_t memory_capacity = 256;
   /// Passed through to the FrontStore (seam, bounds, sync policy).
   StoreOptions store;
+  /// Attach the store as a read-only follower (sets store.mode); see
+  /// the file comment. The writer lease stays with some other process
+  /// until promote().
+  bool follower = false;
   /// Transient store failures are retried this many times per operation
   /// before the cache degrades to memory-only.
   int max_retries = 3;
+  /// Total grace period for a *transient* open failure at construction
+  /// before degrading - a follower attaching moments before the writer
+  /// has initialized the directory sees exactly that. 0 degrades on the
+  /// first failure (the pre-fleet behavior).
+  double open_retry_seconds = 0;
   /// First retry backoff; doubles on each further retry.
   double retry_backoff_seconds = 0.001;
   /// Called (with a reason) when the store degrades to memory-only and
@@ -80,6 +101,8 @@ class PersistentFrontCache final : public FrontCache {
 
   /// True while the store tier is alive (not degraded).
   [[nodiscard]] bool persistent() const;
+  /// True while attached as a (non-degraded) read-only follower.
+  [[nodiscard]] bool follower() const;
   [[nodiscard]] PersistentCacheStats persistence_stats() const;
   /// What recovery found at open; nullopt when the store never opened.
   [[nodiscard]] std::optional<RecoveryReport> recovery() const;
@@ -87,19 +110,33 @@ class PersistentFrontCache final : public FrontCache {
   /// Forces a store compaction (no-op when degraded).
   void compact();
 
+  /// Follower only: picks up entries the writer committed since attach
+  /// or the last refresh (transient trouble retried as usual). Returns
+  /// nullopt when degraded; a no-op {} on a writer-mode cache.
+  std::optional<RefreshReport> refresh();
+  /// Follower only: tries to take over the writer lease. False while
+  /// the previous writer still holds it (poll again later) or when
+  /// degraded - a failed promotion never degrades the cache, which
+  /// keeps serving as a follower.
+  bool promote();
+
  private:
-  /// Runs \p fn against the live store with transient-failure retry;
-  /// returns nullopt after degrading. store_mutex_ must be held.
+  /// The store under a shared_ptr so operations (and their backoff
+  /// sleeps) run without store_mutex_; a concurrent degrade cannot free
+  /// the store out from under a caller holding a snapshot.
+  [[nodiscard]] std::shared_ptr<FrontStore> snapshot() const;
+  /// Runs \p fn(store) with transient-failure retry (sleeping with no
+  /// lock held); returns nullopt after degrading. Call with NO lock.
   template <typename Fn>
   auto with_retry(const char* doing, Fn&& fn)
-      -> std::optional<decltype(fn())>;
+      -> std::optional<decltype(fn(std::declval<FrontStore&>()))>;
   /// Drops the store and flips to memory-only. store_mutex_ must be held.
-  void degrade(const std::string& why);
+  void degrade_locked(const std::string& why);
   void note(const std::string& what);
 
   PersistentCacheOptions options_;
   mutable std::mutex store_mutex_;
-  std::unique_ptr<FrontStore> store_;  ///< null once degraded
+  std::shared_ptr<FrontStore> store_;  ///< null once degraded
   PersistentCacheStats pstats_;
   std::optional<RecoveryReport> recovery_;
 };

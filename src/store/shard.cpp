@@ -104,6 +104,15 @@ RawRecord decode_record(const std::array<std::uint8_t, kRecordSize>& rec) {
   throw StoreError(std::string(doing) + ": " + e.what(), e.transient());
 }
 
+bool header_ok(FileOps& ops, int fd,
+               const std::array<std::uint8_t, 8>& magic) {
+  if (ops.file_size(fd) < kHeaderSize) return false;
+  std::array<std::uint8_t, kHeaderSize> h{};
+  if (!ops.pread_all(fd, h.data(), h.size(), 0)) return false;
+  return std::memcmp(h.data(), magic.data(), magic.size()) == 0 &&
+         get_u32(h.data() + 8) == kFormatVersion;
+}
+
 }  // namespace
 
 std::size_t FrontStore::KeyHash::operator()(
@@ -116,19 +125,55 @@ std::size_t FrontStore::KeyHash::operator()(
 FrontStore::FrontStore(std::string dir, StoreOptions options)
     : dir_(std::move(dir)),
       options_(options),
-      ops_(options.ops != nullptr ? options.ops : &real_file_ops()) {
+      ops_(options.ops != nullptr ? options.ops : &real_file_ops()),
+      mode_(options.mode) {
   const std::lock_guard<std::mutex> lock(mutex_);
   try {
-    open_or_create();
+    if (mode_ == AttachMode::Follower) {
+      open_follower();
+    } else {
+      open_or_create();
+    }
   } catch (const IoError& e) {
     close_files();
+    release_lease();
     rethrow_as_store_error("store open", e);
+  } catch (...) {
+    close_files();
+    release_lease();
+    throw;
   }
 }
 
 FrontStore::~FrontStore() {
   const std::lock_guard<std::mutex> lock(mutex_);
   close_files();
+  release_lease();
+}
+
+void FrontStore::acquire_lease() {
+  if (lock_fd_ >= 0) return;
+  int fd = -1;
+  try {
+    fd = ops_->try_lock_file(dir_ + "/LOCK");
+  } catch (const IoError& e) {
+    rethrow_as_store_error("store lock", e);
+  }
+  if (fd < 0) {
+    // Transient: the holder may die (its lease evaporates with it), so
+    // "wait and retry" is a legitimate response - but appending without
+    // the lease never is.
+    throw StoreError("store " + dir_ +
+                         " is locked by another writer (LOCK held); attach "
+                         "as a follower or wait for the lease",
+                     /*transient=*/true);
+  }
+  lock_fd_ = fd;
+}
+
+void FrontStore::release_lease() noexcept {
+  if (lock_fd_ >= 0) ops_->close_fd(lock_fd_);
+  lock_fd_ = -1;
 }
 
 std::string FrontStore::data_path(std::uint64_t gen) const {
@@ -207,20 +252,13 @@ void FrontStore::start_fresh_generation() {
   if (old != 0 && old != gen_) drop_generation_files(old);
 }
 
-void FrontStore::open_or_create() {
-  ops_->make_dir(dir_);
-  const std::string current = dir_ + "/CURRENT";
-  if (!ops_->exists(current)) {
-    create_generation(next_free_generation());
-    publish_current(gen_);
-    return;
-  }
-
+std::optional<std::uint64_t> FrontStore::read_current() {
   // Parse CURRENT ("g<gen>\n"). Malformed contents mean the pointer
-  // itself cannot be trusted: recover nothing, start fresh.
+  // itself cannot be trusted.
   std::string body;
   {
-    const int fd = ops_->open_file(current, FileOps::OpenMode::Read);
+    const int fd =
+        ops_->open_file(dir_ + "/CURRENT", FileOps::OpenMode::Read);
     try {
       const std::uint64_t size = std::min<std::uint64_t>(ops_->file_size(fd), 64);
       body.resize(static_cast<std::size_t>(size));
@@ -239,45 +277,98 @@ void FrontStore::open_or_create() {
     parsed = body[i] >= '0' && body[i] <= '9';
     if (parsed) gen = gen * 10 + static_cast<std::uint64_t>(body[i] - '0');
   }
-  if (!parsed || gen == 0) {
-    start_fresh_generation();
-    return;
-  }
-
-  gen_ = gen;
-  data_fd_ = ops_->open_file(data_path(gen), FileOps::OpenMode::Append);
-  idx_fd_ = ops_->open_file(idx_path(gen), FileOps::OpenMode::Append);
-
-  const auto header_ok = [&](int fd, const std::array<std::uint8_t, 8>& magic) {
-    if (ops_->file_size(fd) < kHeaderSize) return false;
-    std::array<std::uint8_t, kHeaderSize> h{};
-    if (!ops_->pread_all(fd, h.data(), h.size(), 0)) return false;
-    return std::memcmp(h.data(), magic.data(), magic.size()) == 0 &&
-           get_u32(h.data() + 8) == kFormatVersion;
-  };
-  if (!header_ok(data_fd_, kDataMagic) || !header_ok(idx_fd_, kIdxMagic)) {
-    start_fresh_generation();
-    return;
-  }
-  scan_generation();
+  if (!parsed || gen == 0) return std::nullopt;
+  return gen;
 }
 
-void FrontStore::scan_generation() {
+void FrontStore::open_or_create() {
+  ops_->make_dir(dir_);
+  // The lease comes first: everything after it may append or truncate,
+  // and two processes doing that to one log is how logs get corrupted.
+  acquire_lease();
+  if (!ops_->exists(dir_ + "/CURRENT")) {
+    create_generation(next_free_generation());
+    publish_current(gen_);
+    return;
+  }
+
+  const std::optional<std::uint64_t> gen = read_current();
+  if (!gen.has_value()) {
+    // Untrustworthy pointer: recover nothing, start fresh.
+    start_fresh_generation();
+    return;
+  }
+
+  gen_ = *gen;
+  data_fd_ = ops_->open_file(data_path(gen_), FileOps::OpenMode::Append);
+  idx_fd_ = ops_->open_file(idx_path(gen_), FileOps::OpenMode::Append);
+  if (!header_ok(*ops_, data_fd_, kDataMagic) ||
+      !header_ok(*ops_, idx_fd_, kIdxMagic)) {
+    start_fresh_generation();
+    return;
+  }
+  data_size_ = kHeaderSize;
+  idx_size_ = kHeaderSize;
+  scan_records(kHeaderSize, /*truncate_tail=*/true);
+  dead_bytes_ = data_size_ - kHeaderSize - recovery_.bytes_recovered;
+}
+
+void FrontStore::open_follower() {
+  if (!ops_->exists(dir_ + "/CURRENT")) {
+    // Transient: a writer may initialize the directory any moment.
+    throw StoreError(
+        "store " + dir_ + " has no CURRENT yet (no writer initialized it)",
+        /*transient=*/true);
+  }
+  const std::optional<std::uint64_t> gen = read_current();
+  if (!gen.has_value()) {
+    throw StoreError("store " + dir_ + " has a malformed CURRENT");
+  }
+  gen_ = *gen;
+  try {
+    data_fd_ = ops_->open_file(data_path(gen_), FileOps::OpenMode::Read);
+    idx_fd_ = ops_->open_file(idx_path(gen_), FileOps::OpenMode::Read);
+  } catch (const IoError& e) {
+    // The published generation can vanish between reading CURRENT and
+    // opening its files only while the writer swaps generations; the
+    // next attempt sees the new CURRENT.
+    throw StoreError(
+        "store " + dir_ + " generation " + std::to_string(gen_) +
+            " unreadable (writer compacting?): " + e.what(),
+        /*transient=*/true);
+  }
+  if (!header_ok(*ops_, data_fd_, kDataMagic) ||
+      !header_ok(*ops_, idx_fd_, kIdxMagic)) {
+    // A follower cannot start a fresh generation; only a writer may
+    // decide the published one is unrecoverable.
+    throw StoreError("store " + dir_ + " generation " + std::to_string(gen_) +
+                     " has a stale or foreign header");
+  }
+  data_size_ = kHeaderSize;
+  idx_size_ = kHeaderSize;
+  scan_records(kHeaderSize, /*truncate_tail=*/false);
+  dead_bytes_ = data_size_ - kHeaderSize - recovery_.bytes_recovered;
+}
+
+std::uint64_t FrontStore::scan_records(std::uint64_t start_idx,
+                                       bool truncate_tail) {
   const std::uint64_t data_file_size = ops_->file_size(data_fd_);
   const std::uint64_t idx_file_size = ops_->file_size(idx_fd_);
-  const std::uint64_t n_records = (idx_file_size - kHeaderSize) / kRecordSize;
+  if (idx_file_size <= start_idx) return 0;
+  const std::uint64_t n_records = (idx_file_size - start_idx) / kRecordSize;
 
   // First pass: decode every complete record and settle its validity -
   // record checksum, payload bounds, payload checksum. The distinction
-  // between "skipped" and "truncated" needs the position of the last
-  // valid record, so validity is settled before anything is applied.
+  // between "skipped" and "truncated/in-progress" needs the position of
+  // the last valid record, so validity is settled before anything is
+  // applied.
   std::vector<RawRecord> records;
   records.reserve(static_cast<std::size_t>(n_records));
   std::vector<std::uint8_t> payload;
   for (std::uint64_t i = 0; i < n_records; ++i) {
     std::array<std::uint8_t, kRecordSize> raw{};
     if (!ops_->pread_all(idx_fd_, raw.data(), raw.size(),
-                         kHeaderSize + i * kRecordSize)) {
+                         start_idx + i * kRecordSize)) {
       break;  // file shrank under us; treat the rest as absent
     }
     RawRecord rec = decode_record(raw);
@@ -296,10 +387,14 @@ void FrontStore::scan_generation() {
     records.push_back(rec);
   }
 
+  // Trailing invalid records are a torn tail for a recovering writer,
+  // and an append still in flight for a follower - either way they are
+  // not applied. Followers retry from the same offset next refresh.
   std::size_t n_keep = records.size();
   while (n_keep > 0 && !records[n_keep - 1].valid) --n_keep;
 
-  std::uint64_t data_end = kHeaderSize;
+  std::uint64_t data_end = data_size_;
+  std::uint64_t gained = 0;
   for (std::size_t i = 0; i < n_keep; ++i) {
     const RawRecord& rec = records[i];
     if (!rec.valid) {
@@ -314,28 +409,98 @@ void FrontStore::scan_generation() {
     map_.emplace(rec.key, Entry{rec.offset, rec.length, rec.payload_checksum});
     order_.push_back(rec.key);
     recovery_.bytes_recovered += rec.length;
+    ++gained;
   }
   recovery_.entries_recovered = map_.size();
 
-  // Truncate the torn tail: trailing invalid/partial index records and
-  // any payload bytes past the last valid record's payload. Committed
-  // entries are untouched - this only removes what a crashed append (or
-  // tail corruption) left behind.
-  const std::uint64_t idx_end = kHeaderSize + n_keep * kRecordSize;
-  if (idx_file_size > idx_end) {
-    ops_->truncate_file(idx_fd_, idx_end);
-    recovery_.tail_bytes_truncated += idx_file_size - idx_end;
-  }
-  if (data_file_size > data_end) {
-    ops_->truncate_file(data_fd_, data_end);
-    recovery_.tail_bytes_truncated += data_file_size - data_end;
+  const std::uint64_t idx_end = start_idx + n_keep * kRecordSize;
+  if (truncate_tail) {
+    // Writers truncate the torn tail: trailing invalid/partial index
+    // records and any payload bytes past the last valid record's
+    // payload. Committed entries are untouched - this only removes what
+    // a crashed append (or tail corruption) left behind. Followers
+    // NEVER take this branch: the files belong to the writer.
+    if (idx_file_size > idx_end) {
+      ops_->truncate_file(idx_fd_, idx_end);
+      recovery_.tail_bytes_truncated += idx_file_size - idx_end;
+    }
+    if (data_file_size > data_end) {
+      ops_->truncate_file(data_fd_, data_end);
+      recovery_.tail_bytes_truncated += data_file_size - data_end;
+    }
   }
   data_size_ = data_end;
   idx_size_ = idx_end;
-  dead_bytes_ = data_end - kHeaderSize - recovery_.bytes_recovered;
 
   if (options_.max_entries != 0) {
     while (map_.size() > options_.max_entries) evict_oldest_locked();
+  }
+  return gained;
+}
+
+bool FrontStore::follower() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return mode_ == AttachMode::Follower;
+}
+
+RefreshReport FrontStore::refresh() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RefreshReport report;
+  if (mode_ != AttachMode::Follower) return report;
+  if (data_fd_ < 0) throw StoreError("store is broken (earlier I/O failure)");
+  try {
+    const std::optional<std::uint64_t> gen = read_current();
+    if (!gen.has_value()) {
+      throw IoError("CURRENT unreadable during refresh", /*transient=*/true);
+    }
+    if (*gen != gen_) {
+      // The writer republished (compaction): drop the in-memory index
+      // and attach to the new generation. Its files are complete before
+      // CURRENT ever names them, so the full rescan sees a committed
+      // set.
+      close_files();
+      map_.clear();
+      order_.clear();
+      dead_bytes_ = 0;
+      gen_ = *gen;
+      data_fd_ = ops_->open_file(data_path(gen_), FileOps::OpenMode::Read);
+      idx_fd_ = ops_->open_file(idx_path(gen_), FileOps::OpenMode::Read);
+      if (!header_ok(*ops_, data_fd_, kDataMagic) ||
+          !header_ok(*ops_, idx_fd_, kIdxMagic)) {
+        throw IoError("republished generation has a stale header");
+      }
+      data_size_ = kHeaderSize;
+      idx_size_ = kHeaderSize;
+      report.generation_changed = true;
+      report.new_entries = scan_records(kHeaderSize, /*truncate_tail=*/false);
+    } else {
+      report.new_entries = scan_records(idx_size_, /*truncate_tail=*/false);
+    }
+  } catch (const IoError& e) {
+    rethrow_as_store_error("store refresh", e);
+  }
+  return report;
+}
+
+void FrontStore::promote() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (mode_ == AttachMode::Writer) return;
+  acquire_lease();  // throws a transient StoreError while the writer lives
+  // Lease in hand: re-run full writer recovery over the directory, torn
+  // tail truncation included - exactly what a restarted writer would do.
+  close_files();
+  map_.clear();
+  order_.clear();
+  dead_bytes_ = 0;
+  data_size_ = 0;
+  idx_size_ = 0;
+  recovery_ = RecoveryReport{};
+  mode_ = AttachMode::Writer;
+  try {
+    open_or_create();
+  } catch (const IoError& e) {
+    close_files();
+    rethrow_as_store_error("store promote", e);
   }
 }
 
@@ -356,6 +521,9 @@ void FrontStore::rollback_tail(std::uint64_t data_size,
 bool FrontStore::put(const FrontCacheKey& key, const std::uint8_t* payload,
                      std::size_t size) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (mode_ == AttachMode::Follower) {
+    throw StoreError("follower store is read-only (promote() to write)");
+  }
   if (data_fd_ < 0) throw StoreError("store is broken (earlier I/O failure)");
   if (map_.count(key) != 0) {
     ++stats_.duplicate_puts;
@@ -460,6 +628,9 @@ void FrontStore::drop_generation_files(std::uint64_t gen) noexcept {
 
 void FrontStore::compact(bool force) {
   const std::lock_guard<std::mutex> lock(mutex_);
+  if (mode_ == AttachMode::Follower) {
+    throw StoreError("follower store is read-only (promote() to compact)");
+  }
   if (data_fd_ < 0) throw StoreError("store is broken (earlier I/O failure)");
   try {
     compact_locked(force);

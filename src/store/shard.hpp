@@ -39,6 +39,24 @@
 /// files; a crash mid-compaction leaves CURRENT on the old, complete
 /// generation.
 ///
+/// Multi-process sharing (single writer, many readers): a *writer*
+/// holds <dir>/LOCK - an exclusive flock taken at open and released
+/// only by close or process death (kill -9 included) - so a second
+/// writer open fails with a clear StoreError instead of interleaving
+/// appends into the same log. Any number of *followers*
+/// (AttachMode::Follower) attach read-only without the lease: they
+/// never truncate, never append, and serve only records that pass the
+/// same checksum discipline as recovery, so a torn writer tail is
+/// invisible to them. refresh() picks up entries the live writer
+/// appended since attach (and re-reads CURRENT across a compaction -
+/// published generations are immutable, so a follower never observes a
+/// half-built one). When the writer dies, its lease evaporates with it
+/// and promote() turns a follower into the writer: it takes the LOCK,
+/// re-runs full writer recovery (torn-tail truncation included), and
+/// appends from exactly the committed prefix - the crash-matrix suite
+/// holds writer-death-at-every-byte-offset to that contract with a
+/// live follower watching.
+///
 /// All file I/O goes through the FileOps seam (util/fault.hpp). Methods
 /// throw StoreError (transient iff the underlying IoError was) - the
 /// PersistentFrontCache layer above turns that into retry + graceful
@@ -89,9 +107,34 @@ struct RecoveryReport {
   bool stale_generation = false;
 };
 
+/// How a FrontStore attaches to its directory.
+enum class AttachMode : std::uint8_t {
+  /// Takes the exclusive writer lease (<dir>/LOCK) at open; fails with
+  /// StoreError when another live process holds it. The only mode that
+  /// may append, truncate, or compact.
+  Writer,
+  /// Attaches read-only without the lease. put/compact throw; refresh()
+  /// follows the writer's appends; promote() takes over a dead writer's
+  /// lease. Attach requires an initialized store (a CURRENT file) and
+  /// throws a transient StoreError until a writer has created one.
+  Follower,
+};
+
+/// What refresh() found on a follower.
+struct RefreshReport {
+  /// Live entries gained by this refresh (committed appends picked up,
+  /// or the live set of a republished generation).
+  std::uint64_t new_entries = 0;
+  /// CURRENT moved (the writer compacted): the follower reopened and
+  /// rescanned the new generation.
+  bool generation_changed = false;
+};
+
 struct StoreOptions {
   /// File-system seam; nullptr means real_file_ops().
   FileOps* ops = nullptr;
+  /// Writer (lease-holding appender) or read-only follower.
+  AttachMode mode = AttachMode::Writer;
   /// Maximum live entries (0 = unbounded); beyond it the oldest entry is
   /// logically evicted on put.
   std::size_t max_entries = 0;
@@ -152,6 +195,24 @@ class FrontStore {
   /// CURRENT atomically. No-op on an empty dead set unless \p force.
   void compact(bool force = false);
 
+  /// True while attached read-only (promote() flips this off).
+  [[nodiscard]] bool follower() const;
+
+  /// Follower only (writer: no-op returning {}): re-reads CURRENT and
+  /// picks up entries the writer committed since attach or the last
+  /// refresh. A partially appended tail is simply not picked up yet -
+  /// the next refresh retries from the same offset; nothing is ever
+  /// truncated. Throws StoreError (transient for retryable conditions)
+  /// when the store cannot be read at all.
+  RefreshReport refresh();
+
+  /// Follower only: takes over the writer lease. Throws a *transient*
+  /// StoreError while the previous writer still holds it (the caller
+  /// polls); on success the store re-runs full writer recovery - the
+  /// torn tail the dead writer left, if any, is truncated exactly as a
+  /// restart would - and put/compact work from then on.
+  void promote();
+
   [[nodiscard]] const RecoveryReport& recovery() const noexcept {
     return recovery_;
   }
@@ -172,10 +233,18 @@ class FrontStore {
 
   // All private methods below expect mutex_ held.
   void open_or_create();
+  void open_follower();
+  void acquire_lease();
+  void release_lease() noexcept;
   void start_fresh_generation();
   void create_generation(std::uint64_t gen);
   void publish_current(std::uint64_t gen);
-  void scan_generation();
+  /// Reads CURRENT; nullopt when the file is absent or malformed.
+  [[nodiscard]] std::optional<std::uint64_t> read_current();
+  /// Decodes and applies index records from \p start_idx to the current
+  /// end of the index file, trimming (and, for writers, truncating)
+  /// trailing invalid records. Returns the live entries gained.
+  std::uint64_t scan_records(std::uint64_t start_idx, bool truncate_tail);
   void close_files() noexcept;
   void evict_oldest_locked();
   void compact_locked(bool force);
@@ -190,7 +259,9 @@ class FrontStore {
   FileOps* ops_;  ///< resolved (never null after construction)
 
   mutable std::mutex mutex_;
+  AttachMode mode_ = AttachMode::Writer;
   std::uint64_t gen_ = 0;
+  int lock_fd_ = -1;  ///< the writer lease; held for the store's lifetime
   int data_fd_ = -1;  ///< -1 also flags a broken store (rollback failed)
   int idx_fd_ = -1;
   std::uint64_t data_size_ = 0;  ///< append offset of the data file

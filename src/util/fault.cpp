@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -106,6 +107,19 @@ class RealFileOps final : public FileOps {
 
   void remove_file(const std::string& path) override {
     if (::unlink(path.c_str()) != 0) throw_errno("unlink " + path);
+  }
+
+  int try_lock_file(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) throw_errno("open lock " + path);
+    if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+      const int err = errno;
+      ::close(fd);
+      if (err == EWOULDBLOCK || err == EAGAIN) return -1;
+      errno = err;
+      throw_errno("flock " + path);
+    }
+    return fd;
   }
 
   void make_dir(const std::string& path) override {
@@ -315,6 +329,14 @@ void FaultFileOps::remove_file(const std::string& path) {
     check(Op::Remove);
   }
   inner_.remove_file(path);
+}
+
+int FaultFileOps::try_lock_file(const std::string& path) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    check(Op::Lock);
+  }
+  return inner_.try_lock_file(path);
 }
 
 void FaultFileOps::make_dir(const std::string& path) {

@@ -83,6 +83,14 @@ class FileOps {
   virtual void rename_file(const std::string& from,
                            const std::string& to) = 0;
   virtual void remove_file(const std::string& path) = 0;
+  /// Opens (creating if absent) \p path and takes an exclusive,
+  /// non-blocking advisory lock on it - flock semantics: the lock lives
+  /// with the open file description, so it is released by close_fd or
+  /// by process death (kill -9 included), never by merely unlinking the
+  /// path. Returns the locked fd, or -1 when another holder (process or
+  /// separate open description) has it. Throws IoError on any other
+  /// failure. This is the store's writer-lease primitive.
+  [[nodiscard]] virtual int try_lock_file(const std::string& path) = 0;
   /// Creates \p path (single level); succeeding when it already exists.
   virtual void make_dir(const std::string& path) = 0;
   /// fsyncs the directory itself so renames/creates within it persist.
@@ -121,6 +129,7 @@ class FaultFileOps final : public FileOps {
     Mkdir,
     SyncDir,
     List,
+    Lock,
   };
 
   explicit FaultFileOps(FileOps& inner) : inner_(inner) {}
@@ -174,6 +183,7 @@ class FaultFileOps final : public FileOps {
   void close_fd(int fd) noexcept override;
   void rename_file(const std::string& from, const std::string& to) override;
   void remove_file(const std::string& path) override;
+  [[nodiscard]] int try_lock_file(const std::string& path) override;
   void make_dir(const std::string& path) override;
   void sync_dir(const std::string& path) override;
   [[nodiscard]] std::vector<std::string> list_dir(

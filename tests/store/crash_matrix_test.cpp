@@ -107,6 +107,95 @@ TEST(CrashMatrix, EveryWriteOffsetRecoversExactlyAPrefix) {
   }
 }
 
+TEST(CrashMatrix, WriterDeathAtEveryOffsetLeavesFollowerAndPromotionExact) {
+  // The multi-process variant of the sweep above: a live follower is
+  // attached (real file ops, read-only) while the writer crashes at
+  // every byte offset of the put stream. After the death the follower
+  // must refresh to exactly a committed prefix - bit-identical, torn
+  // tail invisible - and promotion must take over, truncate the torn
+  // tail exactly as a restart would, and accept writes.
+  constexpr std::size_t kFollowerEntries = 6;
+  const auto run_puts = [](FrontStore& store) {
+    std::size_t committed = 0;
+    try {
+      for (std::size_t i = 0; i < kFollowerEntries; ++i) {
+        if (!store.put(make_key(i + 1), payload_for(i))) break;
+        ++committed;
+      }
+    } catch (const StoreError&) {
+      // The simulated crash: the writer is "dead" from here.
+    }
+    return committed;
+  };
+
+  // Dry run to size the put stream (creation bytes excluded: the
+  // budget is armed only after the store and its CURRENT exist, since
+  // a follower cannot attach before a writer initialized the dir).
+  std::uint64_t put_bytes = 0;
+  {
+    const ScratchDir dir("fdry");
+    FaultFileOps ops(real_file_ops());
+    StoreOptions options;
+    options.ops = &ops;
+    FrontStore writer(dir.str(), options);
+    const std::uint64_t before = ops.bytes_written();
+    ASSERT_EQ(run_puts(writer), kFollowerEntries);
+    put_bytes = ops.bytes_written() - before;
+  }
+  ASSERT_GT(put_bytes, 300u) << "workload too small to be a real sweep";
+
+  for (std::uint64_t budget = 0; budget <= put_bytes + 1; ++budget) {
+    const ScratchDir dir("f" + std::to_string(budget));
+    FaultFileOps ops(real_file_ops());
+    StoreOptions writer_options;
+    writer_options.ops = &ops;
+    auto writer = std::make_unique<FrontStore>(dir.str(), writer_options);
+
+    StoreOptions follower_options;
+    follower_options.mode = AttachMode::Follower;
+    FrontStore follower(dir.str(), follower_options);
+
+    ops.set_write_byte_budget(budget);
+    const std::size_t committed = run_puts(*writer);
+    if (budget > put_bytes) ASSERT_EQ(committed, kFollowerEntries);
+
+    // The writer is dead but its corpse still holds the lease: the
+    // follower already sees the committed prefix...
+    follower.refresh();
+    const std::size_t seen = follower.stats().entries;
+    ASSERT_GE(seen, committed) << "budget " << budget;
+    ASSERT_LE(seen, committed + 1) << "budget " << budget;
+    for (std::size_t i = 0; i < kFollowerEntries; ++i) {
+      const auto got = follower.get(make_key(i + 1));
+      if (i < seen) {
+        ASSERT_TRUE(got.has_value()) << "budget " << budget << " entry " << i;
+        ASSERT_EQ(*got, payload_for(i)) << "budget " << budget;
+      } else {
+        ASSERT_FALSE(got.has_value())
+            << "budget " << budget << " entry " << i
+            << ": follower served an uncommitted entry";
+      }
+    }
+
+    // ...and once the lease evaporates (kill -9 closes the fd), the
+    // follower promotes onto exactly that committed prefix.
+    writer.reset();
+    follower.promote();
+    const std::size_t promoted = follower.stats().entries;
+    ASSERT_GE(promoted, committed) << "budget " << budget;
+    ASSERT_LE(promoted, committed + 1) << "budget " << budget;
+    for (std::size_t i = 0; i < promoted; ++i) {
+      const auto got = follower.get(make_key(i + 1));
+      ASSERT_TRUE(got.has_value()) << "budget " << budget << " entry " << i;
+      ASSERT_EQ(*got, payload_for(i)) << "budget " << budget;
+    }
+    // The promoted follower is a full writer over a clean log.
+    ASSERT_TRUE(follower.put(FrontCacheKey{999, 999, 999}, payload_for(3)))
+        << "budget " << budget;
+    ASSERT_EQ(follower.get(FrontCacheKey{999, 999, 999}), payload_for(3));
+  }
+}
+
 TEST(CrashMatrix, EveryCompactionCrashPointKeepsTheLiveSetServable) {
   // Live set at compaction time: the last 4 of 12 puts (max_entries=4).
   const auto build = [](const std::string& dir, FileOps& ops) {

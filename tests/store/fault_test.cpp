@@ -83,6 +83,46 @@ TEST(FaultFileOps, ByteBudgetCrashPersistsExactlyThePrefix) {
 
 // ---- the store under injected faults ---------------------------------------
 
+TEST(FaultFileOps, TryLockFileIsExclusiveAndReleasedByClose) {
+  const ScratchDir dir("lockfile");
+  FaultFileOps ops(real_file_ops());
+  ops.make_dir(dir.str());
+  const std::string path = dir.str() + "/LOCK";
+  const int fd = ops.try_lock_file(path);
+  ASSERT_GE(fd, 0);
+  // A second open description (what another process would hold) is
+  // refused without blocking and without throwing.
+  EXPECT_EQ(ops.try_lock_file(path), -1);
+  ops.close_fd(fd);
+  // close releases the lease; the next holder takes it.
+  const int again = ops.try_lock_file(path);
+  EXPECT_GE(again, 0);
+  ops.close_fd(again);
+}
+
+TEST(FaultFileOps, LockFaultFiresOnItsOwnOpClassOnly) {
+  const ScratchDir dir("lockop");
+  FaultFileOps ops(real_file_ops());
+  ops.make_dir(dir.str());
+  ops.fail_op(Op::Lock, /*countdown=*/0, /*transient=*/true);
+  // Open/write/read classes are untouched by an armed Lock fault...
+  const int fd = ops.open_file(dir.str() + "/f", FileOps::OpenMode::Truncate);
+  char b = 'x';
+  ops.write_all(fd, &b, 1);
+  ops.close_fd(fd);
+  // ...the next lock attempt eats it (transient flag intact)...
+  try {
+    (void)ops.try_lock_file(dir.str() + "/LOCK");
+    FAIL() << "armed lock fault did not fire";
+  } catch (const IoError& e) {
+    EXPECT_TRUE(e.transient());
+  }
+  // ...and the disarmed wrapper locks normally.
+  const int lock = ops.try_lock_file(dir.str() + "/LOCK");
+  EXPECT_GE(lock, 0);
+  ops.close_fd(lock);
+}
+
 TEST(FrontStoreFault, FailedPutThrowsAndLeavesTheStoreConsistent) {
   const ScratchDir dir("putfail");
   FaultFileOps ops(real_file_ops());

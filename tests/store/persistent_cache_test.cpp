@@ -6,13 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/batch.hpp"
 #include "gen/random_adt.hpp"
 #include "store/persistent_cache.hpp"
 #include "store_test_util.hpp"
+#include "util/fault.hpp"
 
 namespace adtp::store {
 namespace {
@@ -128,6 +132,56 @@ TEST(PersistentCache, WarmRestartServesBitIdenticalFrontsAcrossThreadCounts) {
     EXPECT_EQ(warm_cache.persistence_stats().store_hits, fleet.size())
         << threads << " threads";
   }
+}
+
+TEST(PersistentCache, RetryBackoffNeverSerializesLookupsOnOtherKeys) {
+  // One key hits a transient store error and enters its backoff sleep;
+  // a concurrent lookup of a *different* store-resident key must not
+  // wait behind it. This pins the with_retry design: the sleep holds no
+  // cache lock (the store is reached through a snapshot), so a retry
+  // storm on one key cannot serialize the rest of the working set.
+  using Clock = std::chrono::steady_clock;
+  const ScratchDir dir("backoff");
+  FaultFileOps ops(real_file_ops());
+  PersistentCacheOptions options;
+  options.memory_capacity = 1;  // keys 1 and 2 live only in the store
+  options.store.ops = &ops;
+  options.retry_backoff_seconds = 1.0;
+  options.max_retries = 3;
+  PersistentFrontCache cache(dir.str(), options);
+  ASSERT_TRUE(cache.insert(make_key(1), make_result({{1, 10}})));
+  ASSERT_TRUE(cache.insert(make_key(2), make_result({{2, 20}})));
+  ASSERT_TRUE(cache.insert(make_key(3), make_result({{3, 30}})));
+
+  // The next store read (thread A's payload pread for key 1) fails
+  // transiently exactly once, sending A into a 1s backoff.
+  ops.fail_op(FaultFileOps::Op::Read, /*countdown=*/0, /*transient=*/true);
+  std::optional<AnalysisResult> slow;
+  std::thread a([&] { slow = cache.lookup(make_key(1)); });
+
+  // retries is incremented *before* the sleep starts, so this poll
+  // deterministically catches A inside (or entering) its backoff.
+  const Clock::time_point poll_deadline =
+      Clock::now() + std::chrono::seconds(10);
+  while (cache.persistence_stats().retries == 0) {
+    ASSERT_LT(Clock::now(), poll_deadline) << "retry never happened";
+    std::this_thread::yield();
+  }
+
+  const Clock::time_point start = Clock::now();
+  const auto other = cache.lookup(make_key(2));
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->front.front_point().att, 20);
+  EXPECT_LT(seconds, 0.5)
+      << "a lookup of another key waited behind a backoff sleep";
+
+  a.join();
+  ASSERT_TRUE(slow.has_value()) << "the retried lookup must still succeed";
+  EXPECT_EQ(slow->front.front_point().def, 1);
+  EXPECT_FALSE(cache.persistence_stats().degraded);
+  EXPECT_GE(cache.persistence_stats().retries, 1u);
 }
 
 TEST(PersistentCache, DegradedCacheStillServesBatches) {

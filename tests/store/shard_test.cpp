@@ -151,14 +151,17 @@ TEST(FrontStoreRecovery, TruncatedIndexTailDropsOnlyThePartialRecord) {
   bytes.resize(torn);  // record 3 is half-written
   write_file(corpus.idx, bytes);
 
-  FrontStore store(dir.str());
-  const RecoveryReport& rec = store.recovery();
-  EXPECT_EQ(rec.entries_recovered, 2u);
-  EXPECT_EQ(rec.records_skipped, 0u) << "a torn tail is truncation, not skip";
-  EXPECT_GT(rec.tail_bytes_truncated, 0u);
-  EXPECT_EQ(store.get(make_key(1)), payload_of('a', 64));
-  EXPECT_EQ(store.get(make_key(2)), payload_of('b', 64));
-  EXPECT_FALSE(store.get(make_key(3)).has_value());
+  {
+    FrontStore store(dir.str());
+    const RecoveryReport& rec = store.recovery();
+    EXPECT_EQ(rec.entries_recovered, 2u);
+    EXPECT_EQ(rec.records_skipped, 0u)
+        << "a torn tail is truncation, not skip";
+    EXPECT_GT(rec.tail_bytes_truncated, 0u);
+    EXPECT_EQ(store.get(make_key(1)), payload_of('a', 64));
+    EXPECT_EQ(store.get(make_key(2)), payload_of('b', 64));
+    EXPECT_FALSE(store.get(make_key(3)).has_value());
+  }  // close releases the writer lease
   // The torn bytes are gone from disk: a second reopen is clean.
   FrontStore again(dir.str());
   EXPECT_EQ(again.recovery().tail_bytes_truncated, 0u);
@@ -185,14 +188,17 @@ TEST(FrontStoreRecovery, StaleFormatVersionStartsFreshAndServesNothing) {
   bytes[8] = 99;  // format version field of the header
   write_file(corpus.idx, bytes);
 
-  FrontStore store(dir.str());
-  EXPECT_TRUE(store.recovery().stale_generation);
-  EXPECT_EQ(store.recovery().entries_recovered, 0u);
-  EXPECT_FALSE(store.get(make_key(1)).has_value());
-  EXPECT_GT(store.generation(), 1u);
-  // The fresh generation is fully functional and survives reopen.
-  EXPECT_TRUE(store.put(make_key(9), payload_of('z', 8)));
-  const std::uint64_t gen = store.generation();
+  std::uint64_t gen = 0;
+  {
+    FrontStore store(dir.str());
+    EXPECT_TRUE(store.recovery().stale_generation);
+    EXPECT_EQ(store.recovery().entries_recovered, 0u);
+    EXPECT_FALSE(store.get(make_key(1)).has_value());
+    EXPECT_GT(store.generation(), 1u);
+    // The fresh generation is fully functional and survives reopen.
+    EXPECT_TRUE(store.put(make_key(9), payload_of('z', 8)));
+    gen = store.generation();
+  }  // close releases the writer lease
   FrontStore reopened(dir.str());
   EXPECT_EQ(reopened.generation(), gen);
   EXPECT_EQ(reopened.get(make_key(9)), payload_of('z', 8));
